@@ -1,0 +1,57 @@
+"""Shared fixtures for the experiment harness.
+
+Every module regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index).  Artifacts are written to ``benchmarks/results/`` and
+echoed to stdout; assertions encode the *shape* each paper artifact must
+show (who wins, by roughly what factor, where the outliers sit).
+
+Traces are produced once per session through the workload trace cache, so
+the timed portions measure profiling, not target execution — the same
+separation the paper's overhead numbers use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Write an artifact file and echo it."""
+
+    def _emit(name: str, text: str) -> Path:
+        path = results_dir / name
+        path.write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+        return path
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def starbench_names():
+    from repro.workloads import workload_names
+
+    return workload_names("starbench")
+
+
+@pytest.fixture(scope="session")
+def nas_names():
+    from repro.workloads import workload_names
+
+    return workload_names("nas")
+
+
+@pytest.fixture(scope="session")
+def all_seq_names(nas_names, starbench_names):
+    return nas_names + starbench_names

@@ -1,0 +1,70 @@
+"""Throughput of this library's own engines (not a paper artifact).
+
+The reproduction keeps two equivalent engines: the event-at-a-time
+reference (the executable spec, also what pipeline workers run) and the
+vectorized numpy engine.  This bench records their throughput so
+regressions in either path are visible, and checks the vectorized speedup
+that makes whole-suite experiments practical.
+"""
+
+import time
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.core import DependenceProfiler
+from repro.workloads import get_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+SIG = ProfilerConfig(signature_slots=1 << 18)
+
+
+def events_per_second(batch, config, engine):
+    prof = DependenceProfiler(config, engine)
+    t0 = time.perf_counter()
+    prof.profile(batch)
+    return len(batch) / (time.perf_counter() - t0)
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    return get_trace("kmeans")  # the largest standard trace (~145k events)
+
+
+def test_vectorized_speedup(benchmark, big_trace, emit):
+    ref = max(events_per_second(big_trace, PERFECT, "reference") for _ in range(2))
+    vec = max(events_per_second(big_trace, PERFECT, "vectorized") for _ in range(2))
+    emit(
+        "engine_throughput.txt",
+        f"reference : {ref:12.0f} events/s\n"
+        f"vectorized: {vec:12.0f} events/s\n"
+        f"speedup   : {vec / ref:12.1f}x\n",
+    )
+    assert vec > 1.5 * ref  # the vectorized engine must stay clearly ahead
+    benchmark.pedantic(
+        lambda: DependenceProfiler(PERFECT, "vectorized").profile(big_trace),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_signature_mode_throughput(benchmark, big_trace):
+    """Signature hashing adds little over perfect keys in the vectorized
+    engine (keys are hashed columns either way)."""
+    per = events_per_second(big_trace, PERFECT, "vectorized")
+    sig = events_per_second(big_trace, SIG, "vectorized")
+    assert sig > 0.4 * per
+    benchmark.pedantic(
+        lambda: DependenceProfiler(SIG, "vectorized").profile(big_trace),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_reference_engine_benchmarked(benchmark):
+    batch = get_trace("md5")
+    benchmark.pedantic(
+        lambda: DependenceProfiler(PERFECT, "reference").profile(batch),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,92 @@
+"""Section III-B — chained hash table vs. signature, time overhead.
+
+Paper: storing access history in a bucket-chained hash table (exact, but
+chains must be searched on every access) measured 1.5–3.7x slower than the
+signature's single-probe scheme.
+
+Ours: replay a real workload's access stream directly against both tracker
+kinds (lookup + insert per access — exactly what Algorithm 1 asks of them)
+and compare wall-clock.  Measuring the trackers directly mirrors the
+paper's setting, where the tracker operation dominates the instrumented
+run; inside our interpreter-based engine it would be diluted by
+interpretation overhead.
+"""
+
+import time
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.sigmem import ArraySignature, ChainedHashTable
+from repro.sigmem.signature import AccessRecord
+from repro.workloads import get_trace
+
+
+def replay(tracker, addrs, writes):
+    rec = AccessRecord(1, 0, 0, 0)
+    lookup = tracker.lookup
+    insert = tracker.insert
+    t0 = time.perf_counter()
+    for a, w in zip(addrs, writes):
+        lookup(a)
+        if w:
+            insert(a, rec)
+    return time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def stream():
+    batch = get_trace("streamcluster")  # few addresses, many accesses
+    mask = batch.access_mask()
+    addrs = [int(a) for a in batch.addr[mask]]
+    writes = [bool(w) for w in (batch.kind[mask] == 1)]
+    return addrs, writes, batch.n_unique_addresses
+
+
+def test_signature_faster_than_hashtable(benchmark, stream, emit):
+    addrs, writes, n_addr = stream
+    rows = []
+    for buckets in (max(n_addr // 8, 16), max(n_addr // 2, 64), 4 * n_addr):
+        t_sig = min(
+            replay(ArraySignature(4 * n_addr), addrs, writes) for _ in range(5)
+        )
+        t_ht = min(
+            replay(ChainedHashTable(buckets), addrs, writes) for _ in range(5)
+        )
+        rows.append((buckets, t_ht / t_sig))
+    text = "buckets,slowdown_vs_signature\n" + "\n".join(
+        f"{b},{r:.2f}" for b, r in rows
+    )
+    emit("hashtable_vs_signature.csv", text + "\n")
+    # Shape 1: the hash table never beats the signature.
+    assert all(r > 1.0 for _, r in rows), rows
+    # Shape 2: the penalty grows as chains lengthen (fewer buckets).
+    assert rows[0][1] > rows[-1][1], rows
+    # Shape 3: at heavy chaining the gap reaches the paper's 1.5–3.7x band
+    # (threshold set just below the band to absorb interpreter timing noise).
+    assert rows[0][1] > 1.4, rows
+
+    benchmark.pedantic(
+        lambda: replay(ArraySignature(4 * n_addr), addrs, writes),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_hashtable_is_exact_despite_cost(benchmark, stream):
+    """The table's one advantage: exactness.  Its dependence set equals the
+    perfect signature's — the signature trades that for speed and bounded
+    memory (Section III-B's argument in full)."""
+    from repro.core import profile_trace
+    from repro.core.reference import ReferenceEngine
+
+    batch = get_trace("streamcluster")
+    n_addr = batch.n_unique_addresses
+    cfg = ProfilerConfig(perfect_signature=True)
+    ht_engine = ReferenceEngine(
+        cfg, ChainedHashTable(max(n_addr // 2, 16)), ChainedHashTable(max(n_addr // 2, 16))
+    )
+    ht_engine.process(batch)
+    perfect = profile_trace(batch, cfg)
+    assert ht_engine.store == perfect.store
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

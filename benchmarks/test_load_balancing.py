@@ -1,0 +1,109 @@
+"""Section IV-A — load balancing by hot-address redistribution.
+
+Paper: addresses distribute evenly under the modulo map but access counts
+do not; the profiler tracks per-address statistics, re-checks every 50 000
+chunks, and keeps the ten hottest addresses spread over the workers —
+at most ~20 redistribution rounds per benchmark, enough to help.
+
+Ours: measured on the analog whose hot accumulators the paper calls out
+(kmeans) plus a synthetic worst case; redistribution must trigger, improve
+the hot-load balance, stay within the paper's round budget, and preserve
+exactness (signature state migrates with the address).
+"""
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.core import profile_trace
+from repro.parallel import ParallelProfiler
+from repro.report import ascii_table
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def run(batch, rebalance: bool, workers=8):
+    cfg = PERFECT.with_(
+        workers=workers,
+        chunk_size=64,
+        rebalance_interval_chunks=10 if rebalance else 10**9,
+    )
+    return ParallelProfiler(cfg, window=1024).profile(batch)
+
+
+@pytest.fixture(scope="module")
+def kmeans_runs():
+    from repro.workloads import get_trace
+
+    batch = get_trace("kmeans")
+    on_res, on = run(batch, rebalance=True)
+    off_res, off = run(batch, rebalance=False)
+    return batch, (on_res, on), (off_res, off)
+
+
+def test_rebalancing_kmeans(benchmark, kmeans_runs, emit):
+    batch, (on_res, on), (off_res, off) = kmeans_runs
+    rows = [
+        ["rebalancing ON", on.rebalance_rounds, on.addresses_migrated,
+         on.access_imbalance],
+        ["rebalancing OFF", off.rebalance_rounds, off.addresses_migrated,
+         off.access_imbalance],
+    ]
+    emit(
+        "load_balancing.txt",
+        ascii_table(["config", "rounds", "migrated", "max/mean load"], rows,
+                    title="Load balancing (kmeans analog, 8 workers)"),
+    )
+    # Shape 1: the paper's round budget is respected.  kmeans' hot
+    # accumulators are *contiguous* array elements, which the modulo map
+    # already spreads across workers — so redistribution may legitimately
+    # never trigger here (the synthetic-hotspot test exercises the trigger
+    # path); when it does, it stays within ~20 rounds.
+    assert on.rebalance_rounds <= 20
+    # Shape 2: rebalancing never makes the access balance worse.
+    assert on.access_imbalance <= off.access_imbalance * 1.05
+    # Shape 3: the hot addresses end up evenly spread either way.
+    assert on.access_imbalance < 2.0
+    # Shape 4: results are identical with and without rebalancing —
+    # migration moves signature state correctly.
+    assert on_res.store == off_res.store
+    from repro.workloads import get_trace
+
+    batch = get_trace("kmeans")
+    benchmark.pedantic(lambda: run(batch, True), rounds=1, iterations=1)
+
+
+def test_rebalancing_synthetic_hotspot(benchmark):
+    """Worst case: a handful of same-worker addresses draw nearly all
+    accesses; redistribution must spread the hot load close to even."""
+    from tests.trace_helpers import seq_trace
+
+    ops = []
+    hot = [0x1000 + 0x100 * k for k in range(4)]  # all home to worker 0 of 8
+    for r in range(500):
+        for a in hot:
+            ops.append(("w", a, 5, "h"))
+            ops.append(("r", a, 6, "h"))
+    for i in range(64):
+        ops.append(("w", 0x9008 + 8 * i, 7, "c"))
+    batch = seq_trace(ops)
+    _, on = run(batch, rebalance=True, workers=4)
+    _, off = run(batch, rebalance=False, workers=4)
+    assert off.access_imbalance > 3.0  # pathological without balancing
+    assert on.access_imbalance < off.access_imbalance * 0.6
+    benchmark.pedantic(lambda: run(batch, True, workers=4), rounds=1, iterations=1)
+
+
+def test_even_address_distribution_claim(benchmark):
+    """Eq. 1's premise measured on a real trace: the modulo map spreads
+    *addresses* evenly even when access counts are skewed."""
+    import numpy as np
+
+    from repro.parallel.address_map import AddressMap
+    from repro.workloads import get_trace
+
+    batch = get_trace("cg")
+    addrs = np.unique(batch.addr[batch.access_mask()])
+    amap = AddressMap(8)
+    counts = np.bincount(amap.workers_of(addrs), minlength=8)
+    assert counts.max() <= 1.25 * counts.mean()
+    benchmark.pedantic(lambda: amap.workers_of(addrs), rounds=3, iterations=1)

@@ -1,0 +1,51 @@
+"""Detecting communication patterns in multi-threaded code (Section VII-B).
+
+Run:  python examples/communication_patterns.py [threads]
+
+Executes the splash2x.water-spatial analog with N worker threads, profiles
+it with thread-aware dependence records, and renders the producer/consumer
+matrix the paper shows in Figure 9 — communication is nothing but
+cross-thread read-after-write dependences.
+"""
+
+import sys
+
+from repro.analyses import communication_matrix, render_matrix
+from repro.common.config import ProfilerConfig
+from repro.core import DepType, profile_trace
+from repro.workloads import get_trace
+
+
+def main(threads: int = 6) -> None:
+    threads = int(threads)
+    trace = get_trace("water-spatial", variant="par", threads=threads)
+    config = ProfilerConfig(perfect_signature=True, multithreaded_target=True)
+    result = profile_trace(trace, config)
+
+    matrix = communication_matrix(result, n_threads=threads + 1)
+    print(f"water-spatial analog, {threads} worker threads "
+          f"({trace.n_accesses} accesses profiled)\n")
+    print("Producer/consumer intensity (workers only; darker = stronger):")
+    print(render_matrix(matrix[1:, 1:]))
+
+    # The matrix is derived from ordinary dependence records — show a few.
+    cross = [
+        (d, result.store.count(d))
+        for d in result.store
+        if d.dep_type is DepType.RAW and d.source_tid != d.sink_tid
+        and d.source_tid > 0
+    ]
+    cross.sort(key=lambda dc: -dc[1])
+    print("Hottest cross-thread RAW records behind the matrix:")
+    from repro.common.sourceloc import format_location
+
+    for dep, count in cross[:5]:
+        print(f"  thread {dep.source_tid} @ {format_location(dep.source_loc)} "
+              f"-> thread {dep.sink_tid} @ {format_location(dep.sink_loc)} "
+              f"on {result.var_name(dep.var)!r}  ({count} instances)")
+    print("\nEach worker exchanges data only with its spatial neighbours — "
+          "the banded structure of the paper's Figure 9.")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

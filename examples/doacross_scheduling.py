@@ -1,0 +1,64 @@
+"""Dependence distances and do-across scheduling.
+
+Run:  python examples/doacross_scheduling.py
+
+Not every loop with a carried dependence is hopeless: if the dependence
+spans k iterations, k iterations can run concurrently (do-across /
+skewed scheduling).  Tools like Alchemist profile exactly this *distance*;
+because our profiler keeps full records, distance analysis is a post-pass
+on the same trace.  This example builds three loops — a DOALL, a
+distance-4 wavefront, and a serial recurrence — and grades each.
+"""
+
+import math
+
+from repro.analyses import dependence_distances
+from repro.common.sourceloc import encode_location
+from repro.minivm import ProgramBuilder, run_program
+
+
+def build():
+    b = ProgramBuilder("doacross")
+    a = b.global_array("a", 64)
+    c = b.global_array("c", 64)
+    r = b.global_array("r", 64)
+    sites = {}
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 64):
+            f.store(a, i, i)
+            f.store(c, i, i * 2)
+            f.store(r, i, i + 1)
+        with f.for_loop(i, 0, 64) as doall:  # independent elements
+            f.store(a, i, f.load(a, i) * 3)
+        with f.for_loop(i, 4, 64) as skewed:  # c[i] needs c[i-4]
+            f.store(c, i, f.load(c, i - 4) + 1)
+        with f.for_loop(i, 1, 64) as serial:  # r[i] needs r[i-1]
+            f.store(r, i, f.load(r, i - 1) + 1)
+        sites.update(doall=doall.line, skewed=skewed.line, serial=serial.line)
+    return b.build(), sites
+
+
+def main() -> None:
+    program, sites = build()
+    trace = run_program(program)
+    print(f"{'loop':8s} {'min RAW distance':>18s} {'schedule':>28s}")
+    for name, line in sites.items():
+        d = dependence_distances(trace, encode_location(0, line))
+        degree = d.doacross_degree
+        if math.isinf(degree):
+            schedule = "DOALL (fully parallel)"
+            dist = "-"
+        elif degree <= 1:
+            schedule = "serial (pipeline the body)"
+            dist = "1"
+        else:
+            schedule = f"do-across, {int(degree)} iterations in flight"
+            dist = str(int(degree))
+        print(f"{name:8s} {dist:>18s} {schedule:>28s}")
+    print("\nThe same dependence records drive all three verdicts — the "
+          "generality argument of the paper: one profiler, many analyses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Discovering parallelizable loops (the paper's Section VII-A application).
+
+Run:  python examples/parallelism_discovery.py [workload]
+
+Profiles a NAS benchmark analog, classifies every loop (blocked / parallel /
+parallel-with-reduction / parallel-with-privatization), and compares the
+verdicts against the workload's OpenMP ground truth — the Table II
+experiment on one benchmark, with explanations.
+"""
+
+import sys
+
+from repro.analyses import analyze_loops, loop_table
+from repro.common.config import ProfilerConfig
+from repro.core import profile_trace
+from repro.report import ascii_table
+from repro.workloads import get_trace
+
+
+def main(workload: str = "cg") -> None:
+    trace, meta = get_trace(workload, with_meta=True)
+    result = profile_trace(trace, ProfilerConfig(perfect_signature=True))
+
+    rows = [
+        (r.site, r.total_iterations, r.parallelizable, r.note)
+        for r in loop_table(result)
+    ]
+    print(ascii_table(
+        ["loop", "iterations", "parallel?", "verdict"],
+        rows,
+        title=f"Loop classification for {workload!r}",
+    ))
+
+    # Compare against the OpenMP annotation ground truth.
+    classifications = analyze_loops(result)
+    sites = meta.annotated_sites()
+    print(f"OpenMP-annotated loops: {len(sites)}")
+    hits = misses = 0
+    for name, site in sorted(sites.items()):
+        verdict = classifications[site].parallelizable
+        expected = name in meta.expected_identified
+        status = "ok" if verdict == expected else "DISAGREES"
+        if verdict == expected:
+            hits += 1
+        else:
+            misses += 1
+        print(f"  {name:24s} identified={str(verdict):5s} "
+              f"omp-parallelizable={str(expected):5s} [{status}]")
+    print(f"\nidentified {hits}/{len(sites)} annotated loops correctly "
+          f"(paper reproduces 136/147 = 92.5% across all of NAS)")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

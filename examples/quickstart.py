@@ -1,0 +1,59 @@
+"""Quickstart: write a tiny program, profile it, read the dependences.
+
+Run:  python examples/quickstart.py
+
+Walks the full pipeline in ~40 lines: build an instrumented target with
+MiniVM, execute it to get a trace, profile the trace with the signature
+profiler, and print the paper's Figure-1-style output plus a few queries
+against the result object.
+"""
+
+from repro.common.config import ProfilerConfig
+from repro.core import DepType, format_dependences, profile_trace
+from repro.minivm import ProgramBuilder, run_program
+
+
+def build_program():
+    """The paper's motivating shape: a loop accumulating through a scalar."""
+    b = ProgramBuilder("quickstart")
+    data = b.global_array("data", 64)
+    total = b.global_scalar("total")
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 64):  # initialization loop
+            f.store(data, i, i * 3)
+        with f.for_loop(i, 0, 64):  # reduction loop
+            f.store(total, None, f.load(total) + f.load(data, i))
+    return b.build()
+
+
+def main() -> None:
+    program = build_program()
+
+    # 1. Execute under instrumentation -> a trace of every memory access,
+    #    loop boundary, and allocation event.
+    trace = run_program(program)
+    print(trace.summary(), "\n")
+
+    # 2. Profile.  ProfilerConfig(signature_slots=...) selects the paper's
+    #    fixed-size signature; perfect_signature=True is the exact baseline.
+    config = ProfilerConfig(signature_slots=1 << 20)
+    result = profile_trace(trace, config)
+
+    # 3. The paper's output format (Figure 1): BGN/END control regions with
+    #    iteration counts, NOM lines with merged pair-wise dependences.
+    print(format_dependences(result, verbose=True))
+
+    # 4. Programmatic queries.
+    raws = [d for d in result.store if d.dep_type is DepType.RAW]
+    carried = [d for d in raws if d.carried]
+    print(f"{len(result.store)} merged dependences "
+          f"({result.store.instances} instances, "
+          f"{result.merge_reduction_factor:.0f}x merge reduction)")
+    print(f"loop-carried RAWs: "
+          f"{sorted(result.var_name(d.var) for d in carried)}  "
+          "<- 'total' serializes the reduction loop; 'data' does not appear")
+
+
+if __name__ == "__main__":
+    main()

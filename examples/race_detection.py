@@ -1,0 +1,77 @@
+"""Flagging potential data races from a single run (Section V-B).
+
+Run:  python examples/race_detection.py
+
+Builds two versions of a shared-counter program — one synchronizing its
+read-modify-write with a lock, one racing — and executes both under a
+scheduler that may delay the instrumentation *push* of unsynchronized
+accesses (exactly the hazard Figure 4's lock region prevents).  The
+profiler flags dependences whose timestamps arrive reversed: evidence of a
+potential race without needing a second run.
+"""
+
+from repro.common.config import ProfilerConfig
+from repro.common.sourceloc import format_location
+from repro.core import profile_trace
+from repro.minivm import ProgramBuilder, ScheduleConfig, run_program
+
+CONFIG = ProfilerConfig(perfect_signature=True, multithreaded_target=True)
+
+
+def build_counter(locked: bool):
+    b = ProgramBuilder("locked-counter" if locked else "racy-counter")
+    counter = b.global_scalar("counter")
+    with b.function("worker", params=("wid",)) as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 10):
+            if locked:
+                with f.lock(1):
+                    f.set(f.reg("t"), f.load(counter))
+                    f.store(counter, None, f.reg("t") + 1)
+            else:
+                f.set(f.reg("t"), f.load(counter))
+                f.store(counter, None, f.reg("t") + 1)
+    with b.function("main") as f:
+        w = f.reg("w")
+        with f.for_loop(w, 0, 3):
+            f.spawn("worker", w)
+        f.join_all()
+    return b.build()
+
+
+def inspect(title: str, locked: bool) -> None:
+    program = build_counter(locked)
+    flagged_seeds = 0
+    sample = None
+    for seed in range(6):
+        trace = run_program(
+            program,
+            schedule=ScheduleConfig(
+                policy="roundrobin", seed=seed, delay_probability=0.5
+            ),
+        )
+        result = profile_trace(trace, CONFIG)
+        races = result.store.races()
+        if races:
+            flagged_seeds += 1
+            sample = sample or (result, races)
+    print(f"{title}: potential races flagged in {flagged_seeds}/6 schedules")
+    if sample:
+        result, races = sample
+        for dep in races[:3]:
+            print(f"    {dep.dep_type.name} on {result.var_name(dep.var)!r}: "
+                  f"{format_location(dep.source_loc)}|thread {dep.source_tid}"
+                  f" vs {format_location(dep.sink_loc)}|thread {dep.sink_tid}"
+                  " (timestamps reversed)")
+
+
+def main() -> None:
+    inspect("racy counter  ", locked=False)
+    inspect("locked counter", locked=True)
+    print("\nThe locked version can never be flagged: inside a lock region the "
+          "access and its push are atomic (Figure 4), so timestamps always "
+          "arrive in order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Dependence-based program analyses (Section VII of the paper).
+
+The profiler is *generic*: it delivers detailed pair-wise dependences so
+that many analyses can be built on one profiling substrate.  This package
+implements the two applications the paper demonstrates, plus the dependence
+graph / loop table views its conclusion previews:
+
+* :mod:`repro.analyses.parallelism` — DiscoPoP-style discovery of
+  parallelizable loops (Table II): a loop parallelizes when it carries no
+  blocking inter-iteration RAW dependence, with privatization and reduction
+  recognition for the benign carried patterns.
+* :mod:`repro.analyses.commpattern` — producer/consumer communication
+  matrices for multi-threaded targets (Figure 9), derived from cross-thread
+  RAW dependences.
+* :mod:`repro.analyses.graph` — dependence graphs (networkx) and the loop
+  table of the planned analysis framework.
+"""
+
+from repro.analyses.parallelism import (
+    LoopClassification,
+    analyze_loops,
+    count_parallelizable,
+)
+from repro.analyses.commpattern import (
+    communication_matrix,
+    render_matrix,
+)
+from repro.analyses.graph import build_dependence_graph, loop_table
+from repro.analyses.races import RaceCandidate, RaceReport, detect_races
+from repro.analyses.sections import section_dependences
+from repro.analyses.union import union_of_results
+from repro.analyses.exectree import ExecNode, build_execution_tree, call_tree
+from repro.analyses.distance import (
+    LoopDistances,
+    classify_doacross,
+    dependence_distances,
+)
+
+__all__ = [
+    "ExecNode",
+    "LoopDistances",
+    "classify_doacross",
+    "dependence_distances",
+    "LoopClassification",
+    "RaceCandidate",
+    "RaceReport",
+    "analyze_loops",
+    "build_dependence_graph",
+    "build_execution_tree",
+    "call_tree",
+    "communication_matrix",
+    "count_parallelizable",
+    "detect_races",
+    "loop_table",
+    "render_matrix",
+    "section_dependences",
+    "union_of_results",
+]

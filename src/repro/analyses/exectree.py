@@ -1,0 +1,144 @@
+"""Dynamic execution tree (call tree + loop nests).
+
+The paper's closing section previews a framework that reorganizes profiled
+data into a *dynamic execution tree* and a call tree, on which analyses run
+as plugins.  This builder folds a trace's FUNC_ENTER/EXIT and
+LOOP_ENTER/EXIT events into a per-thread tree whose nodes aggregate their
+dynamic instances: a node represents one static site (function or loop)
+within one static calling context, annotated with visit counts, iteration
+totals, and the number of memory accesses executed directly under it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.sourceloc import format_location
+from repro.trace import (
+    FUNC_ENTER,
+    FUNC_EXIT,
+    LOOP_ENTER,
+    LOOP_EXIT,
+    READ,
+    WRITE,
+    TraceBatch,
+)
+
+
+@dataclass
+class ExecNode:
+    """One static site within its static context."""
+
+    kind: str  # "root" | "func" | "loop"
+    site: int  # encoded location (-1 for root)
+    visits: int = 0
+    iterations: int = 0  # loops only
+    direct_accesses: int = 0
+    children: dict[tuple[str, int], "ExecNode"] = field(default_factory=dict)
+
+    def child(self, kind: str, site: int) -> "ExecNode":
+        node = self.children.get((kind, site))
+        if node is None:
+            node = self.children[(kind, site)] = ExecNode(kind=kind, site=site)
+        return node
+
+    @property
+    def total_accesses(self) -> int:
+        return self.direct_accesses + sum(
+            c.total_accesses for c in self.children.values()
+        )
+
+    @property
+    def n_nodes(self) -> int:
+        return 1 + sum(c.n_nodes for c in self.children.values())
+
+    def render(self, indent: int = 0) -> str:
+        if self.kind == "root":
+            label = "<root>"
+        else:
+            label = f"{self.kind} {format_location(self.site)}"
+        extras = [f"visits={self.visits}"]
+        if self.kind == "loop":
+            extras.append(f"iters={self.iterations}")
+        extras.append(f"accesses={self.total_accesses}")
+        lines = ["  " * indent + f"{label} [{', '.join(extras)}]"]
+        for key in sorted(self.children):
+            lines.append(self.children[key].render(indent + 1))
+        return "\n".join(lines)
+
+
+def build_execution_tree(batch: TraceBatch) -> dict[int, ExecNode]:
+    """Per-thread execution trees keyed by thread id."""
+    roots: dict[int, ExecNode] = {}
+    stacks: dict[int, list[ExecNode]] = {}
+
+    def stack_for(tid: int) -> list[ExecNode]:
+        s = stacks.get(tid)
+        if s is None:
+            root = ExecNode(kind="root", site=-1, visits=1)
+            roots[tid] = root
+            s = stacks[tid] = [root]
+        return s
+
+    kind_col = batch.kind
+    for i in range(len(batch)):
+        k = kind_col[i]
+        if k == READ or k == WRITE:
+            stack_for(int(batch.tid[i]))[-1].direct_accesses += 1
+        elif k == FUNC_ENTER:
+            s = stack_for(int(batch.tid[i]))
+            node = s[-1].child("func", int(batch.addr[i]))
+            node.visits += 1
+            s.append(node)
+        elif k == LOOP_ENTER:
+            s = stack_for(int(batch.tid[i]))
+            node = s[-1].child("loop", int(batch.addr[i]))
+            node.visits += 1
+            s.append(node)
+        elif k == FUNC_EXIT or k == LOOP_EXIT:
+            s = stack_for(int(batch.tid[i]))
+            if len(s) > 1:
+                if k == LOOP_EXIT:
+                    s[-1].iterations += int(batch.aux[i])
+                s.pop()
+    return roots
+
+
+def call_tree(batch: TraceBatch) -> dict[int, ExecNode]:
+    """Execution trees restricted to function nodes (the classic call tree).
+
+    Loop frames are collapsed: their accesses and children re-attach to the
+    nearest enclosing function node.
+    """
+
+    def collapse(node: ExecNode) -> ExecNode:
+        out = ExecNode(
+            kind=node.kind,
+            site=node.site,
+            visits=node.visits,
+            direct_accesses=node.direct_accesses,
+        )
+        worklist = list(node.children.values())
+        while worklist:
+            child = worklist.pop()
+            if child.kind == "loop":
+                out.direct_accesses += child.direct_accesses
+                worklist.extend(child.children.values())
+            else:
+                merged = collapse(child)
+                key = (merged.kind, merged.site)
+                existing = out.children.get(key)
+                if existing is None:
+                    out.children[key] = merged
+                else:
+                    existing.visits += merged.visits
+                    existing.direct_accesses += merged.direct_accesses
+                    for ck, cv in merged.children.items():
+                        if ck in existing.children:
+                            existing.children[ck].visits += cv.visits
+                            existing.children[ck].direct_accesses += cv.direct_accesses
+                        else:
+                            existing.children[ck] = cv
+        return out
+
+    return {tid: collapse(root) for tid, root in build_execution_tree(batch).items()}

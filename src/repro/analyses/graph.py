@@ -1,0 +1,88 @@
+"""Dependence graph and loop table views.
+
+The paper's conclusion previews an analysis framework that reorganizes
+profiled data into multiple representations (dependence graph, loop table,
+…) so analyses can be written as plugins.  These builders provide the two
+views our own analyses and examples consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.sourceloc import format_location
+from repro.core.deps import DepType
+from repro.core.result import ProfileResult
+
+
+def build_dependence_graph(result: ProfileResult, include_init: bool = False):
+    """Build a ``networkx.MultiDiGraph`` of the profiled dependences.
+
+    Nodes are source locations (``"file:line"`` strings, with a ``tid``
+    attribute for multi-threaded targets); one edge per merged dependence,
+    pointing source -> sink (the direction data flows for RAW), annotated
+    with type, variable, instance count, carried sites, and race flag.
+    """
+    import networkx as nx  # analysis extra; imported lazily
+
+    g = nx.MultiDiGraph()
+    for dep, count in result.store.items():
+        if dep.dep_type is DepType.INIT and not include_init:
+            continue
+        sink = f"{format_location(dep.sink_loc)}|{dep.sink_tid}"
+        g.add_node(sink, loc=format_location(dep.sink_loc), tid=dep.sink_tid)
+        if dep.dep_type is DepType.INIT:
+            g.add_node("INIT")
+            g.add_edge("INIT", sink, dep_type="INIT", count=count)
+            continue
+        source = f"{format_location(dep.source_loc)}|{dep.source_tid}"
+        g.add_node(source, loc=format_location(dep.source_loc), tid=dep.source_tid)
+        g.add_edge(
+            source,
+            sink,
+            dep_type=dep.dep_type.name,
+            var=result.var_name(dep.var),
+            count=count,
+            carried=sorted(format_location(s) for s in dep.carried),
+            race=dep.race,
+        )
+    return g
+
+
+@dataclass
+class LoopTableRow:
+    """One row of the loop table."""
+
+    site: str
+    end: str
+    executions: int
+    total_iterations: int
+    mean_iterations: float
+    parallelizable: bool | None  # None when no classification was requested
+    note: str
+
+
+def loop_table(
+    result: ProfileResult, classify: bool = True
+) -> list[LoopTableRow]:
+    """Summarize every profiled loop, optionally with parallelism verdicts."""
+    classifications = {}
+    if classify:
+        from repro.analyses.parallelism import analyze_loops
+
+        classifications = analyze_loops(result)
+    rows = []
+    for site, info in sorted(result.loops.items()):
+        cls = classifications.get(site)
+        rows.append(
+            LoopTableRow(
+                site=format_location(site),
+                end=format_location(info.end_loc),
+                executions=info.executions,
+                total_iterations=info.total_iterations,
+                mean_iterations=info.mean_iterations,
+                parallelizable=None if cls is None else cls.parallelizable,
+                note="" if cls is None else cls.reason(result),
+            )
+        )
+    return rows

@@ -1,0 +1,140 @@
+"""Loop-parallelism discovery (Section VII-A, Table II).
+
+A loop can run its iterations in parallel when no data flows *between*
+iterations.  From the profiler's records:
+
+* a RAW dependence carried by the loop is a true inter-iteration flow —
+  blocking, unless it matches a **reduction**: the same source line both
+  reads and updates the same variable (``sum = sum + ...``), recognizable
+  because the carried RAW's source and sink are the same location.  Such
+  loops parallelize with a reduction clause, exactly how DiscoPoP treats
+  them (and how most of the NAS OpenMP annotations are written).
+* carried WAR/WAW dependences mean iterations reuse storage; **privatizing**
+  the variable removes them, so they do not block.
+
+The classification is intentionally conservative where the evidence is:
+dynamic dependences prove only what the profiled input exercised, the same
+caveat the paper makes for all dependence profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.deps import DepType, Dependence
+from repro.core.result import ProfileResult
+
+
+@dataclass
+class LoopClassification:
+    """Verdict for one loop site."""
+
+    site: int
+    parallelizable: bool
+    blocking: list[Dependence] = field(default_factory=list)
+    reductions: set[int] = field(default_factory=set)  # var ids
+    privatizable: set[int] = field(default_factory=set)  # var ids
+    total_iterations: int = 0
+
+    def reason(self, result: ProfileResult | None = None) -> str:
+        """Human-readable explanation of the verdict."""
+
+        def vname(v: int) -> str:
+            return result.var_name(v) if result is not None else str(v)
+
+        if self.parallelizable:
+            notes = []
+            if self.reductions:
+                notes.append(
+                    "reduction(" + ", ".join(sorted(map(vname, self.reductions))) + ")"
+                )
+            if self.privatizable:
+                notes.append(
+                    "private(" + ", ".join(sorted(map(vname, self.privatizable))) + ")"
+                )
+            return "parallelizable" + (" with " + ", ".join(notes) if notes else "")
+        vars_ = sorted({vname(d.var) for d in self.blocking})
+        return f"blocked by loop-carried RAW on {', '.join(vars_)}"
+
+
+def analyze_loops(
+    result: ProfileResult,
+    allow_reductions: bool = True,
+    allow_privatization: bool = True,
+) -> dict[int, LoopClassification]:
+    """Classify every profiled loop of ``result``.
+
+    Returns a map from loop site (encoded header location) to its
+    :class:`LoopClassification`.
+    """
+    carried_raw: dict[int, list[Dependence]] = {}
+    carried_storage: dict[int, set[int]] = {}  # site -> var ids of WAR/WAW
+    # (site, var, line) triples with a carried same-line WAW: the signature
+    # of an accumulator that is re-written every iteration.
+    waw_self: set[tuple[int, int, int]] = set()
+    for dep in result.store:
+        for site in dep.carried:
+            if dep.dep_type is DepType.RAW:
+                carried_raw.setdefault(site, []).append(dep)
+            elif dep.dep_type in (DepType.WAR, DepType.WAW):
+                carried_storage.setdefault(site, set()).add(dep.var)
+                if (
+                    dep.dep_type is DepType.WAW
+                    and dep.source_loc == dep.sink_loc
+                    and dep.source_tid == dep.sink_tid
+                ):
+                    waw_self.add((site, dep.var, dep.sink_loc))
+
+    out: dict[int, LoopClassification] = {}
+    for site, info in result.loops.items():
+        raws = carried_raw.get(site, [])
+        reductions: set[int] = set()
+        blocking: list[Dependence] = []
+        if allow_reductions:
+            # A variable reduces iff every carried RAW on it is a same-line
+            # self-dependence (``s = s + ...`` reads and updates at one
+            # site) AND that site also re-writes it every iteration (a
+            # carried same-line WAW).  The WAW condition separates true
+            # accumulators from element recurrences like a[i] = a[i-1] + 1,
+            # whose elements are each written only once.
+            by_var: dict[int, list[Dependence]] = {}
+            for d in raws:
+                by_var.setdefault(d.var, []).append(d)
+            for var, deps in by_var.items():
+                if var >= 0 and all(
+                    d.source_loc == d.sink_loc
+                    and d.source_tid == d.sink_tid
+                    and (site, var, d.sink_loc) in waw_self
+                    for d in deps
+                ):
+                    reductions.add(var)
+                else:
+                    blocking.extend(deps)
+        else:
+            blocking = list(raws)
+        privatizable = carried_storage.get(site, set())
+        if not allow_privatization and privatizable:
+            # Without privatization, storage reuse blocks too.
+            blocking = blocking + [
+                d
+                for d in result.store
+                if site in d.carried
+                and d.dep_type in (DepType.WAR, DepType.WAW)
+            ]
+            privatizable = set()
+        # Reduction accumulators also appear in carried WAR/WAW; that is the
+        # reduction's own storage, not an extra privatization obligation.
+        privatizable = privatizable - reductions
+        out[site] = LoopClassification(
+            site=site,
+            parallelizable=not blocking,
+            blocking=blocking,
+            reductions=reductions,
+            privatizable=privatizable,
+            total_iterations=info.total_iterations,
+        )
+    return out
+
+
+def count_parallelizable(classifications: dict[int, LoopClassification]) -> int:
+    return sum(1 for c in classifications.values() if c.parallelizable)

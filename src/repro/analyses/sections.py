@@ -1,0 +1,92 @@
+"""Section-level (set-based) dependence aggregation.
+
+Section VI-B of the paper observes that profiling "whether a data
+dependence exists between two code sections instead of two statements"
+would allow better balance and speed — at the price of generality.  Because
+our profiler keeps detailed records, the section-level view is a cheap
+*post-processing* step rather than a different profiler: dependences are
+re-keyed from statement pairs to region pairs, where a region is the
+innermost profiled loop containing the line (falling back to a whole-
+program region).
+
+This is also the granularity code-partitioning tools consume: "does data
+flow from loop A to loop B at all?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.sourceloc import format_location
+from repro.core.deps import DepType
+from repro.core.result import ProfileResult
+
+#: Region id for lines outside every profiled loop.
+TOPLEVEL = -1
+
+
+@dataclass(frozen=True)
+class SectionDep:
+    """One aggregated region-to-region dependence."""
+
+    dep_type: DepType
+    source_region: int  # loop site, or TOPLEVEL
+    sink_region: int
+    instances: int
+
+    def describe(self) -> str:
+        def name(region: int) -> str:
+            return "toplevel" if region == TOPLEVEL else f"loop {format_location(region)}"
+
+        return (
+            f"{self.dep_type.name} {name(self.source_region)} -> "
+            f"{name(self.sink_region)} ({self.instances} instances)"
+        )
+
+
+def _region_map(result: ProfileResult) -> list[tuple[int, int, int]]:
+    """(begin_line, end_line, site) intervals for every profiled loop,
+    innermost-preferred via smallest extent."""
+    spans = []
+    for site, info in result.loops.items():
+        spans.append((site, info.end_loc, site))
+    # Smaller spans first so innermost loops win lookups.
+    spans.sort(key=lambda s: (s[1] - s[0]))
+    return spans
+
+
+def section_dependences(
+    result: ProfileResult,
+    include_intra: bool = False,
+    include_init: bool = False,
+) -> list[SectionDep]:
+    """Aggregate the statement-level store into region-level dependences.
+
+    ``include_intra`` keeps dependences whose endpoints share a region;
+    cross-region records are the ones section-level consumers care about.
+    """
+    spans = _region_map(result)
+
+    def region_of(loc: int) -> int:
+        for begin, end, site in spans:
+            if begin <= loc <= end:
+                return site
+        return TOPLEVEL
+
+    agg: dict[tuple[DepType, int, int], int] = {}
+    for dep, count in result.store.items():
+        if dep.dep_type is DepType.INIT and not include_init:
+            continue
+        src = TOPLEVEL if dep.source_loc < 0 else region_of(dep.source_loc)
+        snk = region_of(dep.sink_loc)
+        if src == snk and not include_intra:
+            continue
+        key = (dep.dep_type, src, snk)
+        agg[key] = agg.get(key, 0) + count
+    return sorted(
+        (
+            SectionDep(dep_type=t, source_region=s, sink_region=k, instances=c)
+            for (t, s, k), c in agg.items()
+        ),
+        key=lambda d: (-d.instances, d.dep_type, d.source_region, d.sink_region),
+    )

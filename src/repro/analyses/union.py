@@ -1,0 +1,88 @@
+"""Input-sensitivity mitigation: union of dependences over multiple runs.
+
+Dependence profiling sees only what the profiled input exercises.  The
+paper's remedy (Section I): "running the target program with changing
+inputs and computing the union of all collected dependences".  This helper
+folds any number of :class:`ProfileResult` objects into one — dependence
+stores merge (the stores already deduplicate), loop statistics accumulate,
+and variable tables are re-interned so records from different runs remain
+comparable.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProfilerError
+from repro.core.deps import Dependence, DependenceStore
+from repro.core.result import ProfileResult, ProfileStats
+
+
+def union_of_results(results: list[ProfileResult]) -> ProfileResult:
+    """Union the dependences of several runs of the *same program*.
+
+    Variable ids are re-interned against a combined name table, so runs
+    whose differing control flow interned variables in different orders
+    still merge correctly.  Raises :class:`ProfilerError` on an empty list.
+    """
+    if not results:
+        raise ProfilerError("union_of_results needs at least one result")
+
+    names: list[str] = []
+    index: dict[str, int] = {}
+
+    def intern(name: str) -> int:
+        vid = index.get(name)
+        if vid is None:
+            vid = index[name] = len(names)
+            names.append(name)
+        return vid
+
+    store = DependenceStore()
+    loops: dict = {}
+    stats = ProfileStats()
+    multithreaded = False
+    for res in results:
+        remap = {
+            old: intern(name) for old, name in enumerate(res.var_names)
+        }
+        remap[-1] = -1
+        for dep, count in res.store.items():
+            store.add_merged(
+                Dependence(
+                    dep.dep_type,
+                    sink_loc=dep.sink_loc,
+                    sink_tid=dep.sink_tid,
+                    source_loc=dep.source_loc,
+                    source_tid=dep.source_tid,
+                    var=remap.get(dep.var, -1),
+                    carried=dep.carried,
+                    race=dep.race,
+                ),
+                count=count,
+            )
+        for site, info in res.loops.items():
+            agg = loops.get(site)
+            if agg is None:
+                import copy
+
+                loops[site] = copy.deepcopy(info)
+            else:
+                agg.total_iterations += info.total_iterations
+                agg.executions += info.executions
+                agg.threads |= info.threads
+        stats.n_events += res.stats.n_events
+        stats.n_accesses += res.stats.n_accesses
+        stats.n_reads += res.stats.n_reads
+        stats.n_writes += res.stats.n_writes
+        stats.races_flagged += res.stats.races_flagged
+        for t, c in res.stats.dep_instances.items():
+            stats.dep_instances[t] += c
+        multithreaded = multithreaded or res.multithreaded
+
+    return ProfileResult(
+        store=store,
+        loops=loops,
+        stats=stats,
+        var_names=tuple(names),
+        file_names=results[0].file_names,
+        multithreaded=multithreaded,
+    )

@@ -1,0 +1,271 @@
+"""``ddprof`` — command-line front end.
+
+Subcommands::
+
+    ddprof workloads                       list registered benchmark analogs
+    ddprof profile <workload> [...]        profile and print Figure 1/3 output
+    ddprof loops <workload> [...]          loop table with parallelism verdicts
+    ddprof comm <workload> [...]           producer/consumer matrix (Figure 9)
+    ddprof races <workload> [...]          potential data races (Section V-B)
+    ddprof listing <workload>              numbered source listing of the analog
+    ddprof tree <workload> [...]           dynamic execution tree
+    ddprof sections <workload> [...]       region-level dependence summary
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.config import ProfilerConfig
+from repro.core import format_dependences, profile_trace
+from repro.minivm import ScheduleConfig, run_program
+
+
+def _profiler_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("workload", help="workload name (see `ddprof workloads`)")
+    p.add_argument("--variant", choices=["seq", "par"], default="seq")
+    p.add_argument("--scale", type=int, default=None, help="problem-size factor")
+    p.add_argument("--threads", type=int, default=4, help="target threads (par)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--slots", type=int, default=None,
+        help="signature slots (default: perfect signature)",
+    )
+    p.add_argument(
+        "--engine", choices=["vectorized", "reference"], default="vectorized"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ProfilerConfig:
+    if args.slots is None:
+        cfg = ProfilerConfig(perfect_signature=True)
+    else:
+        cfg = ProfilerConfig(signature_slots=args.slots)
+    return cfg.with_(multithreaded_target=args.variant == "par")
+
+
+def _trace_from(args: argparse.Namespace):
+    from repro.workloads import get_trace
+
+    return get_trace(
+        args.workload,
+        variant=args.variant,
+        scale=args.scale,
+        threads=args.threads,
+        seed=args.seed,
+    )
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads import get_workload, workload_names
+
+    for suite in ("nas", "starbench", "splash2x"):
+        print(f"[{suite}]")
+        for name in workload_names(suite):
+            wl = get_workload(name)
+            par = " (+par)" if wl.has_parallel_variant else ""
+            print(f"  {name:16s}{par}  {wl.description}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    batch = _trace_from(args)
+    res = profile_trace(batch, _config_from(args), args.engine)
+    sys.stdout.write(format_dependences(res, verbose=args.verbose))
+    s = res.stats
+    print(
+        f"\n# {s.n_accesses} accesses, {s.n_unique_addresses} addresses, "
+        f"{len(res.store)} merged dependences "
+        f"({res.store.instances} instances, {res.merge_reduction_factor:.0f}x merge), "
+        f"{s.races_flagged} potential races"
+    )
+    return 0
+
+
+def cmd_loops(args: argparse.Namespace) -> int:
+    from repro.analyses import loop_table
+    from repro.report import ascii_table
+
+    batch = _trace_from(args)
+    res = profile_trace(batch, _config_from(args), args.engine)
+    rows = [
+        (r.site, r.end, r.executions, r.total_iterations, r.parallelizable, r.note)
+        for r in loop_table(res)
+    ]
+    sys.stdout.write(
+        ascii_table(
+            ["loop", "end", "execs", "iters", "parallel", "verdict"],
+            rows,
+            title=f"Loops of {args.workload} ({args.variant})",
+        )
+    )
+    return 0
+
+
+def cmd_comm(args: argparse.Namespace) -> int:
+    from repro.analyses import communication_matrix, render_matrix
+
+    args.variant = "par"
+    batch = _trace_from(args)
+    res = profile_trace(batch, _config_from(args), args.engine)
+    m = communication_matrix(res, n_threads=args.threads + 1)
+    sys.stdout.write(render_matrix(m[1:, 1:]))
+    return 0
+
+
+def cmd_races(args: argparse.Namespace) -> int:
+    from repro.common.sourceloc import format_location
+    from repro.workloads import get_workload
+
+    args.variant = "par"
+    wl = get_workload(args.workload)
+    program, _ = wl.build_par(args.scale or wl.default_scale, args.threads)
+    batch = run_program(
+        program,
+        schedule=ScheduleConfig(
+            policy="roundrobin", seed=args.seed, delay_probability=args.delay
+        ),
+    )
+    res = profile_trace(batch, _config_from(args), args.engine)
+    races = res.store.races()
+    if not races:
+        print("no potential data races flagged")
+        return 0
+    for d in races:
+        print(
+            f"potential race: {d.dep_type.name} on {res.var_name(d.var)} — "
+            f"{format_location(d.source_loc)}|{d.source_tid} vs "
+            f"{format_location(d.sink_loc)}|{d.sink_tid}"
+        )
+    return 1
+
+
+def cmd_distances(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.analyses import dependence_distances
+    from repro.common.sourceloc import format_location
+    from repro.core import profile_trace as _pt
+
+    batch = _trace_from(args)
+    res = _pt(batch, _config_from(args), args.engine)
+    for site in sorted(res.loops):
+        d = dependence_distances(batch, site)
+        degree = d.doacross_degree
+        verdict = (
+            "DOALL"
+            if math.isinf(degree)
+            else ("serial" if degree <= 1 else f"do-across x{int(degree)}")
+        )
+        print(f"loop {format_location(site)}: {verdict}")
+        for key, dist in sorted(
+            d.min_distance.items(), key=lambda kv: (kv[1], kv[0].dep_type)
+        ):
+            print(
+                f"    {key.dep_type.name} {format_location(key.source_loc)} -> "
+                f"{format_location(key.sink_loc)} on "
+                f"{res.var_name(key.var)}: distance {dist}"
+            )
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core import diff_outputs
+
+    diff = diff_outputs(
+        Path(args.file_a).read_text(), Path(args.file_b).read_text()
+    )
+    sys.stdout.write(diff.render(args.file_a, args.file_b))
+    return 0 if diff.identical else 1
+
+
+def cmd_listing(args: argparse.Namespace) -> int:
+    from repro.minivm import source_listing
+    from repro.workloads import get_workload
+
+    wl = get_workload(args.workload)
+    scale = args.scale or wl.default_scale
+    if args.variant == "par":
+        program, _ = wl.build_par(scale, args.threads)
+    else:
+        program, _ = wl.build_seq(scale)
+    sys.stdout.write(source_listing(program))
+    return 0
+
+
+def cmd_tree(args: argparse.Namespace) -> int:
+    from repro.analyses import build_execution_tree
+
+    batch = _trace_from(args)
+    for tid, root in sorted(build_execution_tree(batch).items()):
+        print(f"--- thread {tid} ---")
+        print(root.render())
+    return 0
+
+
+def cmd_sections(args: argparse.Namespace) -> int:
+    from repro.analyses import section_dependences
+
+    batch = _trace_from(args)
+    res = profile_trace(batch, _config_from(args), args.engine)
+    deps = section_dependences(res)
+    if not deps:
+        print("no cross-region dependences")
+        return 0
+    for d in deps:
+        print(d.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ddprof",
+        description="Generic data-dependence profiler (IPDPS-W 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list benchmark analogs").set_defaults(
+        fn=cmd_workloads
+    )
+    p = sub.add_parser("profile", help="profile and print dependences")
+    _profiler_args(p)
+    p.add_argument("--verbose", action="store_true", help="carried/race notes")
+    p.set_defaults(fn=cmd_profile)
+    p = sub.add_parser("loops", help="loop table with parallelism verdicts")
+    _profiler_args(p)
+    p.set_defaults(fn=cmd_loops)
+    p = sub.add_parser("comm", help="communication-pattern matrix")
+    _profiler_args(p)
+    p.set_defaults(fn=cmd_comm)
+    p = sub.add_parser("races", help="hunt potential races with push delays")
+    _profiler_args(p)
+    p.add_argument("--delay", type=float, default=0.3, help="push-delay probability")
+    p.set_defaults(fn=cmd_races)
+    p = sub.add_parser("listing", help="numbered source listing")
+    _profiler_args(p)
+    p.set_defaults(fn=cmd_listing)
+    p = sub.add_parser("tree", help="dynamic execution tree")
+    _profiler_args(p)
+    p.set_defaults(fn=cmd_tree)
+    p = sub.add_parser("sections", help="region-level dependences")
+    _profiler_args(p)
+    p.set_defaults(fn=cmd_sections)
+    p = sub.add_parser("distances", help="per-loop dependence distances")
+    _profiler_args(p)
+    p.set_defaults(fn=cmd_distances)
+    p = sub.add_parser(
+        "diff", help="compare two saved dependence listings record by record"
+    )
+    p.add_argument("file_a")
+    p.add_argument("file_b")
+    p.set_defaults(fn=cmd_diff)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

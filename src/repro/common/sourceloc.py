@@ -1,0 +1,64 @@
+"""Source locations in the paper's ``fileID:line`` form.
+
+The profiler reports every dependence endpoint as ``fileID:lineNumber``
+(Figure 1 of the paper, e.g. ``1:60``).  Internally we pack a location into a
+single non-negative ``int32`` so that trace batches can hold locations in
+flat numpy arrays: the upper bits carry the file id, the lower
+:data:`LINE_BITS` bits carry the line number.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Number of low-order bits reserved for the line number.  2**20 lines per
+#: file is far beyond any source file the profiler will ever see.
+LINE_BITS = 20
+LINE_MASK = (1 << LINE_BITS) - 1
+
+#: Maximum encodable file id such that the packed value fits in int32.
+MAX_FILE_ID = (1 << (31 - LINE_BITS)) - 1
+
+#: Sentinel for "no source location" (e.g. runtime-internal events).
+NO_LOC = -1
+
+
+class SourceLocation(NamedTuple):
+    """A ``fileID:line`` pair, ordered and hashable."""
+
+    file_id: int
+    line: int
+
+    def encode(self) -> int:
+        """Pack into a non-negative ``int32``."""
+        return encode_location(self.file_id, self.line)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.file_id}:{self.line}"
+
+
+def encode_location(file_id: int, line: int) -> int:
+    """Pack ``file_id:line`` into a single non-negative int.
+
+    Raises :class:`ValueError` if either component is out of range.
+    """
+    if not 0 <= file_id <= MAX_FILE_ID:
+        raise ValueError(f"file_id {file_id} out of range [0, {MAX_FILE_ID}]")
+    if not 0 <= line <= LINE_MASK:
+        raise ValueError(f"line {line} out of range [0, {LINE_MASK}]")
+    return (file_id << LINE_BITS) | line
+
+
+def decode_location(encoded: int) -> SourceLocation:
+    """Inverse of :func:`encode_location`."""
+    if encoded < 0:
+        raise ValueError(f"cannot decode sentinel/negative location {encoded}")
+    return SourceLocation(encoded >> LINE_BITS, encoded & LINE_MASK)
+
+
+def format_location(encoded: int) -> str:
+    """Render an encoded location as the paper's ``fileID:line`` string."""
+    if encoded < 0:
+        return "*"
+    loc = decode_location(encoded)
+    return f"{loc.file_id}:{loc.line}"

@@ -1,0 +1,137 @@
+"""Runtime control-flow information (loop regions).
+
+The profiler reports, next to the dependences, where control regions begin
+and end and how many iterations each loop executed (the ``BGN loop`` /
+``END loop 1200`` lines of Figure 1).  This module extracts that view from a
+trace, and builds the per-``(loop site, thread)`` timestamp indexes the
+vectorized engine uses to decide whether a dependence is loop-carried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.trace import LOOP_ENTER, LOOP_EXIT, LOOP_ITER, TraceBatch
+
+
+@dataclass
+class LoopInfo:
+    """Aggregated runtime facts about one static loop site."""
+
+    site: int  # encoded header location
+    end_loc: int  # encoded location of the loop's exit line
+    total_iterations: int = 0  # summed over all dynamic executions
+    executions: int = 0  # number of dynamic instances (all threads)
+    threads: set[int] = field(default_factory=set)
+    parent: int = -1  # enclosing loop site, -1 if top-level
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.total_iterations / self.executions if self.executions else 0.0
+
+
+def extract_loop_info(batch: TraceBatch) -> dict[int, LoopInfo]:
+    """Collect per-site loop statistics from the trace's loop events."""
+    loops: dict[int, LoopInfo] = {}
+    # Track the enclosing site per thread to attribute parents.
+    stacks: dict[int, list[int]] = {}
+    for i in np.flatnonzero(
+        (batch.kind == LOOP_ENTER) | (batch.kind == LOOP_EXIT)
+    ):
+        kind = batch.kind[i]
+        site = int(batch.addr[i])
+        tid = int(batch.tid[i])
+        stack = stacks.setdefault(tid, [])
+        if kind == LOOP_ENTER:
+            info = loops.get(site)
+            if info is None:
+                info = loops[site] = LoopInfo(site=site, end_loc=site)
+            if stack and info.parent == -1:
+                info.parent = stack[-1]
+            info.executions += 1
+            info.threads.add(tid)
+            stack.append(site)
+        else:  # LOOP_EXIT
+            info = loops[site]
+            info.total_iterations += int(batch.aux[i])
+            end_loc = int(batch.loc[i])
+            if end_loc >= 0:
+                info.end_loc = end_loc
+            if stack and stack[-1] == site:
+                stack.pop()
+    return loops
+
+
+class LoopIndex:
+    """Timestamp indexes answering "is this dependence loop-carried?".
+
+    For every ``(site, tid)`` pair we keep two sorted timestamp arrays:
+    loop-entry timestamps and iteration-start timestamps.  A dependence whose
+    sink executed at ``sink_ts`` inside that loop is carried iff the source
+    timestamp falls inside the same dynamic loop execution but *before* the
+    start of the sink's current iteration::
+
+        entry_ts <= source_ts < current_iteration_start_ts
+
+    which is exactly the test the reference engine performs against its live
+    loop-frame stack.
+    """
+
+    def __init__(self, batch: TraceBatch) -> None:
+        entries: dict[tuple[int, int], list[int]] = {}
+        iters: dict[tuple[int, int], list[int]] = {}
+        mask = (batch.kind == LOOP_ENTER) | (batch.kind == LOOP_ITER)
+        for i in np.flatnonzero(mask):
+            key = (int(batch.addr[i]), int(batch.tid[i]))
+            ts = int(batch.ts[i])
+            if batch.kind[i] == LOOP_ENTER:
+                entries.setdefault(key, []).append(ts)
+            else:
+                iters.setdefault(key, []).append(ts)
+        # Loop events are pushed in increasing-ts order per thread; sort to be
+        # safe against interleaved multi-thread reordering of pushes.
+        self._entries = {k: np.array(sorted(v), dtype=np.int64) for k, v in entries.items()}
+        self._iters = {k: np.array(sorted(v), dtype=np.int64) for k, v in iters.items()}
+
+    def carried(self, site: int, tid: int, source_ts: int, sink_ts: int) -> bool:
+        """Scalar carried test (reference/spot checks)."""
+        key = (site, tid)
+        ent = self._entries.get(key)
+        its = self._iters.get(key)
+        if ent is None or its is None or len(its) == 0:
+            return False
+        ei = int(np.searchsorted(ent, sink_ts, side="right")) - 1
+        if ei < 0:
+            return False
+        ii = int(np.searchsorted(its, sink_ts, side="right")) - 1
+        if ii < 0:
+            return False
+        entry_ts = int(ent[ei])
+        iter_start = int(its[ii])
+        return entry_ts <= source_ts < iter_start
+
+    def carried_many(
+        self,
+        site: int,
+        tid: int,
+        source_ts: np.ndarray,
+        sink_ts: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized carried test for aligned source/sink timestamp arrays."""
+        key = (site, tid)
+        ent = self._entries.get(key)
+        its = self._iters.get(key)
+        out = np.zeros(len(sink_ts), dtype=bool)
+        if ent is None or its is None or len(its) == 0:
+            return out
+        ei = np.searchsorted(ent, sink_ts, side="right") - 1
+        ii = np.searchsorted(its, sink_ts, side="right") - 1
+        ok = (ei >= 0) & (ii >= 0)
+        if not ok.any():
+            return out
+        entry_ts = ent[np.clip(ei, 0, None)]
+        iter_start = its[np.clip(ii, 0, None)]
+        out[ok] = (entry_ts[ok] <= source_ts[ok]) & (source_ts[ok] < iter_start[ok])
+        return out

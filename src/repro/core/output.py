@@ -1,0 +1,235 @@
+"""The paper's textual dependence format (Figures 1 and 3).
+
+Sequential targets (Figure 1)::
+
+    1:60 BGN loop
+    1:60 NOM {RAW 1:60|i} {WAR 1:60|i} {INIT *}
+    1:67 NOM {RAW 1:65|temp2} {WAR 1:66|temp1}
+    1:74 END loop 1200
+
+Multi-threaded targets (Figure 3) add thread ids to sink (``loc|tid``) and
+source (``loc|tid|var``)::
+
+    4:58|2 NOM {WAR 4:77|2|iter}
+
+``NOM`` marks a plain sink line; ``BGN``/``END`` bracket control regions,
+with the executed iteration count after ``END loop``.  A ``verbose`` mode
+appends ``[carried site...]`` and ``[race]`` annotations, which the parser
+also understands; the default output is byte-compatible with the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.sourceloc import format_location
+from repro.core.deps import DepType
+from repro.core.result import ProfileResult
+
+_TYPE_NAMES = {t: t.name for t in DepType}
+_NAME_TYPES = {t.name: t for t in DepType}
+
+
+def _format_dep(
+    dep_type: DepType,
+    source_loc: int,
+    source_tid: int,
+    var_name: str,
+    multithreaded: bool,
+    carried: frozenset[int],
+    race: bool,
+    verbose: bool,
+) -> str:
+    if dep_type is DepType.INIT:
+        body = "INIT *"
+    elif multithreaded:
+        body = f"{_TYPE_NAMES[dep_type]} {format_location(source_loc)}|{source_tid}|{var_name}"
+    else:
+        body = f"{_TYPE_NAMES[dep_type]} {format_location(source_loc)}|{var_name}"
+    if verbose:
+        if carried:
+            sites = " ".join(format_location(s) for s in sorted(carried))
+            body += f" [carried {sites}]"
+        if race:
+            body += " [race]"
+    return "{" + body + "}"
+
+
+def format_dependences(
+    result: ProfileResult,
+    multithreaded: bool | None = None,
+    verbose: bool = False,
+) -> str:
+    """Render a profiling result in the paper's output format."""
+    mt = result.multithreaded if multithreaded is None else multithreaded
+
+    # Group dependences per sink for NOM lines.  Without verbose annotations,
+    # entries differing only in carried/race collapse into one printed record
+    # (race ORed, carried unioned).
+    per_sink: dict[tuple[int, int], dict[tuple, tuple[frozenset, bool]]] = {}
+    for dep in result.store:
+        disp_key = (dep.dep_type, dep.source_loc, dep.source_tid, dep.var)
+        bucket = per_sink.setdefault(dep.sink, {})
+        carried, race = bucket.get(disp_key, (frozenset(), False))
+        bucket[disp_key] = (carried | dep.carried, race or dep.race)
+
+    # Assemble output lines with a sort key: (line loc, phase, tid) where
+    # phase orders BGN(0) < NOM(1) < END(2) at the same source line.
+    lines: list[tuple[tuple[int, int, int], str]] = []
+    for site, info in result.loops.items():
+        lines.append(((site, 0, 0), f"{format_location(site)} BGN loop"))
+        lines.append(
+            (
+                (info.end_loc, 2, 0),
+                f"{format_location(info.end_loc)} END loop {info.total_iterations}",
+            )
+        )
+    for (sink_loc, sink_tid), bucket in per_sink.items():
+        parts = []
+        for disp_key in sorted(
+            bucket, key=lambda k: (k[0], k[1], k[2], result.var_name(k[3]))
+        ):
+            dep_type, src_loc, src_tid, var = disp_key
+            carried, race = bucket[disp_key]
+            parts.append(
+                _format_dep(
+                    dep_type,
+                    src_loc,
+                    src_tid,
+                    result.var_name(var),
+                    mt,
+                    carried,
+                    race,
+                    verbose,
+                )
+            )
+        sink_txt = format_location(sink_loc)
+        if mt:
+            sink_txt += f"|{sink_tid}"
+        lines.append(((sink_loc, 1, sink_tid), f"{sink_txt} NOM " + " ".join(parts)))
+
+    lines.sort(key=lambda item: item[0])
+    return "\n".join(text for _, text in lines) + ("\n" if lines else "")
+
+
+@dataclass
+class ParsedOutput:
+    """Structured view of a parsed dependence listing (for tests/tools)."""
+
+    #: (sink_loc_str, sink_tid) -> set of (type name, source_loc_str,
+    #: source_tid, var name); INIT entries use ("INIT", "*", -1, "*").
+    nom: dict[tuple[str, int], set[tuple[str, str, int, str]]] = field(
+        default_factory=dict
+    )
+    #: loop site loc string -> iteration count from its END line.
+    loops_begun: list[str] = field(default_factory=list)
+    loops_ended: dict[str, int] = field(default_factory=dict)
+
+
+def parse_dependences(text: str) -> ParsedOutput:
+    """Parse the Figure 1/3 format back into a structured object."""
+    out = ParsedOutput()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        head, _, rest = line.partition(" ")
+        tag, _, tail = rest.partition(" ")
+        if tag == "BGN":
+            out.loops_begun.append(head)
+            continue
+        if tag == "END":
+            # "END loop <count>"
+            count = int(tail.split()[-1])
+            out.loops_ended[head] = count
+            continue
+        if tag != "NOM":
+            raise ValueError(f"unparseable line: {raw!r}")
+        if "|" in head:
+            loc_str, tid_str = head.split("|")
+            sink = (loc_str, int(tid_str))
+        else:
+            sink = (head, 0)
+        deps = out.nom.setdefault(sink, set())
+        # Records are "{...}" groups; annotations like "[race]" stay inside.
+        depth = 0
+        token = []
+        for ch in tail:
+            if ch == "{":
+                depth += 1
+                token = []
+            elif ch == "}":
+                depth -= 1
+                deps.add(_parse_record("".join(token)))
+            elif depth > 0:
+                token.append(ch)
+    return out
+
+
+@dataclass
+class OutputDiff:
+    """Difference between two parsed dependence listings."""
+
+    #: records present only in the first/second listing, as
+    #: (sink, record) pairs in the parser's representation.
+    only_a: set[tuple] = field(default_factory=set)
+    only_b: set[tuple] = field(default_factory=set)
+    common: set[tuple] = field(default_factory=set)
+
+    @property
+    def identical(self) -> bool:
+        return not self.only_a and not self.only_b
+
+    def render(self, a_name: str = "A", b_name: str = "B") -> str:
+        if self.identical:
+            return f"identical ({len(self.common)} records)\n"
+        lines = []
+        for sink, rec in sorted(self.only_a):
+            lines.append(f"- only {a_name}: {_render_parsed(sink, rec)}")
+        for sink, rec in sorted(self.only_b):
+            lines.append(f"+ only {b_name}: {_render_parsed(sink, rec)}")
+        lines.append(
+            f"{len(self.common)} common, {len(self.only_a)} only-{a_name}, "
+            f"{len(self.only_b)} only-{b_name}"
+        )
+        return "\n".join(lines) + "\n"
+
+
+def _render_parsed(sink: tuple[str, int], rec: tuple[str, str, int, str]) -> str:
+    loc, tid = sink
+    type_name, src, src_tid, var = rec
+    if type_name == "INIT":
+        return f"{loc}|{tid} {{INIT *}}"
+    return f"{loc}|{tid} {{{type_name} {src}|{src_tid}|{var}}}"
+
+
+def diff_outputs(text_a: str, text_b: str) -> OutputDiff:
+    """Compare two Figure-1/3-format listings record by record.
+
+    The comparison is input-order-insensitive and ignores BGN/END lines
+    (iteration counts legitimately differ between inputs); use it to see
+    what a different input exercised, before folding runs together with
+    :func:`repro.analyses.union_of_results`.
+    """
+
+    def flatten(text: str) -> set[tuple]:
+        parsed = parse_dependences(text)
+        return {(sink, rec) for sink, recs in parsed.nom.items() for rec in recs}
+
+    a, b = flatten(text_a), flatten(text_b)
+    return OutputDiff(only_a=a - b, only_b=b - a, common=a & b)
+
+
+def _parse_record(body: str) -> tuple[str, str, int, str]:
+    body = body.split("[")[0].strip()  # drop verbose annotations
+    type_name, _, src = body.partition(" ")
+    if type_name not in _NAME_TYPES:
+        raise ValueError(f"unknown dependence type {type_name!r}")
+    if type_name == "INIT":
+        return ("INIT", "*", -1, "*")
+    parts = src.split("|")
+    if len(parts) == 2:  # sequential: loc|var
+        return (type_name, parts[0], 0, parts[1])
+    if len(parts) == 3:  # multi-threaded: loc|tid|var
+        return (type_name, parts[0], int(parts[1]), parts[2])
+    raise ValueError(f"unparseable source {src!r}")

@@ -1,0 +1,63 @@
+"""High-level profiler facade.
+
+Wires a :class:`~repro.common.ProfilerConfig` to trackers and an engine, so
+callers profile a trace in one line::
+
+    result = DependenceProfiler(ProfilerConfig(signature_slots=10**7)).profile(batch)
+
+Engines:
+
+* ``"vectorized"`` (default) — the numpy engine; identical output, fast.
+* ``"reference"``  — Algorithm 1 event-at-a-time; the executable spec.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ProfilerConfig
+from repro.common.errors import ProfilerError
+from repro.core.reference import ReferenceEngine
+from repro.core.result import ProfileResult
+from repro.core.vectorized import VectorizedEngine
+from repro.sigmem import ArraySignature, PerfectSignature
+from repro.sigmem.signature import AccessTracker
+from repro.trace import TraceBatch
+
+ENGINES = ("vectorized", "reference")
+
+
+def make_trackers(config: ProfilerConfig) -> tuple[AccessTracker, AccessTracker]:
+    """Build the (read, write) tracker pair a configuration calls for."""
+    if config.perfect_signature:
+        return PerfectSignature(), PerfectSignature()
+    return (
+        ArraySignature(config.signature_slots, config.hash_salt),
+        ArraySignature(config.signature_slots, config.hash_salt),
+    )
+
+
+class DependenceProfiler:
+    """Profile traces under one configuration."""
+
+    def __init__(
+        self, config: ProfilerConfig | None = None, engine: str = "vectorized"
+    ) -> None:
+        if engine not in ENGINES:
+            raise ProfilerError(f"unknown engine {engine!r}; pick from {ENGINES}")
+        self.config = config if config is not None else ProfilerConfig()
+        self.engine_name = engine
+
+    def profile(self, batch: TraceBatch) -> ProfileResult:
+        """Run the configured engine over ``batch`` and return the result."""
+        if self.engine_name == "vectorized":
+            return VectorizedEngine(self.config).run(batch)
+        read_tracker, write_tracker = make_trackers(self.config)
+        return ReferenceEngine(self.config, read_tracker, write_tracker).run(batch)
+
+
+def profile_trace(
+    batch: TraceBatch,
+    config: ProfilerConfig | None = None,
+    engine: str = "vectorized",
+) -> ProfileResult:
+    """Convenience one-shot profiling call."""
+    return DependenceProfiler(config, engine).profile(batch)

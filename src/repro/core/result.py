@@ -1,0 +1,56 @@
+"""Profiling results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controlflow import LoopInfo
+from repro.core.deps import DepType, DependenceStore
+
+
+@dataclass
+class ProfileStats:
+    """Bookkeeping collected during one profiling run."""
+
+    n_events: int = 0
+    n_accesses: int = 0
+    n_reads: int = 0
+    n_writes: int = 0
+    dep_instances: dict[DepType, int] = field(
+        default_factory=lambda: {t: 0 for t in DepType}
+    )
+    races_flagged: int = 0
+    tracker_memory_bytes: int = 0
+    n_unique_addresses: int = 0
+
+    @property
+    def total_instances(self) -> int:
+        return sum(self.dep_instances.values())
+
+
+@dataclass
+class ProfileResult:
+    """Everything one profiling run delivers.
+
+    ``store`` holds the merged pair-wise dependences; ``loops`` the runtime
+    control-flow information; ``var_names``/``file_names`` resolve the
+    interned ids in dependence records back to source-level names.
+    """
+
+    store: DependenceStore
+    loops: dict[int, LoopInfo]
+    stats: ProfileStats
+    var_names: tuple[str, ...] = ()
+    file_names: tuple[str, ...] = ()
+    multithreaded: bool = False
+
+    @property
+    def merge_reduction_factor(self) -> float:
+        """Instances merged per surviving entry (Section III-B, ~1e5 in the paper)."""
+        n = self.store.n_entries
+        return self.store.instances / n if n else 0.0
+
+    def var_name(self, var_id: int) -> str:
+        if 0 <= var_id < len(self.var_names):
+            return self.var_names[var_id]
+        return "*"

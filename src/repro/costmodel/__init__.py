@@ -1,0 +1,44 @@
+"""Execution cost and memory models.
+
+The paper measures wall-clock slowdowns of an LLVM-instrumented native
+profiler on a 16-core Xeon.  A Python re-implementation cannot reproduce
+those wall-clock ratios directly (its own interpretive overhead and the GIL
+dominate), so — per the reproduction's substitution policy (DESIGN.md) — the
+timing figures are regenerated from a **calibrated cost model** driven by
+the *measured pipeline behaviour* of our real implementation: the actual
+chunk sequence, per-worker access loads, rebalance points, and queue
+statistics produced by :class:`~repro.parallel.ParallelProfiler`.
+
+What is modelled vs. measured:
+
+* measured — address->worker routing, per-chunk sizes and order, load
+  imbalance, rebalancing events, dependence-store sizes: all come from real
+  runs of this repository's profiler on real traces.
+* modelled — per-operation costs (instrumentation capture, signature
+  analysis, queue handoff, lock tax, target-side lock regions), calibrated
+  once against the paper's aggregate anchors (serial 190x; Amdahl fit of
+  the 8T/16T points giving a ~40% producer-side serial fraction; lock-based
+  1.3-1.6x above lock-free; MT-target 346x/261x).  Calibration uses only
+  suite-level averages, never per-benchmark numbers, so per-benchmark
+  variation emerges from the measured pipeline data.
+
+:mod:`repro.costmodel.memory` does the analogous job for Figures 7 and 8,
+combining configured signature sizes with measured queue/store volumes.
+"""
+
+from repro.costmodel.costs import CostParams
+from repro.costmodel.pipeline import (
+    PipelineEstimate,
+    estimate_parallel,
+    estimate_serial,
+)
+from repro.costmodel.memory import MemoryEstimate, estimate_memory
+
+__all__ = [
+    "CostParams",
+    "MemoryEstimate",
+    "PipelineEstimate",
+    "estimate_memory",
+    "estimate_parallel",
+    "estimate_serial",
+]

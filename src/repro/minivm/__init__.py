@@ -1,0 +1,53 @@
+"""MiniVM — the instrumented target-program substrate.
+
+The paper profiles C/C++ programs through an LLVM pass that instruments every
+memory access.  Offline, we replace that toolchain with a small imperative
+language and an interpreter that emits exactly the event stream such a pass
+would produce: loads/stores with source line and variable name, malloc/free,
+loop begin/iteration/end markers, lock acquire/release, and thread
+spawn/join — all against a flat 64-bit address space with a reusing heap and
+per-thread stacks (so variable-lifetime effects are real).
+
+Programs are built with :class:`ProgramBuilder` (a fluent, ``with``-block
+DSL that auto-assigns source lines), executed by :func:`run_program`, which
+returns a :class:`~repro.trace.TraceBatch` ready for profiling.  Multi-
+threaded programs run under a deterministic seeded :class:`Scheduler` whose
+interleaving, lock blocking, and optional delayed pushes model Section V of
+the paper.
+"""
+
+from repro.minivm.astnodes import (
+    BinOp,
+    Const,
+    Expr,
+    Load,
+    Reg,
+    UnOp,
+    Variable,
+)
+from repro.minivm.memory import Memory
+from repro.minivm.program import Function, Program
+from repro.minivm.builder import FunctionBuilder, ProgramBuilder
+from repro.minivm.scheduler import ScheduleConfig, Scheduler
+from repro.minivm.run import run_program
+from repro.minivm.listing import listing_loc, source_listing
+
+__all__ = [
+    "BinOp",
+    "Const",
+    "Expr",
+    "Function",
+    "FunctionBuilder",
+    "Load",
+    "Memory",
+    "Program",
+    "ProgramBuilder",
+    "Reg",
+    "ScheduleConfig",
+    "Scheduler",
+    "UnOp",
+    "Variable",
+    "listing_loc",
+    "run_program",
+    "source_listing",
+]

@@ -1,0 +1,298 @@
+"""MiniVM abstract syntax.
+
+Expressions form a small arithmetic language with Python operator
+overloading, so workload code reads naturally::
+
+    f.store(total, None, f.load(total) + f.load(data, i) * 2)
+
+Design notes mirroring compiled C at ``-O2`` (the paper's build flags):
+
+* :class:`Reg` values are virtual registers — untraced, like values LLVM
+  keeps in SSA registers.  Loop induction variables live here.
+* :class:`Load`/``Store`` touch *memory* (globals, traced locals, heap) and
+  are instrumented.
+* Statements carry the source line the builder assigned; every traced event
+  of a statement reports that line.
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": lambda a, b: a / b if b else 0.0,
+    "//": lambda a, b: a // b if b else 0,
+    "%": lambda a, b: a % b if b else 0,
+    "<<": operator.lshift,
+    ">>": operator.rshift,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "min": min,
+    "max": max,
+}
+
+_UNOPS: dict[str, Callable[[Any], Any]] = {
+    "-": operator.neg,
+    "not": lambda a: int(not a),
+    "int": lambda a: int(a),
+    "abs": abs,
+    "sin": lambda a: math.sin(a),
+    "cos": lambda a: math.cos(a),
+    "sqrt": lambda a: math.sqrt(a) if a >= 0 else 0.0,
+}
+
+
+class Expr:
+    """Base expression with operator sugar."""
+
+    __slots__ = ()
+
+    def _wrap(self, other: "Expr | int | float") -> "Expr":
+        return other if isinstance(other, Expr) else Const(other)
+
+    def __add__(self, o):
+        return BinOp("+", self, self._wrap(o))
+
+    def __radd__(self, o):
+        return BinOp("+", self._wrap(o), self)
+
+    def __sub__(self, o):
+        return BinOp("-", self, self._wrap(o))
+
+    def __rsub__(self, o):
+        return BinOp("-", self._wrap(o), self)
+
+    def __mul__(self, o):
+        return BinOp("*", self, self._wrap(o))
+
+    def __rmul__(self, o):
+        return BinOp("*", self._wrap(o), self)
+
+    def __truediv__(self, o):
+        return BinOp("/", self, self._wrap(o))
+
+    def __rtruediv__(self, o):
+        return BinOp("/", self._wrap(o), self)
+
+    def __floordiv__(self, o):
+        return BinOp("//", self, self._wrap(o))
+
+    def __rfloordiv__(self, o):
+        return BinOp("//", self._wrap(o), self)
+
+    def __mod__(self, o):
+        return BinOp("%", self, self._wrap(o))
+
+    def __rmod__(self, o):
+        return BinOp("%", self._wrap(o), self)
+
+    def __lshift__(self, o):
+        return BinOp("<<", self, self._wrap(o))
+
+    def __rshift__(self, o):
+        return BinOp(">>", self, self._wrap(o))
+
+    def __and__(self, o):
+        return BinOp("&", self, self._wrap(o))
+
+    def __or__(self, o):
+        return BinOp("|", self, self._wrap(o))
+
+    def __xor__(self, o):
+        return BinOp("^", self, self._wrap(o))
+
+    def __neg__(self):
+        return UnOp("-", self)
+
+    # Comparisons return Expr (0/1), enabling If/While conditions.
+    def lt(self, o):
+        return BinOp("<", self, self._wrap(o))
+
+    def le(self, o):
+        return BinOp("<=", self, self._wrap(o))
+
+    def gt(self, o):
+        return BinOp(">", self, self._wrap(o))
+
+    def ge(self, o):
+        return BinOp(">=", self, self._wrap(o))
+
+    def eq(self, o):
+        return BinOp("==", self, self._wrap(o))
+
+    def ne(self, o):
+        return BinOp("!=", self, self._wrap(o))
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    value: int | float
+
+
+@dataclass(frozen=True, slots=True)
+class Reg(Expr):
+    """A virtual register (function parameter or temporary) — untraced."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Variable:
+    """A declared memory object: global, traced local, or heap array.
+
+    ``size`` is the element count (1 for scalars) for statically-sized
+    storage; heap variables get their extent at ALLOC time.
+    """
+
+    name: str
+    size: int  # elements; heap vars use 0 here (runtime-sized)
+    storage: str  # "global" | "local" | "heap"
+
+    def __post_init__(self) -> None:
+        if self.storage not in ("global", "local", "heap"):
+            raise ValueError(f"bad storage {self.storage!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Expr):
+    """Traced memory read of ``var[index]`` (index None = scalar)."""
+
+    var: Variable
+    index: Expr | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINOPS:
+            raise ValueError(f"unknown binary op {self.op!r}")
+
+    def apply(self, a: Any, b: Any) -> Any:
+        return _BINOPS[self.op](a, b)
+
+
+@dataclass(frozen=True, slots=True)
+class UnOp(Expr):
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _UNOPS:
+            raise ValueError(f"unknown unary op {self.op!r}")
+
+    def apply(self, a: Any) -> Any:
+        return _UNOPS[self.op](a)
+
+
+# --------------------------------------------------------------------------
+# Statements.  Each carries the builder-assigned source line.
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt:
+    line: int = field(init=False, default=0)
+
+
+@dataclass(slots=True)
+class SetReg(Stmt):
+    reg: Reg
+    expr: Expr
+
+
+@dataclass(slots=True)
+class Store(Stmt):
+    var: Variable
+    index: Expr | None
+    expr: Expr
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    """``for reg in range(start, end, step)`` — a profiled control region."""
+
+    reg: Reg
+    start: Expr
+    end: Expr
+    step: Expr
+    body: list[Stmt] = field(default_factory=list)
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr
+    body: list[Stmt] = field(default_factory=list)
+    end_line: int = 0
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Call(Stmt):
+    func: str
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(slots=True)
+class Spawn(Stmt):
+    func: str
+    args: tuple[Expr, ...] = ()
+
+
+@dataclass(slots=True)
+class JoinAll(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class LockAcq(Stmt):
+    lock_id: int
+
+
+@dataclass(slots=True)
+class LockRel(Stmt):
+    lock_id: int
+
+
+@dataclass(slots=True)
+class BarrierWait(Stmt):
+    """SPMD barrier: blocks until ``parties`` threads have arrived."""
+
+    barrier_id: int
+    parties: int
+
+
+@dataclass(slots=True)
+class AllocStmt(Stmt):
+    """Heap allocation binding ``var`` to a fresh block of ``size`` elements."""
+
+    var: Variable
+    size: Expr
+
+
+@dataclass(slots=True)
+class FreeStmt(Stmt):
+    var: Variable

@@ -1,0 +1,300 @@
+"""Fluent construction of MiniVM programs.
+
+The builder assigns source lines sequentially, as if the program were a
+pretty-printed listing: every statement consumes one line, loop headers and
+loop ends consume their own (giving the profiler distinct BGN/END lines,
+like Figure 1's ``1:60``/``1:74``).
+
+Example::
+
+    b = ProgramBuilder("vecsum")
+    data = b.global_array("data", 1024)
+    total = b.global_scalar("total")
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 1024):
+            f.store(total, None, f.load(total) + f.load(data, i))
+    program = b.build()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.common.errors import MiniVmError
+from repro.minivm.astnodes import (
+    AllocStmt,
+    BarrierWait,
+    BinOp,
+    Call,
+    Const,
+    Expr,
+    For,
+    FreeStmt,
+    If,
+    JoinAll,
+    Load,
+    LockAcq,
+    LockRel,
+    Reg,
+    SetReg,
+    Spawn,
+    Stmt,
+    Store,
+    Variable,
+    While,
+)
+from repro.minivm.program import Function, Program
+
+
+def _expr(value: Expr | int | float) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+class _BlockCtx:
+    """Context manager pushing a statement list as the current block."""
+
+    def __init__(self, fb: "FunctionBuilder", body: list[Stmt], stmt: Stmt) -> None:
+        self._fb = fb
+        self._body = body
+        self._stmt = stmt
+
+    def __enter__(self) -> Stmt:
+        self._fb._blocks.append(self._body)
+        return self._stmt
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._fb._blocks.pop()
+        if exc_type is None and isinstance(self._stmt, (For, While)):
+            self._stmt.end_line = self._fb._pb._next_line()
+
+
+class FunctionBuilder:
+    """Builds one function body; obtained from :meth:`ProgramBuilder.function`."""
+
+    def __init__(self, pb: "ProgramBuilder", fn: Function) -> None:
+        self._pb = pb
+        self._fn = fn
+        self._blocks: list[list[Stmt]] = [fn.body]
+        self._local_names: set[str] = set(fn.params)
+
+    # -- declarations -------------------------------------------------------
+    def reg(self, name: str) -> Reg:
+        """A virtual register (untraced temporary)."""
+        return Reg(name)
+
+    def param(self, name: str) -> Reg:
+        if name not in self._fn.params:
+            raise MiniVmError(
+                f"{self._fn.name!r} has no parameter {name!r} "
+                f"(has {self._fn.params})"
+            )
+        return Reg(name)
+
+    def _declare_local(self, name: str, size: int) -> Variable:
+        if name in self._local_names:
+            raise MiniVmError(f"duplicate local {name!r} in {self._fn.name!r}")
+        self._local_names.add(name)
+        var = Variable(name=name, size=size, storage="local")
+        self._fn.locals_.append(var)
+        return var
+
+    def local_scalar(self, name: str) -> Variable:
+        """A traced stack scalar (participates in dependences)."""
+        return self._declare_local(name, 1)
+
+    def local_array(self, name: str, size: int) -> Variable:
+        if size <= 0:
+            raise MiniVmError(f"local array {name!r} must have positive size")
+        return self._declare_local(name, size)
+
+    def heap_var(self, name: str) -> Variable:
+        """Handle for a heap block; bind it with :meth:`alloc`."""
+        return Variable(name=name, size=0, storage="heap")
+
+    # -- expressions -----------------------------------------------------------
+    def load(self, var: Variable, index: Expr | int | None = None) -> Load:
+        return Load(var, None if index is None else _expr(index))
+
+    # -- simple statements --------------------------------------------------------
+    def _emit(self, stmt: Stmt) -> Stmt:
+        stmt.line = self._pb._next_line()
+        self._blocks[-1].append(stmt)
+        return stmt
+
+    def set(self, reg: Reg, expr: Expr | int | float) -> Stmt:
+        return self._emit(SetReg(reg, _expr(expr)))
+
+    def store(
+        self,
+        var: Variable,
+        index: Expr | int | None,
+        expr: Expr | int | float,
+    ) -> Stmt:
+        return self._emit(
+            Store(var, None if index is None else _expr(index), _expr(expr))
+        )
+
+    def call(self, func: str, *args: Expr | int | float) -> Stmt:
+        return self._emit(Call(func, tuple(_expr(a) for a in args)))
+
+    def spawn(self, func: str, *args: Expr | int | float) -> Stmt:
+        return self._emit(Spawn(func, tuple(_expr(a) for a in args)))
+
+    def join_all(self) -> Stmt:
+        return self._emit(JoinAll())
+
+    def acquire(self, lock_id: int) -> Stmt:
+        return self._emit(LockAcq(lock_id))
+
+    def release(self, lock_id: int) -> Stmt:
+        return self._emit(LockRel(lock_id))
+
+    def barrier(self, barrier_id: int, parties: int) -> Stmt:
+        return self._emit(BarrierWait(barrier_id, parties))
+
+    def alloc(self, var: Variable, size: Expr | int) -> Stmt:
+        if var.storage != "heap":
+            raise MiniVmError(f"alloc target {var.name!r} is not a heap var")
+        return self._emit(AllocStmt(var, _expr(size)))
+
+    def free(self, var: Variable) -> Stmt:
+        if var.storage != "heap":
+            raise MiniVmError(f"free target {var.name!r} is not a heap var")
+        return self._emit(FreeStmt(var))
+
+    # -- control flow -------------------------------------------------------------
+    def for_loop(
+        self,
+        reg: Reg,
+        start: Expr | int,
+        end: Expr | int,
+        step: Expr | int = 1,
+    ) -> _BlockCtx:
+        stmt = For(reg, _expr(start), _expr(end), _expr(step))
+        self._emit(stmt)
+        return _BlockCtx(self, stmt.body, stmt)
+
+    def while_loop(self, cond: Expr) -> _BlockCtx:
+        stmt = While(cond)
+        self._emit(stmt)
+        return _BlockCtx(self, stmt.body, stmt)
+
+    def if_(self, cond: Expr) -> _BlockCtx:
+        stmt = If(cond)
+        self._emit(stmt)
+        return _BlockCtx(self, stmt.then_body, stmt)
+
+    def else_(self) -> _BlockCtx:
+        block = self._blocks[-1]
+        if not block or not isinstance(block[-1], If):
+            raise MiniVmError("else_() must immediately follow an if_() block")
+        return _BlockCtx(self, block[-1].else_body, block[-1])
+
+    def lock(self, lock_id: int) -> "_LockCtx":
+        """``with f.lock(3): ...`` — acquire/release around the body."""
+        return _LockCtx(self, lock_id)
+
+
+class _LockCtx:
+    def __init__(self, fb: FunctionBuilder, lock_id: int) -> None:
+        self._fb = fb
+        self._lock_id = lock_id
+
+    def __enter__(self) -> None:
+        self._fb.acquire(self._lock_id)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._fb.release(self._lock_id)
+
+
+class _FunctionCtx:
+    def __init__(self, pb: "ProgramBuilder", fb: FunctionBuilder) -> None:
+        self._pb = pb
+        self._fb = fb
+
+    def __enter__(self) -> FunctionBuilder:
+        return self._fb
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._pb._open_function = None
+
+
+class ProgramBuilder:
+    """Top-level builder; collect globals and functions, then :meth:`build`."""
+
+    def __init__(self, name: str, file_id: int = 0) -> None:
+        self._program = Program(name=name, file_id=file_id)
+        self._line = 0
+        self._global_names: set[str] = set()
+        self._open_function: str | None = None
+
+    def _next_line(self) -> int:
+        self._line += 1
+        return self._line
+
+    # -- globals -----------------------------------------------------------
+    def _declare_global(self, name: str, size: int) -> Variable:
+        if name in self._global_names:
+            raise MiniVmError(f"duplicate global {name!r}")
+        self._global_names.add(name)
+        var = Variable(name=name, size=size, storage="global")
+        self._program.globals_.append(var)
+        self._next_line()  # declarations occupy a source line
+        return var
+
+    def global_scalar(self, name: str) -> Variable:
+        return self._declare_global(name, 1)
+
+    def global_array(self, name: str, size: int) -> Variable:
+        if size <= 0:
+            raise MiniVmError(f"global array {name!r} must have positive size")
+        return self._declare_global(name, size)
+
+    # -- functions -----------------------------------------------------------
+    def function(self, name: str, params: Sequence[str] = ()) -> _FunctionCtx:
+        if self._open_function is not None:
+            raise MiniVmError(
+                f"cannot open {name!r} while {self._open_function!r} is open"
+            )
+        if name in self._program.functions:
+            raise MiniVmError(f"duplicate function {name!r}")
+        if len(set(params)) != len(params):
+            raise MiniVmError(f"duplicate parameters in {name!r}: {params}")
+        fn = Function(name=name, params=tuple(params), def_line=self._next_line())
+        self._program.functions[name] = fn
+        self._open_function = name
+        return _FunctionCtx(self, FunctionBuilder(self, fn))
+
+    # -- finish -----------------------------------------------------------------
+    def build(self) -> Program:
+        prog = self._program
+        if "main" not in prog.functions:
+            raise MiniVmError(f"program {prog.name!r} has no main()")
+        self._validate_calls(prog)
+        prog.n_lines = self._line
+        return prog
+
+    def _validate_calls(self, prog: Program) -> None:
+        def walk(body: list[Stmt]) -> None:
+            for s in body:
+                if isinstance(s, (Call, Spawn)):
+                    target = prog.functions.get(s.func)
+                    if target is None:
+                        raise MiniVmError(f"call to undefined function {s.func!r}")
+                    if len(s.args) != len(target.params):
+                        raise MiniVmError(
+                            f"{s.func!r} takes {len(target.params)} args, "
+                            f"got {len(s.args)}"
+                        )
+                if isinstance(s, For):
+                    walk(s.body)
+                elif isinstance(s, While):
+                    walk(s.body)
+                elif isinstance(s, If):
+                    walk(s.then_body)
+                    walk(s.else_body)
+
+        for fn in prog.functions.values():
+            walk(fn.body)

@@ -1,0 +1,241 @@
+"""The MiniVM interpreter.
+
+Tree-walking, generator-based: executing a thread produces a generator that
+yields *actions* back to the scheduler between statements.  Actions:
+
+======================== ==========================================
+``("step",)``            one statement executed; reschedule freely
+``("spawn", fn, args)``  create a thread; the send() value is its tid
+``("tryacq", id, loc)``  lock attempt; send True when granted
+``("release", id, loc)`` lock release (scheduler owns the lock table)
+``("barrier", id, n, loc)`` barrier arrival; send True on release
+``("join_all",)``        send True once all other threads finished
+======================== ==========================================
+
+Expressions evaluate atomically (no scheduling point inside one statement),
+so the interleaving granularity is the statement — corresponding to the
+paper's Figure 4, where one instrumented access plus its push form the unit
+that locks make atomic.  Workloads that want exposable races split
+read-modify-write into two statements through a register.
+
+Traced events are emitted through an *emit gate* supplied by the scheduler,
+which implements the immediate-vs-delayed push semantics of Section V.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol
+
+from repro.common.errors import MiniVmError
+from repro.common.sourceloc import encode_location
+from repro.minivm import astnodes as ast
+from repro.minivm.memory import ELEM_SIZE, Memory
+from repro.minivm.program import Function, Program
+
+
+class EmitGate(Protocol):
+    """What the interpreter needs from the instrumentation side."""
+
+    def intern_var(self, name: str) -> int: ...
+    def emit_read(self, tid: int, addr: int, loc: int, var: int) -> None: ...
+    def emit_write(self, tid: int, addr: int, loc: int, var: int) -> None: ...
+    def emit_alloc(self, tid: int, addr: int, size: int, loc: int, var: int) -> None: ...
+    def emit_free(self, tid: int, addr: int, size: int, loc: int) -> None: ...
+    def emit_loop_enter(self, tid: int, site: int) -> None: ...
+    def emit_loop_iter(self, tid: int, site: int) -> None: ...
+    def emit_loop_exit(self, tid: int, site: int, end_loc: int) -> None: ...
+    def emit_func_enter(self, tid: int, func_id: int, loc: int) -> None: ...
+    def emit_func_exit(self, tid: int, func_id: int, loc: int) -> None: ...
+
+
+class _Activation:
+    """One function activation: registers + memory bindings of its locals."""
+
+    __slots__ = ("regs", "bases")
+
+    def __init__(self) -> None:
+        self.regs: dict[str, Any] = {}
+        self.bases: dict[str, tuple[int, int]] = {}  # var name -> (base, elems)
+
+
+class Interp:
+    """Executes one :class:`Program` against a memory and an emit gate."""
+
+    def __init__(self, program: Program, memory: Memory, gate: EmitGate) -> None:
+        self.prog = program
+        self.mem = memory
+        self.gate = gate
+        self._var_ids: dict[str, int] = {}
+        self._global_bases: dict[str, tuple[int, int]] = {}
+        for var in program.globals_:
+            base = memory.alloc_global(max(var.size, 1))
+            self._global_bases[var.name] = (base, max(var.size, 1))
+
+    # -- helpers -------------------------------------------------------------
+    def loc(self, line: int) -> int:
+        return encode_location(self.prog.file_id, line)
+
+    def _var_id(self, name: str) -> int:
+        vid = self._var_ids.get(name)
+        if vid is None:
+            vid = self._var_ids[name] = self.gate.intern_var(name)
+        return vid
+
+    def _binding(self, act: _Activation, var: ast.Variable) -> tuple[int, int]:
+        b = act.bases.get(var.name)
+        if b is None:
+            b = self._global_bases.get(var.name)
+        if b is None:
+            raise MiniVmError(f"unbound variable {var.name!r}")
+        return b
+
+    def _addr(
+        self, act: _Activation, tid: int, var: ast.Variable, index: ast.Expr | None, line: int
+    ) -> int:
+        base, size = self._binding(act, var)
+        if index is None:
+            return base
+        idx = int(self._eval(index, act, tid, line))
+        if not 0 <= idx < size:
+            raise MiniVmError(
+                f"index {idx} out of bounds for {var.name!r}[{size}] "
+                f"at line {line}"
+            )
+        return base + ELEM_SIZE * idx
+
+    # -- expression evaluation (atomic; loads trace through the gate) ----------
+    def _eval(self, expr: ast.Expr, act: _Activation, tid: int, line: int) -> Any:
+        if isinstance(expr, ast.Const):
+            return expr.value
+        if isinstance(expr, ast.Reg):
+            try:
+                return act.regs[expr.name]
+            except KeyError:
+                raise MiniVmError(f"unset register {expr.name!r} at line {line}")
+        if isinstance(expr, ast.Load):
+            addr = self._addr(act, tid, expr.var, expr.index, line)
+            self.gate.emit_read(tid, addr, self.loc(line), self._var_id(expr.var.name))
+            return self.mem.read(addr)
+        if isinstance(expr, ast.BinOp):
+            return expr.apply(
+                self._eval(expr.lhs, act, tid, line),
+                self._eval(expr.rhs, act, tid, line),
+            )
+        if isinstance(expr, ast.UnOp):
+            return expr.apply(self._eval(expr.operand, act, tid, line))
+        raise MiniVmError(f"cannot evaluate {expr!r}")
+
+    # -- execution ---------------------------------------------------------------
+    def thread_gen(self, tid: int, func_name: str, argvals: tuple) -> Iterator:
+        """Generator executing ``func_name(*argvals)`` on thread ``tid``."""
+        fn = self.prog.function(func_name)
+        yield from self._call(tid, fn, argvals)
+
+    def _call(self, tid: int, fn: Function, argvals: tuple) -> Iterator:
+        if len(argvals) != len(fn.params):
+            raise MiniVmError(
+                f"{fn.name!r} expects {len(fn.params)} args, got {len(argvals)}"
+            )
+        act = _Activation()
+        act.regs.update(zip(fn.params, argvals))
+        func_id = self.loc(fn.def_line)
+        frame = fn.frame_elems
+        if frame:
+            base = self.mem.push_frame(tid, frame)
+            off = 0
+            for var in fn.locals_:
+                n = max(var.size, 1)
+                act.bases[var.name] = (base + ELEM_SIZE * off, n)
+                off += n
+        self.gate.emit_func_enter(tid, func_id, func_id)
+        try:
+            yield from self._exec_block(tid, act, fn.body)
+        finally:
+            self.gate.emit_func_exit(tid, func_id, func_id)
+            if frame:
+                self.mem.pop_frame(tid)
+
+    def _exec_block(self, tid: int, act: _Activation, body: list[ast.Stmt]) -> Iterator:
+        for stmt in body:
+            yield from self._exec_stmt(tid, act, stmt)
+
+    def _exec_stmt(self, tid: int, act: _Activation, s: ast.Stmt) -> Iterator:
+        line = s.line
+        if isinstance(s, ast.SetReg):
+            act.regs[s.reg.name] = self._eval(s.expr, act, tid, line)
+            yield ("step",)
+        elif isinstance(s, ast.Store):
+            value = self._eval(s.expr, act, tid, line)
+            addr = self._addr(act, tid, s.var, s.index, line)
+            self.gate.emit_write(tid, addr, self.loc(line), self._var_id(s.var.name))
+            self.mem.write(addr, value)
+            yield ("step",)
+        elif isinstance(s, ast.For):
+            start = self._eval(s.start, act, tid, line)
+            end = self._eval(s.end, act, tid, line)
+            step = self._eval(s.step, act, tid, line)
+            if step == 0:
+                raise MiniVmError(f"for-loop step 0 at line {line}")
+            site = self.loc(line)
+            self.gate.emit_loop_enter(tid, site)
+            v = start
+            while (v < end) if step > 0 else (v > end):
+                act.regs[s.reg.name] = v
+                self.gate.emit_loop_iter(tid, site)
+                yield ("step",)
+                yield from self._exec_block(tid, act, s.body)
+                v = v + step
+            self.gate.emit_loop_exit(tid, site, self.loc(s.end_line or line))
+            yield ("step",)
+        elif isinstance(s, ast.While):
+            site = self.loc(line)
+            self.gate.emit_loop_enter(tid, site)
+            while self._eval(s.cond, act, tid, line):
+                self.gate.emit_loop_iter(tid, site)
+                yield ("step",)
+                yield from self._exec_block(tid, act, s.body)
+            self.gate.emit_loop_exit(tid, site, self.loc(s.end_line or line))
+            yield ("step",)
+        elif isinstance(s, ast.If):
+            if self._eval(s.cond, act, tid, line):
+                yield ("step",)
+                yield from self._exec_block(tid, act, s.then_body)
+            else:
+                yield ("step",)
+                yield from self._exec_block(tid, act, s.else_body)
+        elif isinstance(s, ast.Call):
+            argvals = tuple(self._eval(a, act, tid, line) for a in s.args)
+            yield ("step",)
+            yield from self._call(tid, self.prog.function(s.func), argvals)
+        elif isinstance(s, ast.Spawn):
+            argvals = tuple(self._eval(a, act, tid, line) for a in s.args)
+            yield ("spawn", s.func, argvals)
+        elif isinstance(s, ast.JoinAll):
+            while not (yield ("join_all",)):
+                pass
+        elif isinstance(s, ast.LockAcq):
+            while not (yield ("tryacq", s.lock_id, self.loc(line))):
+                pass
+        elif isinstance(s, ast.LockRel):
+            yield ("release", s.lock_id, self.loc(line))
+        elif isinstance(s, ast.BarrierWait):
+            while not (yield ("barrier", s.barrier_id, s.parties, self.loc(line))):
+                pass
+        elif isinstance(s, ast.AllocStmt):
+            n = int(self._eval(s.size, act, tid, line))
+            base = self.mem.malloc(n)
+            act.bases[s.var.name] = (base, n)
+            self.gate.emit_alloc(
+                tid, base, n * ELEM_SIZE, self.loc(line), self._var_id(s.var.name)
+            )
+            yield ("step",)
+        elif isinstance(s, ast.FreeStmt):
+            binding = act.bases.pop(s.var.name, None)
+            if binding is None:
+                raise MiniVmError(f"free of unbound heap var {s.var.name!r}")
+            base, n = binding
+            self.mem.mfree(base)
+            self.gate.emit_free(tid, base, n * ELEM_SIZE, self.loc(line))
+            yield ("step",)
+        else:
+            raise MiniVmError(f"unknown statement {s!r}")

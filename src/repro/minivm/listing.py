@@ -1,0 +1,127 @@
+"""Source listings for MiniVM programs.
+
+The builder assigns every declaration and statement a source line; this
+renderer reconstructs the listing those numbers refer to, so that profiler
+output like ``3:75 NOM {RAW 4:58|iter}`` can be read next to actual code.
+Used by ``ddprof listing`` and the workload documentation.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import astnodes as ast
+from repro.minivm.program import Program
+
+
+def _expr(e: ast.Expr) -> str:
+    if isinstance(e, ast.Const):
+        v = e.value
+        return str(int(v)) if isinstance(v, float) and v.is_integer() else str(v)
+    if isinstance(e, ast.Reg):
+        return e.name
+    if isinstance(e, ast.Load):
+        if e.index is None:
+            return e.var.name
+        return f"{e.var.name}[{_expr(e.index)}]"
+    if isinstance(e, ast.BinOp):
+        if e.op in ("min", "max"):
+            return f"{e.op}({_expr(e.lhs)}, {_expr(e.rhs)})"
+        return f"({_expr(e.lhs)} {e.op} {_expr(e.rhs)})"
+    if isinstance(e, ast.UnOp):
+        if e.op == "-":
+            return f"(-{_expr(e.operand)})"
+        return f"{e.op}({_expr(e.operand)})"
+    return repr(e)
+
+
+def _target(var: ast.Variable, index: ast.Expr | None) -> str:
+    return var.name if index is None else f"{var.name}[{_expr(index)}]"
+
+
+class _Lines:
+    def __init__(self) -> None:
+        self.rows: list[tuple[int, int, str]] = []  # (line, order, text)
+        self._order = 0
+
+    def put(self, line: int, indent: int, text: str) -> None:
+        self.rows.append((line, self._order, "    " * indent + text))
+        self._order += 1
+
+    def render(self) -> str:
+        out = []
+        for line, _, text in sorted(self.rows):
+            out.append(f"{line:4d} | {text}")
+        return "\n".join(out) + "\n"
+
+
+def _stmt(s: ast.Stmt, lines: _Lines, indent: int) -> None:
+    if isinstance(s, ast.SetReg):
+        lines.put(s.line, indent, f"{s.reg.name} = {_expr(s.expr)}")
+    elif isinstance(s, ast.Store):
+        lines.put(s.line, indent, f"{_target(s.var, s.index)} = {_expr(s.expr)}")
+    elif isinstance(s, ast.For):
+        step = _expr(s.step)
+        rng = f"range({_expr(s.start)}, {_expr(s.end)}"
+        rng += f", {step})" if step != "1" else ")"
+        lines.put(s.line, indent, f"for {s.reg.name} in {rng}:")
+        for child in s.body:
+            _stmt(child, lines, indent + 1)
+        if s.end_line:
+            lines.put(s.end_line, indent, "# end for")
+    elif isinstance(s, ast.While):
+        lines.put(s.line, indent, f"while {_expr(s.cond)}:")
+        for child in s.body:
+            _stmt(child, lines, indent + 1)
+        if s.end_line:
+            lines.put(s.end_line, indent, "# end while")
+    elif isinstance(s, ast.If):
+        lines.put(s.line, indent, f"if {_expr(s.cond)}:")
+        for child in s.then_body:
+            _stmt(child, lines, indent + 1)
+        for k, child in enumerate(s.else_body):
+            _stmt(child, lines, indent + 1)
+    elif isinstance(s, ast.Call):
+        args = ", ".join(_expr(a) for a in s.args)
+        lines.put(s.line, indent, f"{s.func}({args})")
+    elif isinstance(s, ast.Spawn):
+        args = ", ".join(_expr(a) for a in s.args)
+        lines.put(s.line, indent, f"spawn {s.func}({args})")
+    elif isinstance(s, ast.JoinAll):
+        lines.put(s.line, indent, "join_all()")
+    elif isinstance(s, ast.LockAcq):
+        lines.put(s.line, indent, f"lock({s.lock_id})")
+    elif isinstance(s, ast.LockRel):
+        lines.put(s.line, indent, f"unlock({s.lock_id})")
+    elif isinstance(s, ast.BarrierWait):
+        lines.put(s.line, indent, f"barrier({s.barrier_id}, parties={s.parties})")
+    elif isinstance(s, ast.AllocStmt):
+        lines.put(s.line, indent, f"{s.var.name} = malloc({_expr(s.size)})")
+    elif isinstance(s, ast.FreeStmt):
+        lines.put(s.line, indent, f"free({s.var.name})")
+    else:  # pragma: no cover - exhaustive over the AST
+        lines.put(getattr(s, "line", 0), indent, f"# <{type(s).__name__}>")
+
+
+def source_listing(program: Program) -> str:
+    """Render ``program`` as a numbered listing matching its trace lines."""
+    lines = _Lines()
+    decl_line = 1
+    for var in program.globals_:
+        if var.size == 1:
+            lines.put(decl_line, 0, f"global {var.name}")
+        else:
+            lines.put(decl_line, 0, f"global {var.name}[{var.size}]")
+        decl_line += 1
+    for fn in program.functions.values():
+        params = ", ".join(fn.params)
+        lines.put(fn.def_line, 0, f"def {fn.name}({params}):")
+        for var in fn.locals_:
+            # locals do not consume builder lines; annotate under the def
+            pass
+        for s in fn.body:
+            _stmt(s, lines, 1)
+    return lines.render()
+
+
+def listing_loc(program: Program) -> int:
+    """Number of listing lines (the analog of a benchmark's LOC)."""
+    return program.n_lines

@@ -1,0 +1,45 @@
+"""Program and function containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import MiniVmError
+from repro.minivm.astnodes import Stmt, Variable
+
+
+@dataclass
+class Function:
+    """A MiniVM procedure (no return value; results go through memory)."""
+
+    name: str
+    params: tuple[str, ...]
+    body: list[Stmt] = field(default_factory=list)
+    locals_: list[Variable] = field(default_factory=list)  # traced locals
+    def_line: int = 0
+
+    @property
+    def frame_elems(self) -> int:
+        """Stack-frame size in elements for this function's traced locals."""
+        return sum(max(v.size, 1) for v in self.locals_)
+
+
+@dataclass
+class Program:
+    """A complete MiniVM program: globals + functions, entry ``main``."""
+
+    name: str
+    file_id: int = 0
+    globals_: list[Variable] = field(default_factory=list)
+    functions: dict[str, Function] = field(default_factory=dict)
+    n_lines: int = 0
+
+    def function(self, name: str) -> Function:
+        fn = self.functions.get(name)
+        if fn is None:
+            raise MiniVmError(f"program {self.name!r} has no function {name!r}")
+        return fn
+
+    @property
+    def main(self) -> Function:
+        return self.function("main")

@@ -1,0 +1,23 @@
+"""One-call program execution."""
+
+from __future__ import annotations
+
+from repro.minivm.program import Program
+from repro.minivm.scheduler import ScheduleConfig, Scheduler
+from repro.trace import TraceBatch, TraceRecorder
+
+
+def run_program(
+    program: Program,
+    args: tuple = (),
+    schedule: ScheduleConfig | None = None,
+    recorder: TraceRecorder | None = None,
+) -> TraceBatch:
+    """Execute ``program.main(*args)`` under instrumentation.
+
+    Returns the instrumented event trace ready for
+    :func:`repro.core.profile_trace`.  ``schedule`` controls thread
+    interleaving and the delayed-push (race) model; the default is a
+    deterministic round-robin with immediate pushes.
+    """
+    return Scheduler(program, recorder=recorder, schedule=schedule).run(args)

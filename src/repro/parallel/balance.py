@@ -1,0 +1,112 @@
+"""Load balancing (Section IV-A).
+
+Memory addresses distribute evenly under the modulo map, but access *counts*
+do not: a few addresses soak up millions of accesses.  The paper therefore
+keeps per-address access statistics and, at a fixed cadence (every 50 000
+chunks), checks whether the hottest ten addresses are spread evenly over the
+workers; if not, it installs redistribution rules and migrates the affected
+signature state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.address_map import AddressMap
+
+
+class AccessStats:
+    """Per-address dynamic access counts (the paper's statistics map)."""
+
+    def __init__(self) -> None:
+        self._counts: Counter[int] = Counter()
+        self.total = 0
+
+    def record_many(self, addrs: np.ndarray) -> None:
+        """Bulk update from one producer batch."""
+        uniq, counts = np.unique(addrs, return_counts=True)
+        for a, c in zip(uniq.tolist(), counts.tolist()):
+            self._counts[a] += c
+        self.total += int(len(addrs))
+
+    def record(self, addr: int) -> None:
+        self._counts[addr] += 1
+        self.total += 1
+
+    def hottest(self, k: int) -> list[tuple[int, int]]:
+        """Top-k (address, count), hottest first, address as tie-break."""
+        return sorted(
+            self._counts.most_common(k * 4),  # overfetch, then stable-sort
+            key=lambda ac: (-ac[1], ac[0]),
+        )[:k]
+
+    def count_of(self, addr: int) -> int:
+        return self._counts.get(addr, 0)
+
+    @property
+    def n_addresses(self) -> int:
+        return len(self._counts)
+
+
+@dataclass
+class RebalanceDecision:
+    """One rebalancing round's outcome."""
+
+    moves: list[tuple[int, int, int]] = field(default_factory=list)  # (addr, old, new)
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.moves)
+
+
+class Rebalancer:
+    """Implements the top-k even-spread policy over an :class:`AddressMap`."""
+
+    def __init__(self, address_map: AddressMap, hot_addresses: int = 10) -> None:
+        self.address_map = address_map
+        self.hot_addresses = hot_addresses
+        self.rounds = 0
+        self.total_moves = 0
+
+    def imbalance(self, stats: AccessStats) -> float:
+        """Max/mean ratio of per-worker *hot* load (1.0 = perfectly even)."""
+        load = self._hot_load(stats)
+        mean = load.mean()
+        return float(load.max() / mean) if mean > 0 else 1.0
+
+    def _hot_load(self, stats: AccessStats) -> np.ndarray:
+        load = np.zeros(self.address_map.n_workers, dtype=np.float64)
+        for addr, count in stats.hottest(self.hot_addresses):
+            load[self.address_map.worker_of(addr)] += count
+        return load
+
+    def rebalance(self, stats: AccessStats) -> RebalanceDecision:
+        """Spread the hottest addresses across workers, heaviest first.
+
+        Greedy longest-processing-time assignment: walk the hot list in
+        descending count and send each address to the currently
+        least-loaded worker.  Only differences from the current map become
+        redistribution rules (signature migration is expensive, so we touch
+        the minimum number of addresses).
+        """
+        self.rounds += 1
+        decision = RebalanceDecision()
+        hot = stats.hottest(self.hot_addresses)
+        if not hot:
+            return decision
+        load = np.zeros(self.address_map.n_workers, dtype=np.float64)
+        targets: list[tuple[int, int]] = []
+        for addr, count in hot:
+            w = int(np.argmin(load))
+            load[w] += count
+            targets.append((addr, w))
+        for addr, w in targets:
+            old = self.address_map.worker_of(addr)
+            if old != w:
+                self.address_map.redistribute(addr, w)
+                decision.moves.append((addr, old, w))
+        self.total_moves += decision.n_moves
+        return decision

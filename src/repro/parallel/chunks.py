@@ -1,0 +1,74 @@
+"""Chunk buffers and the recycling pool.
+
+A chunk carries the *row indices* (into the shared TraceBatch) of the events
+one worker must process next, in stream order.  Index buffers are numpy
+arrays handed back to a free list once consumed — the "empty chunks are
+recycled and can be reused" detail of Section IV, which is what bounds the
+pipeline's memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Chunk:
+    """A fixed-capacity buffer of trace row indices."""
+
+    __slots__ = ("rows", "count", "seq")
+
+    def __init__(self, capacity: int) -> None:
+        self.rows = np.empty(capacity, dtype=np.int64)
+        self.count = 0
+        self.seq = -1  # producer-assigned sequence number (debug/accounting)
+
+    @property
+    def capacity(self) -> int:
+        return len(self.rows)
+
+    @property
+    def full(self) -> bool:
+        return self.count >= len(self.rows)
+
+    def append(self, row: int) -> None:
+        self.rows[self.count] = row
+        self.count += 1
+
+    def view(self) -> np.ndarray:
+        """The filled prefix (no copy)."""
+        return self.rows[: self.count]
+
+    def reset(self) -> None:
+        self.count = 0
+        self.seq = -1
+
+
+class ChunkPool:
+    """Free list of chunks; allocates lazily, recycles aggressively."""
+
+    def __init__(self, chunk_capacity: int) -> None:
+        if chunk_capacity <= 0:
+            raise ValueError("chunk_capacity must be positive")
+        self.chunk_capacity = chunk_capacity
+        self._free: list[Chunk] = []
+        self.allocated = 0  # high-water mark: total chunks ever created
+
+    def acquire(self) -> Chunk:
+        if self._free:
+            return self._free.pop()
+        self.allocated += 1
+        return Chunk(self.chunk_capacity)
+
+    def release(self, chunk: Chunk) -> None:
+        chunk.reset()
+        self._free.append(chunk)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes held by every chunk ever allocated (they live in the pool
+        or in queues; either way they are resident)."""
+        return self.allocated * self.chunk_capacity * 8

@@ -1,0 +1,146 @@
+"""Worker queues: lock-free SPSC ring vs. mutex-protected deque.
+
+The paper attributes most of the parallel profiler's synchronization
+overhead to locking/unlocking the worker queues and removes it with
+lock-free queues.  :class:`SpscRingQueue` is the classic single-producer /
+single-consumer ring buffer: the producer only writes ``_tail``, the
+consumer only writes ``_head``, each reads the other's counter — no
+compare-and-swap needed, and under CPython's per-bytecode atomicity the
+algorithm is exactly as correct as its C++11 acquire/release counterpart.
+:class:`LockedQueue` is the mutex ablation used to reproduce the
+lock-based-vs-lock-free comparison of Figure 5.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.common.errors import QueueClosedError
+
+
+class SpscRingQueue:
+    """Bounded lock-free single-producer/single-consumer queue.
+
+    ``try_push``/``try_pop`` never block and never take a lock.  ``closed``
+    is a producer-set flag letting the consumer distinguish "momentarily
+    empty" from "finished".
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        # Round up to a power of two so the index mask is a single AND.
+        cap = 1
+        while cap < capacity:
+            cap <<= 1
+        self._mask = cap - 1
+        self._slots: list[Any] = [None] * cap
+        self._head = 0  # consumer cursor (only the consumer writes)
+        self._tail = 0  # producer cursor (only the producer writes)
+        self._closed = False
+        # Monotonic counters for contention accounting (cost model input).
+        self.push_fail_count = 0
+        self.pop_fail_count = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    def try_push(self, item: Any) -> bool:
+        """Producer side: False (and no effect) when the ring is full."""
+        if self._closed:
+            raise QueueClosedError("push on closed queue")
+        tail = self._tail
+        if tail - self._head > self._mask:
+            self.push_fail_count += 1
+            return False
+        self._slots[tail & self._mask] = item
+        # Publishing order matters: the slot write above must precede the
+        # tail bump that makes it visible to the consumer.
+        self._tail = tail + 1
+        return True
+
+    def try_pop(self) -> tuple[bool, Any]:
+        """Consumer side: ``(False, None)`` when momentarily empty."""
+        head = self._head
+        if head == self._tail:
+            self.pop_fail_count += 1
+            return False, None
+        item = self._slots[head & self._mask]
+        self._slots[head & self._mask] = None  # let the chunk be recycled
+        self._head = head + 1
+        return True, item
+
+    def close(self) -> None:
+        """Producer signals end-of-stream."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def drained(self) -> bool:
+        """True once closed and fully consumed."""
+        return self._closed and self._head == self._tail
+
+
+class LockedQueue:
+    """Mutex-protected queue with the same interface (the paper's baseline)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+        self.push_fail_count = 0
+        self.pop_fail_count = 0
+        # Lock acquisitions are what the cost model charges for.
+        self.lock_ops = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def try_push(self, item: Any) -> bool:
+        with self._lock:
+            self.lock_ops += 1
+            if self._closed:
+                raise QueueClosedError("push on closed queue")
+            if len(self._items) >= self._capacity:
+                self.push_fail_count += 1
+                return False
+            self._items.append(item)
+            return True
+
+    def try_pop(self) -> tuple[bool, Any]:
+        with self._lock:
+            self.lock_ops += 1
+            if not self._items:
+                self.pop_fail_count += 1
+                return False, None
+            return True, self._items.popleft()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def drained(self) -> bool:
+        with self._lock:
+            return self._closed and not self._items

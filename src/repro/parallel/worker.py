@@ -1,0 +1,83 @@
+"""A profiling worker: owns one address subset's signatures and dependences."""
+
+from __future__ import annotations
+
+from repro.common.config import ProfilerConfig
+from repro.core.deps import DependenceStore
+from repro.core.reference import ReferenceEngine
+from repro.parallel.chunks import Chunk
+from repro.sigmem import ArraySignature, PerfectSignature
+from repro.sigmem.signature import AccessRecord
+from repro.trace import TraceBatch
+
+
+class Worker:
+    """Consumes chunks, runs Algorithm 1 on its private trackers.
+
+    Each worker is exclusively responsible for the addresses routed to it,
+    so its read/write signature pair and its dependence map need no
+    synchronization — the core of the paper's parallelization argument.
+    """
+
+    def __init__(self, wid: int, config: ProfilerConfig) -> None:
+        self.wid = wid
+        self.config = config
+        if config.perfect_signature:
+            read_t: PerfectSignature | ArraySignature = PerfectSignature()
+            write_t: PerfectSignature | ArraySignature = PerfectSignature()
+        else:
+            read_t = ArraySignature(config.slots_per_worker, config.hash_salt)
+            write_t = ArraySignature(config.slots_per_worker, config.hash_salt)
+        self.engine = ReferenceEngine(config, read_t, write_t)
+        self.accesses_processed = 0
+        self.chunks_processed = 0
+
+    @property
+    def store(self) -> DependenceStore:
+        return self.engine.store
+
+    def process_chunk(self, batch: TraceBatch, chunk: Chunk) -> None:
+        sub = batch.select(chunk.view())
+        before = self.engine.stats.n_accesses
+        self.engine.process(sub)
+        # process() only totals n_accesses at run() time; track it here.
+        self.engine.stats.n_accesses = (
+            self.engine.stats.n_reads + self.engine.stats.n_writes
+        )
+        self.accesses_processed += self.engine.stats.n_accesses - before
+        self.chunks_processed += 1
+
+    # -- signature-state migration (redistribution support) -----------------
+    def migrate_out(
+        self, addr: int
+    ) -> tuple[AccessRecord | None, AccessRecord | None]:
+        """Extract and clear this worker's state for ``addr``.
+
+        For an array signature the slot may be shared with colliding
+        addresses; migration then moves the conflated record — the same
+        approximation the signature makes everywhere else.
+        """
+        r = self.engine.read_tracker.lookup(addr)
+        w = self.engine.write_tracker.lookup(addr)
+        self.engine.read_tracker.remove(addr)
+        self.engine.write_tracker.remove(addr)
+        return r, w
+
+    def migrate_in(
+        self,
+        addr: int,
+        read_rec: AccessRecord | None,
+        write_rec: AccessRecord | None,
+    ) -> None:
+        """Install migrated state for a redistributed address."""
+        if read_rec is not None:
+            self.engine.read_tracker.insert(addr, read_rec)
+        if write_rec is not None:
+            self.engine.write_tracker.insert(addr, write_rec)
+
+    @property
+    def memory_bytes(self) -> int:
+        return (
+            self.engine.read_tracker.memory_bytes
+            + self.engine.write_tracker.memory_bytes
+        )

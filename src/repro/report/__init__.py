@@ -1,0 +1,5 @@
+"""Result rendering: ASCII tables, CSV export, bar charts for the benches."""
+
+from repro.report.tables import ascii_table, bar_chart, csv_lines, fmt
+
+__all__ = ["ascii_table", "bar_chart", "csv_lines", "fmt"]

@@ -1,0 +1,75 @@
+"""Plain-text table and chart rendering for the experiment harness.
+
+The benchmark scripts regenerate the paper's tables and figures as text:
+tables as aligned ASCII (plus CSV for downstream plotting), figures as
+horizontal bar charts — adequate to read off who wins and by what factor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def fmt(value: Any) -> str:
+    """Uniform cell formatting: floats get sensible precision."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out) + "\n"
+
+
+def csv_lines(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """CSV rendering (no quoting needed for our numeric/identifier cells)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(fmt(c).replace(",", "") for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart, scaled to the maximum value."""
+    out = []
+    if title:
+        out.append(title)
+    if not items:
+        return (title + "\n(no data)\n") if title else "(no data)\n"
+    peak = max(v for _, v in items) or 1.0
+    label_w = max(len(name) for name, _ in items)
+    for name, v in items:
+        bar = "#" * max(1, int(width * v / peak)) if v > 0 else ""
+        out.append(f"{name.ljust(label_w)} | {bar} {fmt(float(v))}{unit}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,34 @@
+"""The signature hash function.
+
+The paper uses a *single* hash function (unlike a k-hash Bloom filter) so
+that elements can be removed — a requirement of variable-lifetime analysis.
+We use Fibonacci multiplicative hashing over the 64-bit address with an
+optional salt; it is cheap, vectorizes, and spreads the arithmetic address
+sequences that array traversals produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: 2**64 / golden ratio, the classic Fibonacci-hash multiplier.
+_MULT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def hash_address(addr: int, n_slots: int, salt: int = 0) -> int:
+    """Map one address to a slot index in ``[0, n_slots)``."""
+    h = ((addr ^ salt) * _MULT) & _MASK64
+    # Mix the high bits down; the low bits of a multiplicative hash are weak.
+    h ^= h >> 29
+    return h % n_slots
+
+
+def hash_addresses(
+    addrs: np.ndarray, n_slots: int, salt: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`hash_address` for an int64 address column."""
+    with np.errstate(over="ignore"):
+        h = (addrs.astype(np.uint64) ^ np.uint64(salt & _MASK64)) * np.uint64(_MULT)
+        h ^= h >> np.uint64(29)
+        return (h % np.uint64(n_slots)).astype(np.int64)

@@ -1,0 +1,46 @@
+"""Analytical collision model — Equation 2 of the paper.
+
+With a uniform hash over ``m`` slots, the probability that a given slot is
+occupied after inserting ``n`` distinct elements is::
+
+    P_fp = 1 - (1 - 1/m)**n                                   (Eq. 2)
+
+``P_fp`` bounds the chance that a membership check for an *absent* address
+answers "present", i.e. the per-lookup false-positive probability.  The
+paper uses it to size signatures from an estimate of the address count; we
+expose that sizing helper and validate the model against measurement in
+``benchmarks/test_eq2_fpr_model.py``.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def expected_fpr(n_addresses: int, n_slots: int) -> float:
+    """Eq. 2: probability a given slot is occupied after ``n`` insertions."""
+    if n_addresses < 0:
+        raise ValueError("n_addresses must be non-negative")
+    if n_slots <= 0:
+        raise ValueError("n_slots must be positive")
+    # log1p keeps precision when 1/m is tiny (m ~ 1e8 in the paper).
+    return -math.expm1(n_addresses * math.log1p(-1.0 / n_slots))
+
+
+def expected_occupancy(n_addresses: int, n_slots: int) -> float:
+    """Expected number of occupied slots after inserting ``n`` addresses."""
+    return n_slots * expected_fpr(n_addresses, n_slots)
+
+
+def slots_for_target_fpr(n_addresses: int, target_fpr: float) -> int:
+    """Smallest slot count whose Eq.-2 FPR is below ``target_fpr``.
+
+    Solves ``1 - (1 - 1/m)^n <= p`` for ``m``:
+    ``m >= 1 / (1 - (1-p)^(1/n))``.
+    """
+    if not 0.0 < target_fpr < 1.0:
+        raise ValueError("target_fpr must be in (0, 1)")
+    if n_addresses <= 0:
+        return 1
+    denom = -math.expm1(math.log1p(-target_fpr) / n_addresses)
+    return max(1, math.ceil(1.0 / denom))

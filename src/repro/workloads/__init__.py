@@ -1,0 +1,46 @@
+"""Benchmark workload analogs.
+
+The paper evaluates on NAS Parallel Benchmarks 3.3.1 (input W), the
+Starbench suite (reference input), and splash2x.water-spatial.  Native
+binaries and their inputs are not usable here, so each benchmark is rebuilt
+as a *miniature but algorithmically real* MiniVM program: the CG analog
+really runs conjugate-gradient iterations over a sparse operator, the IS
+analog really bucket-sorts, kmeans really clusters, and the pthread variants
+really spawn MiniVM threads with locks and barriers.  What matters for the
+experiments is preserved: the dependence *structure* (which loops carry
+dependences, which reduce, which are independent), the address/access-count
+profile shape, and per-loop OpenMP-annotation ground truth for Table II.
+
+Access through the registry::
+
+    from repro.workloads import get_workload, workload_names, get_trace
+    trace = get_trace("cg", scale=1)              # sequential variant
+    trace = get_trace("kmeans", variant="par")    # pthread-style variant
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadMeta,
+    clear_trace_cache,
+    get_trace,
+    get_workload,
+    register,
+    workload_names,
+    workloads_in_suite,
+)
+
+# Importing the suite packages populates the registry.
+from repro.workloads import nas as _nas  # noqa: F401
+from repro.workloads import starbench as _starbench  # noqa: F401
+from repro.workloads import splash2x as _splash2x  # noqa: F401
+
+__all__ = [
+    "Workload",
+    "WorkloadMeta",
+    "clear_trace_cache",
+    "get_trace",
+    "get_workload",
+    "register",
+    "workload_names",
+    "workloads_in_suite",
+]

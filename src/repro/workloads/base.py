@@ -1,0 +1,130 @@
+"""Workload registry, metadata, and trace caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import WorkloadError
+from repro.common.sourceloc import encode_location
+from repro.minivm import Program, ScheduleConfig, run_program
+from repro.trace import TraceBatch
+
+
+@dataclass
+class WorkloadMeta:
+    """Ground truth attached to one built program.
+
+    ``annotated`` maps loop names to builder line numbers for every loop the
+    (hypothetical) OpenMP version annotates — the "# OMP" column of
+    Table II.  ``expected_identified`` names the subset a dependence-based
+    analysis should find parallelizable on this input; annotated loops
+    outside it carry dynamic dependences the OpenMP version handles by other
+    means (atomics, restructuring), which is exactly why the paper's
+    DiscoPoP column stays below the OMP column for IS/CG/FT.
+    """
+
+    annotated: dict[str, int] = field(default_factory=dict)
+    expected_identified: set[str] = field(default_factory=set)
+    file_id: int = 0
+
+    def annotated_sites(self) -> dict[str, int]:
+        """Loop name -> encoded header location."""
+        return {
+            name: encode_location(self.file_id, line)
+            for name, line in self.annotated.items()
+        }
+
+
+#: A builder returns the program plus its ground-truth metadata.
+Builder = Callable[[int], tuple[Program, WorkloadMeta]]
+#: Parallel builders additionally take the target thread count.
+ParBuilder = Callable[[int, int], tuple[Program, WorkloadMeta]]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered benchmark analog."""
+
+    name: str
+    suite: str  # "nas" | "starbench" | "splash2x"
+    build_seq: Builder
+    build_par: ParBuilder | None = None
+    default_scale: int = 1
+    description: str = ""
+
+    @property
+    def has_parallel_variant(self) -> bool:
+        return self.build_par is not None
+
+
+_REGISTRY: dict[str, Workload] = {}
+_TRACE_CACHE: dict[tuple, tuple[TraceBatch, WorkloadMeta]] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise WorkloadError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    wl = _REGISTRY.get(name)
+    if wl is None:
+        raise WorkloadError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return wl
+
+
+def workload_names(suite: str | None = None) -> list[str]:
+    return sorted(
+        name for name, wl in _REGISTRY.items() if suite is None or wl.suite == suite
+    )
+
+
+def workloads_in_suite(suite: str) -> list[Workload]:
+    return [_REGISTRY[n] for n in workload_names(suite)]
+
+
+def get_trace(
+    name: str,
+    variant: str = "seq",
+    scale: int | None = None,
+    threads: int = 4,
+    seed: int = 0,
+    with_meta: bool = False,
+):
+    """Build, execute, and cache a workload trace.
+
+    ``variant`` is ``"seq"`` or ``"par"`` (pthread-style multi-threaded
+    target, Starbench/splash only).  Traces are cached per parameter tuple —
+    the experiments profile each trace under many configurations, and target
+    execution is independent of profiling (the paper's separation as well).
+    """
+    wl = get_workload(name)
+    scale = wl.default_scale if scale is None else scale
+    key = (name, variant, scale, threads, seed)
+    hit = _TRACE_CACHE.get(key)
+    if hit is None:
+        if variant == "seq":
+            program, meta = wl.build_seq(scale)
+            batch = run_program(program)
+        elif variant == "par":
+            if wl.build_par is None:
+                raise WorkloadError(f"{name!r} has no parallel variant")
+            program, meta = wl.build_par(scale, threads)
+            batch = run_program(
+                program, schedule=ScheduleConfig(policy="roundrobin", seed=seed)
+            )
+        else:
+            raise WorkloadError(f"unknown variant {variant!r} (seq|par)")
+        hit = (batch, meta)
+        _TRACE_CACHE[key] = hit
+    batch, meta = hit
+    return (batch, meta) if with_meta else batch
+
+
+def clear_trace_cache() -> None:
+    _TRACE_CACHE.clear()

@@ -1,0 +1,10 @@
+"""NAS Parallel Benchmark analogs (BT, SP, LU, IS, EP, CG, MG, FT).
+
+Each module builds a miniature-but-real version of its kernel's algorithm in
+MiniVM and registers it with per-loop OpenMP ground truth.  Registration
+happens on import.
+"""
+
+from repro.workloads.nas import bt, sp, lu, is_, ep, cg, mg, ft  # noqa: F401
+
+__all__ = ["bt", "sp", "lu", "is_", "ep", "cg", "mg", "ft"]

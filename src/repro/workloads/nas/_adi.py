@@ -1,0 +1,151 @@
+"""Shared ADI-style solver scaffold for the BT/SP/LU analogs.
+
+The three NAS pseudo-application benchmarks all advance a structured-grid
+solution through directional sweeps: compute a right-hand side with
+neighbour stencils, then solve independent line systems along each grid
+direction.  The parallel structure is identical — sweeps parallelize across
+lines, each line's substitution is sequential — and the OpenMP versions
+annotate exactly the across-line loops.  The builders here reproduce that
+skeleton on an ``n x n`` grid; the per-benchmark modules vary the number of
+coupled components (BT's blocks), the substitution passes (SP's forward +
+backward), and the SSOR wavefront (LU).
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import WorkloadMeta
+from repro.workloads.kernels import lcg_fill
+
+
+def build_adi(
+    name: str,
+    n: int,
+    components: int = 1,
+    backward_pass: bool = False,
+    ssor_wavefront: bool = False,
+    sweeps: int = 1,
+):
+    """Construct an ADI solver analog; returns (Program, WorkloadMeta)."""
+    b = ProgramBuilder(name)
+    size = n * n
+    us = [b.global_array(f"u{c}", size) for c in range(components)]
+    rhs = [b.global_array(f"rhs{c}", size) for c in range(components)]
+    lower = b.global_array("lower", size)
+    annotated: dict[str, int] = {}
+    identified: set[str] = set()
+
+    def mark(key: str, loop, parallel: bool = True) -> None:
+        annotated[key] = loop.line
+        if parallel:
+            identified.add(key)
+
+    with b.function("main") as f:
+        for c, u in enumerate(us):
+            mark(f"init_u{c}", lcg_fill(f, u, size, seed=7 + c))
+        mark("init_lower", lcg_fill(f, lower, size, seed=101))
+
+        for s in range(sweeps):
+            sfx = f"_s{s}" if sweeps > 1 else ""
+            # --- RHS: neighbour stencils in both directions (parallel) ---
+            for c, (u, r) in enumerate(zip(us, rhs)):
+                j = f.reg(f"j_rx{c}{sfx}")
+                i = f.reg(f"i_rx{c}{sfx}")
+                with f.for_loop(j, 0, n) as rx:
+                    with f.for_loop(i, 1, n - 1):
+                        base = j * n + i
+                        f.store(
+                            r,
+                            base,
+                            f.load(u, base - 1)
+                            - 2 * f.load(u, base)
+                            + f.load(u, base + 1),
+                        )
+                mark(f"rhs_x{c}{sfx}", rx)
+                j2 = f.reg(f"j_ry{c}{sfx}")
+                i2 = f.reg(f"i_ry{c}{sfx}")
+                with f.for_loop(j2, 1, n - 1) as ry:
+                    with f.for_loop(i2, 0, n):
+                        base = j2 * n + i2
+                        f.store(
+                            r,
+                            base,
+                            f.load(r, base)
+                            + f.load(u, base - n)
+                            - 2 * f.load(u, base)
+                            + f.load(u, base + n),
+                        )
+                mark(f"rhs_y{c}{sfx}", ry)
+
+            # --- x_solve: one line system per row (parallel across rows,
+            #     sequential along the row) ---
+            for c, r in enumerate(rhs):
+                j = f.reg(f"j_xs{c}{sfx}")
+                i = f.reg(f"i_xs{c}{sfx}")
+                with f.for_loop(j, 0, n) as xs:
+                    with f.for_loop(i, 1, n):
+                        base = j * n + i
+                        f.store(
+                            r,
+                            base,
+                            f.load(r, base)
+                            - f.load(lower, base) * f.load(r, base - 1) / 4096,
+                        )
+                mark(f"x_solve{c}{sfx}", xs)
+                if backward_pass:
+                    jb = f.reg(f"j_xb{c}{sfx}")
+                    ib = f.reg(f"i_xb{c}{sfx}")
+                    with f.for_loop(jb, 0, n) as xb:
+                        with f.for_loop(ib, n - 2, -1, step=-1):
+                            base = jb * n + ib
+                            f.store(
+                                r,
+                                base,
+                                f.load(r, base)
+                                - f.load(lower, base) * f.load(r, base + 1) / 4096,
+                            )
+                    mark(f"x_back{c}{sfx}", xb)
+
+            # --- y_solve: per column (parallel across columns) ---
+            for c, r in enumerate(rhs):
+                i = f.reg(f"i_ys{c}{sfx}")
+                j = f.reg(f"j_ys{c}{sfx}")
+                with f.for_loop(i, 0, n) as ys:
+                    with f.for_loop(j, 1, n):
+                        base = j * n + i
+                        f.store(
+                            r,
+                            base,
+                            f.load(r, base)
+                            - f.load(lower, base) * f.load(r, base - n) / 4096,
+                        )
+                mark(f"y_solve{c}{sfx}", ys)
+
+            if ssor_wavefront:
+                # LU's SSOR lower-triangular sweep: u[j,i] depends on west
+                # and north neighbours of the SAME array — a wavefront.  The
+                # OpenMP version pipelines it; plain dependence analysis
+                # must refuse, so it is annotated but not identifiable.
+                jw = f.reg(f"j_wf{sfx}")
+                iw = f.reg(f"i_wf{sfx}")
+                with f.for_loop(jw, 1, n) as wf:
+                    with f.for_loop(iw, 1, n):
+                        base = jw * n + iw
+                        f.store(
+                            us[0],
+                            base,
+                            f.load(us[0], base)
+                            + (f.load(us[0], base - 1) + f.load(us[0], base - n))
+                            / 8192,
+                        )
+                mark(f"ssor_lower{sfx}", wf, parallel=False)
+
+            # --- add: fold the solved rhs back into u (parallel) ---
+            for c, (u, r) in enumerate(zip(us, rhs)):
+                k = f.reg(f"k_add{c}{sfx}")
+                with f.for_loop(k, 0, size) as add:
+                    f.store(u, k, f.load(u, k) + f.load(r, k) / 2048)
+                mark(f"add{c}{sfx}", add)
+
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta

@@ -1,0 +1,24 @@
+"""BT — block tridiagonal solver analog.
+
+NAS BT advances three coupled solution components through directional line
+solves (the real code couples 5x5 blocks; three scalar components preserve
+the multi-array sweep structure).  All annotated loops parallelize across
+grid lines, matching Table II's 30/30 for BT.
+"""
+
+from repro.workloads.base import Workload, register
+from repro.workloads.nas._adi import build_adi
+
+
+def build(scale: int = 1):
+    return build_adi("bt", n=12 * scale, components=3, sweeps=1)
+
+
+register(
+    Workload(
+        name="bt",
+        suite="nas",
+        build_seq=build,
+        description="block-tridiagonal ADI solver, 3 coupled components",
+    )
+)

@@ -1,0 +1,122 @@
+"""CG — conjugate gradient analog.
+
+A real CG iteration over a banded sparse operator: sparse matvec, two dot
+products, three axpy-style vector updates per iteration, driven by an outer
+(sequential, unannotated) iteration loop.  The annotated loops mirror NAS
+CG's OpenMP regions; like the paper's 9-of-16, some annotated loops are not
+dynamically identifiable — here the matvec accumulates each row into a
+shared scratch scalar across two lines (the NAS original uses privatized
+``sum`` variables; a dependence profiler without privatization insight for
+that temp must refuse), and the pipelined norm-chasing update reads its
+neighbour.
+"""
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import axpy, copy, dot_reduce, fill, lcg_fill
+
+
+def build(scale: int = 1):
+    n = 220 * scale
+    band = 4
+    iters = 6
+    b = ProgramBuilder("cg")
+    x = b.global_array("x", n)
+    r = b.global_array("r", n)
+    p = b.global_array("p", n)
+    q = b.global_array("q", n)
+    coef = b.global_array("coef", n)
+    rho = b.global_scalar("rho")
+    alpha_den = b.global_scalar("alpha_den")
+    rowsum = b.global_scalar("rowsum")  # shared matvec scratch (like NAS sum)
+    norm = b.global_array("norm", 1)
+
+    annotated: dict[str, int] = {}
+    identified: set[str] = set()
+
+    def mark(key, loop, parallel=True):
+        annotated[key] = loop.line
+        if parallel:
+            identified.add(key)
+
+    with b.function("main") as f:
+        mark("init_coef", lcg_fill(f, coef, n, seed=20111))
+        mark("init_x", fill(f, x, n, lambda i: 1))
+        mark("init_r", copy(f, r, x, n))
+        mark("init_p", copy(f, p, r, n))
+
+        it = f.reg("it")
+        i = f.reg("i")
+        k = f.reg("k")
+        with f.for_loop(it, 0, iters):  # outer CG iteration: unannotated
+            # sparse matvec q = A p over a band; each row accumulates into a
+            # shared scratch scalar that is re-initialized per row, so the
+            # scratch carries only WAR/WAW across rows — privatizable, and
+            # NAS indeed privatizes it: annotated AND identified.
+            with f.for_loop(i, band, n - band) as mv:
+                f.store(rowsum, None, f.load(p, i) * 4)
+                with f.for_loop(k, 1, band):
+                    f.store(
+                        rowsum,
+                        None,
+                        f.load(rowsum)
+                        + f.load(coef, i) * (f.load(p, i - k) + f.load(p, i + k)) / 512,
+                    )
+                f.store(q, i, f.load(rowsum))
+            if "matvec" not in annotated:
+                mark("matvec", mv)
+
+            # Incomplete-factorization preconditioner sweep: q[i] depends on
+            # q[i-1] — a forward substitution the OpenMP version handles with
+            # level scheduling; plain dependence analysis must refuse.
+            with f.for_loop(i, 1, n) as pc:
+                f.store(q, i, f.load(q, i) - f.load(q, i - 1) / 64)
+            if "precond_forward" not in annotated:
+                mark("precond_forward", pc, parallel=False)
+
+            # rho = r . r  (reduction, annotated, identified)
+            f.store(rho, None, 0)
+            dr = dot_reduce(f, rho, r, r, n)
+            if "rho_dot" not in annotated:
+                mark("rho_dot", dr)
+            # alpha_den = p . q
+            f.store(alpha_den, None, 0)
+            dq = dot_reduce(f, alpha_den, p, q, n)
+            if "pq_dot" not in annotated:
+                mark("pq_dot", dq)
+
+            # x += p/8 ; r -= q/8 ; p = r + p/4 (elementwise, annotated)
+            ax = axpy(f, x, p, n, 0.125)
+            if "update_x" not in annotated:
+                mark("update_x", ax)
+            ar = axpy(f, r, q, n, -0.125)
+            if "update_r" not in annotated:
+                mark("update_r", ar)
+            with f.for_loop(i, 0, n) as up:
+                f.store(p, i, f.load(r, i) + f.load(p, i) / 4)
+            if "update_p" not in annotated:
+                mark("update_p", up)
+
+        # Final residual-chasing smoother: annotated in the OpenMP version
+        # as a pipelined loop; reads the previous element -> blocked.
+        with f.for_loop(i, 1, n) as sm:
+            f.store(r, i, (f.load(r, i) + f.load(r, i - 1)) / 2)
+        mark("residual_smooth", sm, parallel=False)
+        # norm reduction (annotated, identified)
+        f.store(norm, 0, 0)
+        with f.for_loop(i, 0, n) as nm:
+            f.store(norm, 0, f.load(norm, 0) + f.load(r, i) * f.load(r, i))
+        mark("norm", nm)
+
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+register(
+    Workload(
+        name="cg",
+        suite="nas",
+        build_seq=build,
+        description="conjugate gradient with banded sparse matvec",
+    )
+)

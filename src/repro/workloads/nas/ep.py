@@ -1,0 +1,57 @@
+"""EP — embarrassingly parallel analog.
+
+Generates pseudo-random pairs, accepts those inside the unit square's
+"ring", accumulates coordinate sums, and bins acceptances by annulus —
+NAS EP's structure with the LCG chain in registers (as ``-O2`` keeps it).
+The single annotated loop is the main Gaussian-pair loop; its accumulators
+(``sx``, ``sy``, ``q``) are same-line self-updates, i.e. recognizable
+reductions, so it is identified (Table II: 1/1).
+"""
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import LCG_M, lcg_step
+
+
+def build(scale: int = 1):
+    n_pairs = 4000 * scale
+    b = ProgramBuilder("ep")
+    sx = b.global_scalar("sx")
+    sy = b.global_scalar("sy")
+    q = b.global_array("q", 10)
+
+    with b.function("main") as f:
+        seed = f.reg("seed")
+        f.set(seed, 271828183 % LCG_M)
+        i = f.reg("i")
+        x = f.reg("x")
+        y = f.reg("y")
+        binr = f.reg("binr")
+        with f.for_loop(i, 0, n_pairs) as main_loop:
+            lcg_step(f, seed)
+            f.set(x, (seed % 2000) - 1000)
+            lcg_step(f, seed)
+            f.set(y, (seed % 2000) - 1000)
+            # accept pairs inside the disc of radius 1000
+            with f.if_((x * x + y * y).le(1000 * 1000)):
+                f.store(sx, None, f.load(sx) + x)
+                f.store(sy, None, f.load(sy) + y)
+                # annulus index 0..9 by distance
+                f.set(binr, (x * x + y * y) * 10 // (1000 * 1000 + 1))
+                f.store(q, binr, f.load(q, binr) + 1)
+
+    meta = WorkloadMeta(
+        annotated={"gaussian_pairs": main_loop.line},
+        expected_identified={"gaussian_pairs"},
+    )
+    return b.build(), meta
+
+
+register(
+    Workload(
+        name="ep",
+        suite="nas",
+        build_seq=build,
+        description="random-pair generation with reduction accumulators",
+    )
+)

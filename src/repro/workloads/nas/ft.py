@@ -1,0 +1,133 @@
+"""FT — FFT analog.
+
+A real radix-2 decimation-in-time FFT on complex data (separate re/im
+arrays): bit-reversal permutation, per-stage butterfly sweeps, and a
+checksum reduction.  The twiddle factors are computed by the classic
+multiplicative *recurrence* ``w[k] = w[k-1] * w1`` — carried, annotated
+(the OpenMP original replaces it with a precomputed table), and therefore
+not dynamically identifiable; everything else parallelizes, giving FT its
+paper-like identified/annotated gap (Table II: 7/8).
+"""
+
+import math
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+
+
+def build(scale: int = 1):
+    log_n = 7 + (scale - 1)
+    n = 1 << log_n
+    b = ProgramBuilder("ft")
+    re = b.global_array("re", n)
+    im = b.global_array("im", n)
+    wre = b.global_array("wre", n // 2)
+    wim = b.global_array("wim", n // 2)
+    rev = b.global_array("rev", n)
+    checksum = b.global_scalar("checksum")
+
+    annotated: dict[str, int] = {}
+    identified: set[str] = set()
+
+    def mark(key, loop, parallel=True):
+        annotated[key] = loop.line
+        if parallel:
+            identified.add(key)
+
+    with b.function("main") as f:
+        mark("init_re", lcg_fill(f, re, n, seed=42))
+        mark("init_im", lcg_fill(f, im, n, seed=43))
+
+        # Twiddle recurrence w[k] = w[k-1]*w1 (annotated, blocked).
+        c1, s1 = math.cos(2 * math.pi / n), math.sin(2 * math.pi / n)
+        f.store(wre, 0, 1.0)
+        f.store(wim, 0, 0.0)
+        k = f.reg("k_tw")
+        with f.for_loop(k, 1, n // 2) as tw:
+            f.store(wre, k, f.load(wre, k - 1) * c1 - f.load(wim, k - 1) * s1)
+            f.store(wim, k, f.load(wre, k - 1) * s1 + f.load(wim, k - 1) * c1)
+        mark("twiddle_recurrence", tw, parallel=False)
+
+        # Bit-reversal index table (pure function of i: parallel).
+        i = f.reg("i_rev")
+        rbit = f.reg("rbit")
+        t = f.reg("t_rev")
+        with f.for_loop(i, 0, n) as rv:
+            f.set(rbit, 0)
+            f.set(t, i)
+            for _ in range(log_n):
+                f.set(rbit, (rbit << 1) | (t & 1))
+                f.set(t, t >> 1)
+            f.store(rev, i, rbit)
+        mark("bit_reverse_table", rv)
+
+        # Permutation swap pass: each unordered pair touched once (parallel).
+        j = f.reg("j_sw")
+        a = f.reg("a_sw")
+        bb = f.reg("b_sw")
+        with f.for_loop(j, 0, n) as sw:
+            f.set(a, f.load(rev, j))
+            with f.if_(f.reg("a_sw").gt(j)):
+                f.set(bb, f.load(re, j))
+                f.store(re, j, f.load(re, a))
+                f.store(re, a, bb)
+                f.set(bb, f.load(im, j))
+                f.store(im, j, f.load(im, a))
+                f.store(im, a, bb)
+        mark("bit_reverse_swap", sw)
+
+        # Butterfly stages: disjoint pairs within a stage -> parallel.
+        for s in range(1, log_n + 1):
+            half = 1 << (s - 1)
+            stride = n >> s  # twiddle index stride at this stage
+            g = f.reg(f"g_s{s}")
+            tr = f.reg(f"tr_s{s}")
+            ti = f.reg(f"ti_s{s}")
+            lo = f.reg(f"lo_s{s}")
+            hi = f.reg(f"hi_s{s}")
+            wk = f.reg(f"wk_s{s}")
+            with f.for_loop(g, 0, n // 2) as st:
+                # g enumerates butterflies: block = g // half, pos = g % half
+                f.set(lo, (g // half) * (half * 2) + (g % half))
+                f.set(hi, f.reg(f"lo_s{s}") + half)
+                f.set(wk, (g % half) * stride)
+                f.set(
+                    tr,
+                    f.load(re, hi) * f.load(wre, wk)
+                    - f.load(im, hi) * f.load(wim, wk),
+                )
+                f.set(
+                    ti,
+                    f.load(re, hi) * f.load(wim, wk)
+                    + f.load(im, hi) * f.load(wre, wk),
+                )
+                f.store(re, hi, f.load(re, lo) - tr)
+                f.store(im, hi, f.load(im, lo) - ti)
+                f.store(re, lo, f.load(re, lo) + tr)
+                f.store(im, lo, f.load(im, lo) + ti)
+            mark(f"butterfly_stage_{s}", st)
+
+        # Checksum reduction (annotated, identified).
+        c = f.reg("i_ck")
+        with f.for_loop(c, 0, n) as ck:
+            f.store(
+                checksum,
+                None,
+                f.load(checksum) + f.load(re, c) * f.load(re, c)
+                + f.load(im, c) * f.load(im, c),
+            )
+        mark("checksum", ck)
+
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+register(
+    Workload(
+        name="ft",
+        suite="nas",
+        build_seq=build,
+        description="radix-2 FFT with twiddle recurrence",
+    )
+)

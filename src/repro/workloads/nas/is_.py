@@ -1,0 +1,80 @@
+"""IS — integer (bucket) sort analog.
+
+Counting sort over small keys: key generation and the final permutation
+copy parallelize; the histogram *ranking* loop (read-position / scatter /
+increment across three lines) and the prefix sum are genuinely sequential
+at the dependence level even though NAS IS's OpenMP version annotates the
+ranking with atomics and private sub-histograms — the paper's "8 of 11"
+identified for IS comes from exactly this gap.
+"""
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import fill, gather, histogram_rank, lcg_fill, recurrence
+
+
+def build(scale: int = 1):
+    n_keys = 3000 * scale
+    max_key = 256
+    b = ProgramBuilder("is")
+    keys = b.global_array("keys", n_keys)
+    counts = b.global_array("counts", max_key)
+    ranks = b.global_array("ranks", n_keys)
+    sorted_keys = b.global_array("sorted_keys", n_keys)
+    check = b.global_scalar("check")
+
+    annotated: dict[str, int] = {}
+    identified: set[str] = set()
+
+    def mark(key, loop, parallel=True):
+        annotated[key] = loop.line
+        if parallel:
+            identified.add(key)
+
+    with b.function("main") as f:
+        kf = lcg_fill(f, keys, n_keys, seed=314159)
+        mark("gen_keys", kf)
+        # trim keys into range on their own line (parallel elementwise)
+        i = f.reg("i_trim")
+        with f.for_loop(i, 0, n_keys) as trim:
+            f.store(keys, i, f.load(keys, i) % max_key)
+        mark("trim_keys", trim)
+        cz = fill(f, counts, max_key, lambda r: 0)
+        mark("zero_counts", cz)
+        # ranking with a shared histogram: annotated (OMP uses atomics),
+        # but dynamically carried -> not identified
+        hr = histogram_rank(f, counts, keys, ranks, n_keys)
+        mark("rank_keys", hr, parallel=False)
+        # prefix sum over buckets: sequential, annotated in NAS via
+        # work-sharing tricks -> not identified
+        ps = recurrence(f, counts, max_key)
+        mark("bucket_prefix", ps, parallel=False)
+        # permutation copy: writes disjoint (ranks is a permutation)
+        gt = gather(f, sorted_keys, keys, ranks, n_keys)
+        mark("permute", gt)
+        # verification reduction
+        j = f.reg("i_ver")
+        with f.for_loop(j, 0, n_keys) as ver:
+            f.store(check, None, f.load(check) + f.load(sorted_keys, j))
+        mark("verify", ver)
+        # sortedness check (NAS IS's full_verify): counts inversions of
+        # adjacent elements — reads overlap across iterations but no loop-
+        # carried flow, and the counter reduces: parallelizable.
+        k2 = f.reg("i_srt")
+        with f.for_loop(k2, 1, n_keys) as srt:
+            with f.if_(f.load(sorted_keys, k2 - 1).gt(f.load(sorted_keys, k2))):
+                f.store(check, None, f.load(check) + 1_000_000)
+        mark("full_verify", srt)
+
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+register(
+    Workload(
+        name="is",
+        suite="nas",
+        build_seq=build,
+        description="counting sort; shared-histogram ranking blocks",
+    )
+)

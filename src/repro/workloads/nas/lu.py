@@ -1,0 +1,26 @@
+"""LU — SSOR solver analog.
+
+LU applies symmetric successive over-relaxation: besides the parallel RHS
+and line-solve loops it performs lower/upper triangular sweeps whose
+wavefront dependences (west + north neighbours of the same array) defeat
+plain loop parallelization — the OpenMP original pipelines them.  The
+wavefront loop is annotated but not identifiable, mirroring how the paper's
+detection rests on dynamic dependences.
+"""
+
+from repro.workloads.base import Workload, register
+from repro.workloads.nas._adi import build_adi
+
+
+def build(scale: int = 1):
+    return build_adi("lu", n=12 * scale, components=2, ssor_wavefront=True, sweeps=1)
+
+
+register(
+    Workload(
+        name="lu",
+        suite="nas",
+        build_seq=build,
+        description="SSOR solver with a pipelined wavefront sweep",
+    )
+)

@@ -1,0 +1,98 @@
+"""MG — multigrid analog.
+
+Two V-cycles over a 1D hierarchy with a residual-norm check between them:
+out-of-place Jacobi smoothing, residual restriction to the coarse grid,
+prolongation back, and the L2 norm of the correction as a reduction.  Every
+loop either writes a different array than it reads or reduces into a
+same-line accumulator, so all annotated loops parallelize (Table II: 14/14
+for MG).
+"""
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill, stencil3
+
+CYCLES = 2
+
+
+def build(scale: int = 1):
+    n0 = 512 * scale
+    levels = 3
+    b = ProgramBuilder("mg")
+    sizes = [n0 >> l for l in range(levels)]
+    u = [b.global_array(f"u{l}", sizes[l]) for l in range(levels)]
+    tmp = [b.global_array(f"tmp{l}", sizes[l]) for l in range(levels)]
+    rnorm = b.global_scalar("rnorm")
+
+    annotated: dict[str, int] = {}
+    identified: set[str] = set()
+
+    def mark(key, loop):
+        if key not in annotated:  # first cycle carries the ground truth
+            annotated[key] = loop.line
+            identified.add(key)
+
+    with b.function("main") as f:
+        mark("init", lcg_fill(f, u[0], sizes[0], seed=5150))
+
+        for cyc in range(CYCLES):
+            # Downward leg: smooth, then restrict the smoothed field.
+            for l in range(levels - 1):
+                mark(f"smooth_down_{l}", stencil3(f, tmp[l], u[l], sizes[l]))
+                i = f.reg(f"i_restrict_{l}_{cyc}")
+                with f.for_loop(i, 0, sizes[l + 1]) as rs:
+                    f.store(
+                        u[l + 1],
+                        i,
+                        (f.load(tmp[l], i * 2) + f.load(tmp[l], i * 2 + 1)) / 2,
+                    )
+                mark(f"restrict_{l}", rs)
+
+            # Coarsest smoothing.
+            mark(
+                "smooth_coarse",
+                stencil3(f, tmp[levels - 1], u[levels - 1], sizes[levels - 1]),
+            )
+
+            # Upward leg: prolongate and correct.
+            for l in range(levels - 2, -1, -1):
+                i = f.reg(f"i_prolong_{l}_{cyc}")
+                with f.for_loop(i, 0, sizes[l + 1]) as pg:
+                    f.store(
+                        u[l],
+                        i * 2,
+                        f.load(u[l], i * 2) + f.load(tmp[l + 1], i) / 2,
+                    )
+                    f.store(
+                        u[l],
+                        i * 2 + 1,
+                        f.load(u[l], i * 2 + 1) + f.load(tmp[l + 1], i) / 2,
+                    )
+                mark(f"prolong_{l}", pg)
+                mark(f"smooth_up_{l}", stencil3(f, tmp[l], u[l], sizes[l]))
+
+            # Residual norm between cycles (reduction — identified).
+            f.store(rnorm, None, 0)
+            j = f.reg(f"j_norm_{cyc}")
+            with f.for_loop(j, 1, sizes[0] - 1) as nm:
+                f.store(
+                    rnorm,
+                    None,
+                    f.load(rnorm)
+                    + (f.load(u[0], j) - f.load(tmp[0], j))
+                    * (f.load(u[0], j) - f.load(tmp[0], j)),
+                )
+            mark("residual_norm", nm)
+
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+register(
+    Workload(
+        name="mg",
+        suite="nas",
+        build_seq=build,
+        description="multigrid V-cycle, all loops out-of-place",
+    )
+)

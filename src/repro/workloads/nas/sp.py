@@ -1,0 +1,23 @@
+"""SP — scalar pentadiagonal solver analog.
+
+SP's line systems are pentadiagonal: each direction needs a forward and a
+backward substitution pass.  Two components, both passes annotated; every
+annotated loop parallelizes across lines (Table II: 34/34).
+"""
+
+from repro.workloads.base import Workload, register
+from repro.workloads.nas._adi import build_adi
+
+
+def build(scale: int = 1):
+    return build_adi("sp", n=12 * scale, components=2, backward_pass=True, sweeps=1)
+
+
+register(
+    Workload(
+        name="sp",
+        suite="nas",
+        build_seq=build,
+        description="scalar-pentadiagonal ADI solver with backward passes",
+    )
+)

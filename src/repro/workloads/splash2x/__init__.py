@@ -1,0 +1,13 @@
+"""SPLASH-2x analogs (communication-pattern workloads, Figure 9).
+
+Three contrasting topologies: water-spatial (neighbour band),
+fft-transpose (all-to-all), master-worker (star).
+"""
+
+from repro.workloads.splash2x import (  # noqa: F401
+    fft_transpose,
+    master_worker,
+    water_spatial,
+)
+
+__all__ = ["fft_transpose", "master_worker", "water_spatial"]

@@ -1,0 +1,61 @@
+"""fft-transpose — all-to-all communication analog.
+
+SPLASH-2's FFT spends its communication in a blocked matrix transpose:
+every thread owns a block-row and, in the transpose step, reads one block
+from *every* other thread's row.  Barrow-Williams et al. characterize the
+resulting producer/consumer matrix as uniform all-to-all — the opposite
+extreme of water-spatial's neighbour band, which makes the pair a good
+probe of communication-pattern detection.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    block = 8 * scale  # elements per (row-block, col-block) tile
+    n = block * threads
+    b = ProgramBuilder("fft-transpose")
+    src = b.global_array("src", n * threads)  # threads block-rows of n each
+    dst = b.global_array("dst", n * threads)
+
+    with b.function("fft_worker", params=("wid", "lo", "hi")) as f:
+        i = f.reg("i")
+        blk = f.reg("blk")
+        # Produce: fill the owned block-row.
+        with f.for_loop(i, 0, n):
+            f.store(src, f.param("wid") * n + i, f.param("wid") * 1000 + i)
+        f.barrier(0, threads)
+        # Transpose: gather block `wid` from EVERY row (all-to-all reads).
+        with f.for_loop(blk, 0, threads):
+            with f.for_loop(i, 0, block):
+                f.store(
+                    dst,
+                    f.param("wid") * n + blk * block + i,
+                    f.load(src, blk * n + f.param("wid") * block + i) * 2,
+                )
+        f.barrier(1, threads)
+
+    with b.function("main") as f:
+        for wid in range(threads):
+            f.spawn("fft_worker", wid, 0, 0)
+        f.join_all()
+
+    return b.build(), WorkloadMeta()
+
+
+def build(scale: int = 1):
+    return build_par(scale, threads=1)
+
+
+register(
+    Workload(
+        name="fft-transpose",
+        suite="splash2x",
+        build_seq=build,
+        build_par=build_par,
+        description="blocked matrix transpose with all-to-all communication",
+    )
+)

@@ -1,0 +1,64 @@
+"""master-worker — star communication analog.
+
+A classic task-farm: the first thread produces task descriptors that every
+worker consumes, and workers produce results only the master reads back.
+The producer/consumer matrix is a star centred on the master — a third
+distinct shape next to water-spatial's band and fft-transpose's all-to-all,
+exercising that communication-pattern detection recovers topology, not
+just intensity.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    tasks_per_worker = 16 * scale
+    n_tasks = tasks_per_worker * threads
+    b = ProgramBuilder("master-worker")
+    tasks = b.global_array("tasks", n_tasks)
+    results = b.global_array("results", n_tasks)
+    total = b.global_scalar("total")
+
+    with b.function("master", params=()) as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, n_tasks):  # produce every task
+            f.store(tasks, i, i * 7 + 1)
+        f.barrier(0, threads + 1)
+        f.barrier(1, threads + 1)  # wait for workers to finish
+        with f.for_loop(i, 0, n_tasks):  # consume every result
+            f.store(total, None, f.load(total) + f.load(results, i))
+
+    with b.function("worker", params=("lo", "hi")) as f:
+        i = f.reg("i")
+        v = f.reg("v")
+        f.barrier(0, threads + 1)
+        with f.for_loop(i, f.param("lo"), f.param("hi")):
+            f.set(v, f.load(tasks, i))
+            f.store(results, i, v * v % 1009)
+        f.barrier(1, threads + 1)
+
+    with b.function("main") as f:
+        f.spawn("master")
+        for wid in range(threads):
+            f.spawn("worker", wid * tasks_per_worker, (wid + 1) * tasks_per_worker)
+        f.join_all()
+
+    return b.build(), WorkloadMeta()
+
+
+def build(scale: int = 1):
+    return build_par(scale, threads=1)
+
+
+register(
+    Workload(
+        name="master-worker",
+        suite="splash2x",
+        build_seq=build,
+        build_par=build_par,
+        description="task farm with star-shaped communication",
+    )
+)

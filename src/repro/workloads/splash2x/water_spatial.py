@@ -1,0 +1,79 @@
+"""water-spatial — spatial molecular-dynamics analog.
+
+SPLASH-2's water-spatial partitions the simulation box into spatial cells,
+one owner thread per cell slab; force computation reads neighbouring
+slabs' particle data, so each thread communicates mostly with its spatial
+neighbours.  Barrow-Williams et al. (the paper's reference [27]) report a
+strongly neighbour-banded producer/consumer matrix for it — which is the
+pattern Figure 9 recovers from cross-thread RAW dependences.
+
+The analog: per step, every thread updates its own slab's positions
+(produces), then computes forces reading its own and both neighbouring
+slabs (consumes) — yielding the banded matrix.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+
+STEPS = 2
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    per_slab = 60 * scale
+    n = per_slab * threads
+    b = ProgramBuilder("water-spatial")
+    pos = b.global_array("pos", n)
+    force = b.global_array("force", n)
+
+    with b.function("md_worker", params=("wid", "lo", "hi")) as f:
+        i = f.reg("i")
+        j = f.reg("j")
+        acc = f.reg("acc")
+        for step in range(STEPS):
+            # Produce: integrate own slab's positions.
+            with f.for_loop(i, f.param("lo"), f.param("hi")):
+                f.store(pos, i, (f.load(pos, i) + f.load(force, i) / 16) % 1000)
+            f.barrier(step * 2, threads)
+            # Consume: forces from own + neighbour slabs (wrap-free band).
+            with f.for_loop(i, f.param("lo"), f.param("hi")):
+                f.set(acc, 0)
+                # left neighbour sample
+                with f.if_(f.param("lo").gt(0)):
+                    f.set(acc, f.reg("acc") + f.load(pos, f.param("lo") - 1 - (i % 8)))
+                # right neighbour sample
+                with f.if_(f.param("hi").lt(n)):
+                    f.set(acc, f.reg("acc") + f.load(pos, f.param("hi") + (i % 8)))
+                # own-slab pair interactions
+                with f.for_loop(j, f.param("lo"), f.param("hi"), step=per_slab // 8):
+                    f.set(acc, f.reg("acc") + f.load(pos, j))
+                f.store(force, i, f.reg("acc") % 500)
+            f.barrier(step * 2 + 1, threads)
+
+    with b.function("main") as f:
+        lcg_fill(f, pos, n, seed=777)
+        lcg_fill(f, force, n, seed=778)
+        lo = 0
+        for wid in range(threads):
+            f.spawn("md_worker", wid, wid * per_slab, (wid + 1) * per_slab)
+        f.join_all()
+
+    return b.build(), WorkloadMeta()
+
+
+def build(scale: int = 1):
+    """Sequential fallback: single-slab run (profiling sanity only)."""
+    return build_par(scale, threads=1)
+
+
+register(
+    Workload(
+        name="water-spatial",
+        suite="splash2x",
+        build_seq=build,
+        build_par=build_par,
+        description="spatially-decomposed MD with neighbour communication",
+    )
+)

@@ -1,0 +1,32 @@
+"""Starbench suite analogs (sequential + pthread-style variants).
+
+Registration happens on import of each kernel module.
+"""
+
+from repro.workloads.starbench import (  # noqa: F401
+    bodytrack,
+    c_ray,
+    h264dec,
+    kmeans,
+    md5,
+    ray_rot,
+    rgbyuv,
+    rot_cc,
+    rotate,
+    streamcluster,
+    tinyjpeg,
+)
+
+__all__ = [
+    "bodytrack",
+    "c_ray",
+    "h264dec",
+    "kmeans",
+    "md5",
+    "ray_rot",
+    "rgbyuv",
+    "rot_cc",
+    "rotate",
+    "streamcluster",
+    "tinyjpeg",
+]

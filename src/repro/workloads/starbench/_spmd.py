@@ -1,0 +1,31 @@
+"""Shared scaffolding for pthread-style Starbench variants.
+
+The Starbench pthread codes follow one shape: main partitions the iteration
+space, spawns T workers with ``(wid, lo, hi)``, and joins.  Shared
+accumulators are protected by locks; phased algorithms use barriers.
+"""
+
+from __future__ import annotations
+
+from repro.minivm.builder import FunctionBuilder
+
+
+def chunk_bounds(n: int, threads: int) -> list[tuple[int, int]]:
+    """Contiguous [lo, hi) ranges splitting ``n`` items over ``threads``."""
+    base, rem = divmod(n, threads)
+    bounds = []
+    lo = 0
+    for t in range(threads):
+        hi = lo + base + (1 if t < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def spawn_workers(
+    f: FunctionBuilder, func: str, n: int, threads: int, *extra
+) -> None:
+    """Emit spawn calls for every range chunk plus a join."""
+    for wid, (lo, hi) in enumerate(chunk_bounds(n, threads)):
+        f.spawn(func, wid, lo, hi, *extra)
+    f.join_all()

@@ -1,0 +1,159 @@
+"""bodytrack — particle-filter analog.
+
+Per frame: score every particle against an observation model (parallel,
+with a same-line reduction for the total weight), normalize weights, then
+systematically *resample* via a cumulative-weight prefix scan — the
+sequential stage that, together with the frame loop, limits bodytrack's
+scaling in the paper's Figures 5 and 6.  The pthread version parallelizes
+the scoring under a locked weight total and leaves resampling to thread 0
+between barriers.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench._spmd import spawn_workers
+
+FRAMES = 2
+MODEL = 64
+
+
+def declare(b: ProgramBuilder, n: int):
+    return {
+        "pos": b.global_array("pos", n),
+        "weight": b.global_array("weight", n),
+        "cum": b.global_array("cum", n),
+        "newpos": b.global_array("newpos", n),
+        "model": b.global_array("model", MODEL),
+        "model_half": b.global_array("model_half", MODEL // 2),
+        "total": b.global_scalar("total"),
+    }
+
+
+def emit_build_pyramid(f, v, prefix=""):
+    """Downsample the observation model — the image-pyramid stage real
+    bodytrack builds per frame (out-of-place: parallelizable)."""
+    m = f.reg(f"{prefix}m_pyr")
+    with f.for_loop(m, 0, MODEL // 2) as loop:
+        f.store(
+            v["model_half"],
+            m,
+            (f.load(v["model"], m * 2) + f.load(v["model"], m * 2 + 1)) / 2,
+        )
+    return loop
+
+
+def emit_score_range(f, v, n, lo, hi, prefix="", lock_id=None):
+    """Coarse-to-fine likelihood: a cheap pass over the half-resolution
+    pyramid level refines into the full model — the two-level evaluation
+    the real tracker performs per particle."""
+    i = f.reg(f"{prefix}i_sc")
+    m = f.reg(f"{prefix}m_sc")
+    acc = f.reg(f"{prefix}acc")
+    with f.for_loop(i, lo, hi) as loop:
+        f.set(acc, 0)
+        # coarse level: half-resolution sweep
+        with f.for_loop(m, 0, MODEL // 2, step=8):
+            f.set(
+                acc,
+                f.reg(f"{prefix}acc")
+                + f.load(v["model_half"], (f.load(v["pos"], i) + m) % (MODEL // 2)),
+            )
+        # fine level, entered only for plausible particles
+        with f.if_(f.reg(f"{prefix}acc").gt(0)):
+            with f.for_loop(m, 0, MODEL, step=8):
+                f.set(
+                    acc,
+                    f.reg(f"{prefix}acc")
+                    + f.load(v["model"], (f.load(v["pos"], i) + m) % MODEL),
+                )
+        f.store(v["weight"], i, f.reg(f"{prefix}acc") % 255 + 1)
+        if lock_id is None:
+            f.store(v["total"], None, f.load(v["total"]) + f.load(v["weight"], i))
+        else:
+            with f.lock(lock_id):
+                f.store(v["total"], None, f.load(v["total"]) + f.load(v["weight"], i))
+    return loop
+
+
+def emit_resample(f, v, n, prefix=""):
+    """Cumulative weights (sequential scan) + systematic pick."""
+    i = f.reg(f"{prefix}i_cum")
+    f.store(v["cum"], 0, f.load(v["weight"], 0))
+    with f.for_loop(i, 1, n) as scan:
+        f.store(v["cum"], i, f.load(v["cum"], i - 1) + f.load(v["weight"], i))
+    j = f.reg(f"{prefix}j_rs")
+    pick = f.reg(f"{prefix}pick")
+    k = f.reg(f"{prefix}k_rs")
+    with f.for_loop(j, 0, n) as rs:
+        f.set(pick, (j * f.load(v["total"])) / n)
+        # linear probe for the first cum >= pick (bounded walk)
+        f.set(k, 0)
+        with f.while_loop(f.load(v["cum"], k).lt(pick) & k.lt(n - 1)):
+            f.set(k, f.reg(f"{prefix}k_rs") + 1)
+        f.store(v["newpos"], j, f.load(v["pos"], k))
+    c = f.reg(f"{prefix}c_rs")
+    with f.for_loop(c, 0, n) as cp:
+        f.store(v["pos"], c, f.load(v["newpos"], c))
+    return scan, rs, cp
+
+
+def build(scale: int = 1):
+    n = 150 * scale
+    b = ProgramBuilder("bodytrack")
+    v = declare(b, n)
+    annotated, identified = {}, set()
+    with b.function("main") as f:
+        annotated["init_pos"] = lcg_fill(f, v["pos"], n, seed=91).line
+        annotated["init_model"] = lcg_fill(f, v["model"], MODEL, seed=92).line
+        annotated["build_pyramid"] = emit_build_pyramid(f, v).line
+        identified.update(annotated)
+        for fr in range(FRAMES):
+            f.store(v["total"], None, 0)
+            score = emit_score_range(f, v, n, 0, n, prefix=f"f{fr}_")
+            scan, rs, cp = emit_resample(f, v, n, prefix=f"f{fr}_")
+            if fr == 0:
+                annotated["score_particles"] = score.line
+                identified.add("score_particles")
+                annotated["cumulative_scan"] = scan.line  # sequential prefix
+                annotated["resample_pick"] = rs.line
+                identified.add("resample_pick")  # reads cum, writes newpos
+                annotated["copy_back"] = cp.line
+                identified.add("copy_back")
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    n = 150 * scale
+    b = ProgramBuilder("bodytrack-pthread")
+    v = declare(b, n)
+    with b.function("track_worker", params=("wid", "lo", "hi")) as f:
+        for fr in range(FRAMES):
+            emit_score_range(
+                f, v, n, f.param("lo"), f.param("hi"), prefix=f"w{fr}_", lock_id=1
+            )
+            f.barrier(fr * 2, threads)
+            with f.if_(f.param("wid").eq(0)):
+                emit_resample(f, v, n, prefix=f"w{fr}_")
+                f.store(v["total"], None, 0)
+            f.barrier(fr * 2 + 1, threads)
+    with b.function("main") as f:
+        lcg_fill(f, v["pos"], n, seed=91)
+        lcg_fill(f, v["model"], MODEL, seed=92)
+        emit_build_pyramid(f, v, prefix="m_")
+        spawn_workers(f, "track_worker", n, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="bodytrack",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="particle filter with sequential resampling",
+    )
+)

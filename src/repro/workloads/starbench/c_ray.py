@@ -1,0 +1,144 @@
+"""c-ray — sphere ray-tracer analog.
+
+Casts one primary ray per pixel against a small sphere list, shades the
+nearest hit with a Lambert term, and writes an image.  Pixels are
+independent — the pthread version splits pixel rows across threads.  The
+image dominates the address count (c-ray tops Table I's address column),
+and the per-pixel sphere loop gives the deep read-mostly inner loop the
+original has.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.minivm.astnodes import UnOp
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.starbench._spmd import spawn_workers
+
+N_SPHERES = 6
+
+
+def declare_scene(b: ProgramBuilder, width: int, height: int):
+    return {
+        "sx": b.global_array("sx", N_SPHERES),
+        "sy": b.global_array("sy", N_SPHERES),
+        "sz": b.global_array("sz", N_SPHERES),
+        "srad": b.global_array("srad", N_SPHERES),
+        "image": b.global_array("image", width * height),
+    }
+
+
+def emit_scene_init(f, scene):
+    """Place spheres deterministically; one annotated parallel loop."""
+    s = f.reg("s_init")
+    with f.for_loop(s, 0, N_SPHERES) as loop:
+        f.store(scene["sx"], s, s * 37 % 97 - 48)
+        f.store(scene["sy"], s, s * 61 % 83 - 41)
+        f.store(scene["sz"], s, 60 + s * 11)
+        f.store(scene["srad"], s, 8 + s * 3)
+    return loop
+
+
+def emit_render_range(f, scene, width, lo, hi, prefix=""):
+    """Render pixels [lo, hi); returns the pixel loop statement.
+
+    The ray march per pixel: for each sphere solve the quadratic for the
+    view ray (dx, dy, 1), keep the nearest positive root, shade by depth.
+    All intermediates are registers; only scene reads and the image write
+    touch memory — like the -O2-compiled original.
+    """
+    p = f.reg(f"{prefix}p")
+    best = f.reg(f"{prefix}best")
+    s = f.reg(f"{prefix}s")
+    dx = f.reg(f"{prefix}dx")
+    dy = f.reg(f"{prefix}dy")
+    ocx = f.reg(f"{prefix}ocx")
+    ocy = f.reg(f"{prefix}ocy")
+    ocz = f.reg(f"{prefix}ocz")
+    bq = f.reg(f"{prefix}bq")
+    cq = f.reg(f"{prefix}cq")
+    disc = f.reg(f"{prefix}disc")
+    t = f.reg(f"{prefix}t")
+    with f.for_loop(p, lo, hi) as loop:
+        f.set(dx, (p % width) - width / 2)
+        f.set(dy, (p // width) - width / 2)
+        f.set(best, 1_000_000)
+        with f.for_loop(s, 0, N_SPHERES):
+            f.set(ocx, -f.load(scene["sx"], s))
+            f.set(ocy, -f.load(scene["sy"], s))
+            f.set(ocz, -f.load(scene["sz"], s))
+            # ray dir (dx, dy, 64), unnormalized quadratic
+            f.set(bq, ocx * dx + ocy * dy + ocz * 64)
+            f.set(
+                cq,
+                ocx * ocx + ocy * ocy + ocz * ocz
+                - f.load(scene["srad"], s) * f.load(scene["srad"], s),
+            )
+            f.set(disc, bq * bq - cq * (dx * dx + dy * dy + 64 * 64))
+            with f.if_(disc.gt(0)):
+                f.set(t, (-bq - UnOp("sqrt", disc)) / (dx * dx + dy * dy + 4096))
+                with f.if_(t.gt(0) & t.lt(best)):
+                    f.set(best, t)
+        # Lambert-ish shade by hit depth; a shadow feeler toward the light
+        # re-walks the sphere list (like the original's shadow rays) and
+        # halves the contribution when occluded.
+        with f.if_(best.lt(1_000_000)):
+            shadow = f.reg(f"{prefix}shadow")
+            f.set(shadow, 0)
+            with f.for_loop(s, 0, N_SPHERES):
+                # hit point ~ t*(dx,dy,64); light sits at (0,-1000,0)
+                f.set(ocx, best * dx - f.load(scene["sx"], s))
+                f.set(ocy, best * dy - 1000 - f.load(scene["sy"], s))
+                f.set(ocz, best * 64 - f.load(scene["sz"], s))
+                with f.if_(
+                    (ocx * ocx + ocy * ocy + ocz * ocz).lt(
+                        f.load(scene["srad"], s) * f.load(scene["srad"], s) * 4
+                    )
+                ):
+                    f.set(shadow, 1)
+            with f.if_(f.reg(f"{prefix}shadow").gt(0)):
+                f.store(scene["image"], p, 127 / (1 + best * best))
+            with f.else_():
+                f.store(scene["image"], p, 255 / (1 + best * best))
+        with f.else_():
+            f.store(scene["image"], p, 0)
+    return loop
+
+
+def build(scale: int = 1):
+    width = 48 * scale
+    height = 32 * scale
+    b = ProgramBuilder("c-ray")
+    scene = declare_scene(b, width, height)
+    with b.function("main") as f:
+        init = emit_scene_init(f, scene)
+        render = emit_render_range(f, scene, width, 0, width * height)
+    meta = WorkloadMeta(
+        annotated={"scene_init": init.line, "render_pixels": render.line},
+        expected_identified={"scene_init", "render_pixels"},
+    )
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    width = 48 * scale
+    height = 32 * scale
+    b = ProgramBuilder("c-ray-pthread")
+    scene = declare_scene(b, width, height)
+    with b.function("render_worker", params=("wid", "lo", "hi")) as f:
+        emit_render_range(f, scene, width, f.param("lo"), f.param("hi"), prefix="w_")
+    with b.function("main") as f:
+        emit_scene_init(f, scene)
+        spawn_workers(f, "render_worker", width * height, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="c-ray",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="per-pixel sphere ray tracing",
+    )
+)

@@ -1,0 +1,166 @@
+"""h264dec — video-decoder analog.
+
+The largest, most dependence-rich benchmark of the suite (the paper counts
+31k distinct dependences for it).  The analog decodes a grid of
+macroblocks per frame: each block is intra-predicted from its *left* and
+*top* neighbours (the wavefront dependence that makes naive MB-loop
+parallelization illegal), a residual is "entropy-decoded" and added, and a
+deblocking filter smooths block edges.  The pthread version assigns MB rows
+to threads and enforces the top-neighbour dependence with per-row progress
+counters guarded by a lock — 2D-wave style, like real slice decoders.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import BinOp, Const, ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import LCG_M, copy, lcg_fill, lcg_step
+from repro.workloads.starbench._spmd import chunk_bounds
+
+FRAMES = 2
+MB = 16  # pixels per macroblock (4x4 analog)
+
+
+def declare(b: ProgramBuilder, mw: int, mh: int, threads: int = 1):
+    return {
+        "frame": b.global_array("frame", mw * mh * MB),
+        "ref_frame": b.global_array("ref_frame", mw * mh * MB),
+        "resid": b.global_array("resid", MB * max(threads, 1)),
+        "qtab": b.global_array("qtab", MB),
+        "progress": b.global_array("progress", max(mh, 1)),
+    }
+
+
+def emit_decode_mb(f, v, mw, mx, my, scratch_base, frame_no, prefix=""):
+    """Decode one macroblock at (mx, my) — shared by both variants.
+
+    Frame 0 is an I-frame (intra prediction from left/top neighbours);
+    later frames are P-frames (motion compensation: prediction from a
+    motion-vector-displaced block of the *reference* frame, creating the
+    cross-frame RAW dependences real decoders carry).
+    """
+    k = f.reg(f"{prefix}k_mb")
+    bits = f.reg(f"{prefix}bits")
+    pred = f.reg(f"{prefix}pred")
+    base = f.reg(f"{prefix}base")
+    f.set(base, (my * mw + mx) * MB)
+    if frame_no == 0:
+        # Intra prediction: average of left MB's last pixel and top MB's
+        # bottom pixel (wavefront neighbours), DC fallback at edges.
+        f.set(pred, 128)
+        with f.if_(mx.gt(0)):
+            f.set(pred, f.load(v["frame"], base - 1))
+        with f.if_(my.gt(0)):
+            f.set(
+                pred,
+                (f.reg(f"{prefix}pred") + f.load(v["frame"], base - mw * MB + MB - 1)) / 2,
+            )
+    else:
+        # Motion compensation: sample the reference frame at the block one
+        # MB to the left (clamped) — a short backward motion vector.
+        mvsrc = f.reg(f"{prefix}mvsrc")
+        f.set(mvsrc, (my * mw + BinOp("max", mx - 1, Const(0))) * MB)
+        f.set(
+            pred,
+            (f.load(v["ref_frame"], mvsrc) + f.load(v["ref_frame"], mvsrc + MB - 1)) / 2,
+        )
+    # Residual "entropy decode" into the scratch block.
+    f.set(bits, (base * 2654435761 + frame_no) % LCG_M)
+    with f.for_loop(k, 0, MB):
+        lcg_step(f, bits)
+        f.store(v["resid"], scratch_base + k, (bits % 64) * f.load(v["qtab"], k) / 64)
+    # Reconstruct.
+    with f.for_loop(k, 0, MB):
+        f.store(
+            v["frame"],
+            base + k,
+            (pred + f.load(v["resid"], scratch_base + k)) % 256,
+        )
+    # Deblock: smooth against the left neighbour's boundary pixel.
+    with f.if_(mx.gt(0)):
+        f.store(
+            v["frame"],
+            base,
+            (f.load(v["frame"], base) + f.load(v["frame"], base - 1)) / 2,
+        )
+
+
+def build(scale: int = 1):
+    mw, mh = 10 * scale, 6 * scale
+    b = ProgramBuilder("h264dec")
+    v = declare(b, mw, mh)
+    annotated, identified = {}, set()
+    with b.function("main") as f:
+        annotated["init_qtab"] = lcg_fill(f, v["qtab"], MB, seed=64).line
+        identified.add("init_qtab")
+        mx = f.reg("mx")
+        my = f.reg("my")
+        for fr in range(FRAMES):
+            with f.for_loop(my, 0, mh) as rows:
+                with f.for_loop(mx, 0, mw) as cols:
+                    emit_decode_mb(f, v, mw, mx, my, 0, fr, prefix=f"f{fr}_")
+            if fr == 0:
+                # Both MB loops are annotated in parallel decoders (slice/
+                # wavefront schemes) but carry intra-prediction/deblocking
+                # dependences.
+                annotated["mb_rows"] = rows.line
+                annotated["mb_cols"] = cols.line
+            # Decoded frame becomes the reference for motion compensation.
+            ref_copy = copy(f, v["ref_frame"], v["frame"], mw * mh * MB)
+            if fr == 0:
+                annotated["ref_copy"] = ref_copy.line
+                identified.add("ref_copy")
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    mw, mh = 10 * scale, 6 * scale
+    b = ProgramBuilder("h264dec-pthread")
+    v = declare(b, mw, mh, threads)
+    with b.function("row_worker", params=("wid", "lo", "hi")) as f:
+        my = f.reg("my")
+        mx = f.reg("mx")
+        ready = f.reg("ready")
+        for fr in range(FRAMES):
+            with f.for_loop(my, f.param("lo"), f.param("hi")):
+                with f.for_loop(mx, 0, mw):
+                    # 2D-wave: wait until the top row has decoded past mx.
+                    with f.if_(my.gt(0)):
+                        f.set(ready, 0)
+                        with f.while_loop(f.reg("ready").eq(0)):
+                            with f.lock(1):
+                                with f.if_(f.load(v["progress"], my - 1).gt(mx)):
+                                    f.set(ready, 1)
+                    emit_decode_mb(
+                        f, v, mw, mx, my, f.param("wid") * MB, fr, prefix="w_"
+                    )
+                    with f.lock(1):
+                        f.store(v["progress"], my, mx + 1)
+            f.barrier(fr, threads)
+            with f.if_(f.param("wid").eq(0)):
+                z = f.reg("z_pg")
+                with f.for_loop(z, 0, mh):
+                    f.store(v["progress"], z, 0)
+            # Every thread copies its rows into the reference frame.
+            c = f.reg("c_ref")
+            with f.for_loop(c, f.param("lo") * mw * MB, f.param("hi") * mw * MB):
+                f.store(v["ref_frame"], c, f.load(v["frame"], c))
+            f.barrier(fr + FRAMES, threads)
+    with b.function("main") as f:
+        lcg_fill(f, v["qtab"], MB, seed=64)
+        for wid, (lo, hi) in enumerate(chunk_bounds(mh, threads)):
+            f.spawn("row_worker", wid, lo, hi)
+        f.join_all()
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="h264dec",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="macroblock wavefront video decoding",
+    )
+)

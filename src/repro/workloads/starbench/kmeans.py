@@ -1,0 +1,165 @@
+"""kmeans — clustering analog.
+
+Lloyd iterations over 2-D points: the assignment loop finds each point's
+nearest centroid and accumulates it into per-cluster sums (same-line array
+reductions), then a small recompute loop divides sums by counts.  The
+pthread version splits points across threads and serializes the shared
+accumulation under a lock with a barrier between phases — giving kmeans the
+contended hot addresses that make it one of the paper's poorly-scaling
+five.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder, UnOp
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench._spmd import spawn_workers
+
+K = 5
+ITERS = 3
+
+
+def declare(b: ProgramBuilder, n: int):
+    return {
+        "px": b.global_array("px", n),
+        "py": b.global_array("py", n),
+        "cx": b.global_array("cx", K),
+        "cy": b.global_array("cy", K),
+        "oldcx": b.global_array("oldcx", K),
+        "oldcy": b.global_array("oldcy", K),
+        "sumx": b.global_array("sumx", K),
+        "sumy": b.global_array("sumy", K),
+        "cnt": b.global_array("cnt", K),
+        "assign": b.global_array("assign", n),
+        "delta": b.global_scalar("delta"),
+    }
+
+
+def emit_zero_accumulators(f, v, prefix=""):
+    c = f.reg(f"{prefix}c_zero")
+    with f.for_loop(c, 0, K) as loop:
+        f.store(v["sumx"], c, 0)
+        f.store(v["sumy"], c, 0)
+        f.store(v["cnt"], c, 0)
+    return loop
+
+
+def emit_assign_range(f, v, lo, hi, prefix="", lock_id=None):
+    """Assignment + accumulation over points [lo, hi)."""
+    i = f.reg(f"{prefix}i_asn")
+    c = f.reg(f"{prefix}c_asn")
+    best = f.reg(f"{prefix}best")
+    bestc = f.reg(f"{prefix}bestc")
+    d = f.reg(f"{prefix}d")
+    dx = f.reg(f"{prefix}dx")
+    dy = f.reg(f"{prefix}dy")
+    with f.for_loop(i, lo, hi) as loop:
+        f.set(best, 1 << 40)
+        f.set(bestc, 0)
+        with f.for_loop(c, 0, K):
+            f.set(dx, f.load(px := v["px"], i) - f.load(v["cx"], c))
+            f.set(dy, f.load(v["py"], i) - f.load(v["cy"], c))
+            f.set(d, dx * dx + dy * dy)
+            with f.if_(d.lt(best)):
+                f.set(best, d)
+                f.set(bestc, c)
+        f.store(v["assign"], i, bestc)
+        if lock_id is None:
+            f.store(v["sumx"], bestc, f.load(v["sumx"], bestc) + f.load(px, i))
+            f.store(v["sumy"], bestc, f.load(v["sumy"], bestc) + f.load(v["py"], i))
+            f.store(v["cnt"], bestc, f.load(v["cnt"], bestc) + 1)
+        else:
+            with f.lock(lock_id):
+                f.store(v["sumx"], bestc, f.load(v["sumx"], bestc) + f.load(px, i))
+                f.store(v["sumy"], bestc, f.load(v["sumy"], bestc) + f.load(v["py"], i))
+                f.store(v["cnt"], bestc, f.load(v["cnt"], bestc) + 1)
+    return loop
+
+
+def emit_recompute(f, v, prefix=""):
+    c = f.reg(f"{prefix}c_rec")
+    with f.for_loop(c, 0, K) as loop:
+        with f.if_(f.load(v["cnt"], c).gt(0)):
+            f.store(v["cx"], c, f.load(v["sumx"], c) / f.load(v["cnt"], c))
+            f.store(v["cy"], c, f.load(v["sumy"], c) / f.load(v["cnt"], c))
+    return loop
+
+
+def build(scale: int = 1):
+    n = 1200 * scale
+    b = ProgramBuilder("kmeans")
+    v = declare(b, n)
+    annotated, identified = {}, set()
+    with b.function("main") as f:
+        annotated["init_px"] = lcg_fill(f, v["px"], n, seed=31).line
+        annotated["init_py"] = lcg_fill(f, v["py"], n, seed=32).line
+        annotated["init_cx"] = lcg_fill(f, v["cx"], K, seed=33).line
+        annotated["init_cy"] = lcg_fill(f, v["cy"], K, seed=34).line
+        identified.update(annotated)
+        for it in range(ITERS):
+            emit_zero_accumulators(f, v, prefix=f"z{it}_")
+            loop = emit_assign_range(f, v, 0, n, prefix=f"a{it}_")
+            if it == 0:
+                annotated["assign_points"] = loop.line
+                identified.add("assign_points")  # array reductions
+            # Convergence machinery of real Lloyd: remember old centroids,
+            # recompute, then reduce the total centroid movement.
+            c = f.reg(f"c_old{it}")
+            with f.for_loop(c, 0, K) as snap:
+                f.store(v["oldcx"], c, f.load(v["cx"], c))
+                f.store(v["oldcy"], c, f.load(v["cy"], c))
+            emit_recompute(f, v, prefix=f"r{it}_")
+            f.store(v["delta"], None, 0)
+            d = f.reg(f"c_dl{it}")
+            with f.for_loop(d, 0, K) as dl:
+                f.store(
+                    v["delta"],
+                    None,
+                    f.load(v["delta"])
+                    + UnOp("abs", f.load(v["cx"], d) - f.load(v["oldcx"], d))
+                    + UnOp("abs", f.load(v["cy"], d) - f.load(v["oldcy"], d)),
+                )
+            if it == 0:
+                annotated["snapshot_centroids"] = snap.line
+                identified.add("snapshot_centroids")
+                annotated["movement_delta"] = dl.line
+                identified.add("movement_delta")
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    n = 1200 * scale
+    b = ProgramBuilder("kmeans-pthread")
+    v = declare(b, n)
+    with b.function("assign_worker", params=("wid", "lo", "hi")) as f:
+        for it in range(ITERS):
+            emit_assign_range(
+                f, v, f.param("lo"), f.param("hi"), prefix=f"w{it}_", lock_id=1
+            )
+            f.barrier(it * 2, threads)
+            # thread 0 recomputes centroids between phases
+            with f.if_(f.param("wid").eq(0)):
+                emit_recompute(f, v, prefix=f"wr{it}_")
+                emit_zero_accumulators(f, v, prefix=f"wz{it}_")
+            f.barrier(it * 2 + 1, threads)
+    with b.function("main") as f:
+        lcg_fill(f, v["px"], n, seed=31)
+        lcg_fill(f, v["py"], n, seed=32)
+        lcg_fill(f, v["cx"], K, seed=33)
+        lcg_fill(f, v["cy"], K, seed=34)
+        emit_zero_accumulators(f, v, prefix="m_")
+        spawn_workers(f, "assign_worker", n, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="kmeans",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="Lloyd k-means with locked shared accumulators",
+    )
+)

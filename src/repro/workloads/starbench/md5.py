@@ -1,0 +1,98 @@
+"""md5 — digest-chain analog.
+
+MD5-style block mixing: four state words are carried through every block of
+a buffer (rounds of add/xor/rotate-ish mixing against the message words).
+The chain over blocks is inherently sequential; parallelism exists only
+*across independent buffers*, which is what the pthread version exploits —
+one buffer per thread, private state.  Buffers are long and states tiny:
+few addresses, many accesses, matching md5's Table I row, and the per-
+buffer split gives the uneven hot/cold pattern behind its 16-thread memory
+spike in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench._spmd import chunk_bounds
+
+WORDS_PER_BLOCK = 16
+ROUNDS = 16  # per block; the real MD5 runs 64
+MASK = (1 << 31) - 1
+
+
+def emit_digest_range(f, msg, state, state_base, lo_block, hi_block, prefix=""):
+    """Digest blocks [lo_block, hi_block) into state[state_base..+4)."""
+    blk = f.reg(f"{prefix}blk")
+    r = f.reg(f"{prefix}r")
+    a = f.reg(f"{prefix}a")
+    bb = f.reg(f"{prefix}b")
+    c = f.reg(f"{prefix}c")
+    d = f.reg(f"{prefix}d")
+    w = f.reg(f"{prefix}w")
+    t = f.reg(f"{prefix}t")
+    with f.for_loop(blk, lo_block, hi_block) as loop:
+        # load chained state (carried RAW across blocks: sequential chain)
+        f.set(a, f.load(state, state_base))
+        f.set(bb, f.load(state, state_base + 1))
+        f.set(c, f.load(state, state_base + 2))
+        f.set(d, f.load(state, state_base + 3))
+        with f.for_loop(r, 0, ROUNDS):
+            f.set(w, f.load(msg, blk * WORDS_PER_BLOCK + (r % WORDS_PER_BLOCK)))
+            f.set(t, (a + ((bb & c) | d) + w + r * 1518500249) & MASK)
+            f.set(a, d)
+            f.set(d, c)
+            f.set(c, bb)
+            f.set(bb, (bb + ((t << 3) | (t >> 7))) & MASK)
+        f.store(state, state_base, (f.load(state, state_base) + a) & MASK)
+        f.store(state, state_base + 1, (f.load(state, state_base + 1) + bb) & MASK)
+        f.store(state, state_base + 2, (f.load(state, state_base + 2) + c) & MASK)
+        f.store(state, state_base + 3, (f.load(state, state_base + 3) + d) & MASK)
+    return loop
+
+
+def build(scale: int = 1):
+    n_blocks = 80 * scale
+    b = ProgramBuilder("md5")
+    msg = b.global_array("msg", n_blocks * WORDS_PER_BLOCK)
+    state = b.global_array("state", 4)
+    with b.function("main") as f:
+        init = lcg_fill(f, msg, n_blocks * WORDS_PER_BLOCK, seed=5555)
+        digest = emit_digest_range(f, msg, state, 0, 0, n_blocks)
+    meta = WorkloadMeta(
+        annotated={"init_msg": init.line, "digest_blocks": digest.line},
+        # The block chain is sequential: annotated in the pthread port
+        # (buffer-level parallelism), but not loop-parallelizable.
+        expected_identified={"init_msg"},
+    )
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    n_blocks = 80 * scale
+    b = ProgramBuilder("md5-pthread")
+    msg = b.global_array("msg", n_blocks * WORDS_PER_BLOCK)
+    state = b.global_array("state", 4 * threads)  # private state per thread
+    with b.function("digest_worker", params=("wid", "lo", "hi")) as f:
+        emit_digest_range(
+            f, msg, state, f.param("wid") * 4, f.param("lo"), f.param("hi"),
+            prefix="w_",
+        )
+    with b.function("main") as f:
+        lcg_fill(f, msg, n_blocks * WORDS_PER_BLOCK, seed=5555)
+        for wid, (lo, hi) in enumerate(chunk_bounds(n_blocks, threads)):
+            f.spawn("digest_worker", wid, lo, hi)
+        f.join_all()
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="md5",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="MD5-style block digest chains",
+    )
+)

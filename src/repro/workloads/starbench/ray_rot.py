@@ -1,0 +1,56 @@
+"""ray-rot — combined ray-trace + rotate analog (as in Starbench)."""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.starbench import c_ray, rotate
+from repro.workloads.starbench._spmd import spawn_workers
+
+
+def build(scale: int = 1):
+    w, h = 40 * scale, 32 * scale
+    b = ProgramBuilder("ray-rot")
+    scene = c_ray.declare_scene(b, w, h)
+    rot = {"src": scene["image"], "dst": b.global_array("rotated", w * h)}
+    with b.function("main") as f:
+        init = c_ray.emit_scene_init(f, scene)
+        render = c_ray.emit_render_range(f, scene, w, 0, w * h)
+        rloop = rotate.emit_rotate_range(f, rot, w, h, 0, w * h)
+    meta = WorkloadMeta(
+        annotated={
+            "scene_init": init.line,
+            "render_pixels": render.line,
+            "rotate_pixels": rloop.line,
+        },
+        expected_identified={"scene_init", "render_pixels", "rotate_pixels"},
+    )
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    w, h = 40 * scale, 32 * scale
+    b = ProgramBuilder("ray-rot-pthread")
+    scene = c_ray.declare_scene(b, w, h)
+    rot = {"src": scene["image"], "dst": b.global_array("rotated", w * h)}
+    n = w * h
+    with b.function("pipeline_worker", params=("wid", "lo", "hi")) as f:
+        c_ray.emit_render_range(f, scene, w, f.param("lo"), f.param("hi"), prefix="rw_")
+        # Rotation reads pixels other threads rendered: synchronize phases.
+        f.barrier(0, threads)
+        rotate.emit_rotate_range(f, rot, w, h, f.param("lo"), f.param("hi"), prefix="tw_")
+    with b.function("main") as f:
+        c_ray.emit_scene_init(f, scene)
+        spawn_workers(f, "pipeline_worker", n, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="ray-rot",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="ray tracing followed by rotation of the rendered image",
+    )
+)

@@ -1,0 +1,86 @@
+"""rgbyuv — RGB to YUV colorspace conversion analog.
+
+Elementwise conversion over six full-size planes (three in, three out):
+the most address-hungry kernel relative to its access count, which is why
+rgbyuv shows the worst FPR in Table I at small signatures.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench._spmd import spawn_workers
+
+
+def declare(b: ProgramBuilder, n: int, prefix: str = ""):
+    return {
+        c: b.global_array(prefix + c, n) for c in ("r", "g", "bch", "y", "u", "v")
+    }
+
+
+def emit_convert_range(f, p_, lo, hi, prefix=""):
+    i = f.reg(f"{prefix}i_cvt")
+    with f.for_loop(i, lo, hi) as loop:
+        f.store(
+            p_["y"],
+            i,
+            (66 * f.load(p_["r"], i) + 129 * f.load(p_["g"], i)
+             + 25 * f.load(p_["bch"], i)) // 256 + 16,
+        )
+        f.store(
+            p_["u"],
+            i,
+            (-38 * f.load(p_["r"], i) - 74 * f.load(p_["g"], i)
+             + 112 * f.load(p_["bch"], i)) // 256 + 128,
+        )
+        f.store(
+            p_["v"],
+            i,
+            (112 * f.load(p_["r"], i) - 94 * f.load(p_["g"], i)
+             - 18 * f.load(p_["bch"], i)) // 256 + 128,
+        )
+    return loop
+
+
+def build(scale: int = 1):
+    n = 4000 * scale
+    b = ProgramBuilder("rgbyuv")
+    planes = declare(b, n)
+    with b.function("main") as f:
+        loops = {
+            "init_r": lcg_fill(f, planes["r"], n, seed=11),
+            "init_g": lcg_fill(f, planes["g"], n, seed=12),
+            "init_b": lcg_fill(f, planes["bch"], n, seed=13),
+            "convert": emit_convert_range(f, planes, 0, n),
+        }
+    meta = WorkloadMeta(
+        annotated={k: l.line for k, l in loops.items()},
+        expected_identified=set(loops),
+    )
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    n = 4000 * scale
+    b = ProgramBuilder("rgbyuv-pthread")
+    planes = declare(b, n)
+    with b.function("convert_worker", params=("wid", "lo", "hi")) as f:
+        emit_convert_range(f, planes, f.param("lo"), f.param("hi"), prefix="w_")
+    with b.function("main") as f:
+        lcg_fill(f, planes["r"], n, seed=11)
+        lcg_fill(f, planes["g"], n, seed=12)
+        lcg_fill(f, planes["bch"], n, seed=13)
+        spawn_workers(f, "convert_worker", n, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="rgbyuv",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="RGB->YUV conversion over six planes",
+    )
+)

@@ -1,0 +1,63 @@
+"""rot-cc — rotate + colorspace-convert analog (as in Starbench)."""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench import rgbyuv, rotate
+from repro.workloads.starbench._spmd import spawn_workers
+
+
+def _declare(b: ProgramBuilder, n: int):
+    planes = rgbyuv.declare(b, n)
+    rot = {"src": planes["y"], "dst": b.global_array("yrot", n)}
+    return planes, rot
+
+
+def build(scale: int = 1):
+    w, h = 56 * scale, 40 * scale
+    n = w * h
+    b = ProgramBuilder("rot-cc")
+    planes, rot = _declare(b, n)
+    with b.function("main") as f:
+        loops = {
+            "init_r": lcg_fill(f, planes["r"], n, seed=21),
+            "init_g": lcg_fill(f, planes["g"], n, seed=22),
+            "init_b": lcg_fill(f, planes["bch"], n, seed=23),
+            "convert": rgbyuv.emit_convert_range(f, planes, 0, n),
+            "rotate_y": rotate.emit_rotate_range(f, rot, w, h, 0, n),
+        }
+    meta = WorkloadMeta(
+        annotated={k: l.line for k, l in loops.items()},
+        expected_identified=set(loops),
+    )
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    w, h = 56 * scale, 40 * scale
+    n = w * h
+    b = ProgramBuilder("rot-cc-pthread")
+    planes, rot = _declare(b, n)
+    with b.function("cc_worker", params=("wid", "lo", "hi")) as f:
+        rgbyuv.emit_convert_range(f, planes, f.param("lo"), f.param("hi"), prefix="cw_")
+        f.barrier(0, threads)
+        rotate.emit_rotate_range(f, rot, w, h, f.param("lo"), f.param("hi"), prefix="rw_")
+    with b.function("main") as f:
+        lcg_fill(f, planes["r"], n, seed=21)
+        lcg_fill(f, planes["g"], n, seed=22)
+        lcg_fill(f, planes["bch"], n, seed=23)
+        spawn_workers(f, "cc_worker", n, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="rot-cc",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="colorspace conversion followed by rotation",
+    )
+)

@@ -1,0 +1,70 @@
+"""rotate — 90-degree image rotation analog.
+
+``out[x * h + (h-1-y)] = in[y * w + x]``: pure data movement over two large
+buffers.  Every pixel is read once and written once, so the loop
+parallelizes trivially; the two full-size images give rotate its place
+among the high-address-count Table I rows.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench._spmd import spawn_workers
+
+
+def declare(b: ProgramBuilder, w: int, h: int, prefix: str = ""):
+    return {
+        "src": b.global_array(prefix + "src", w * h),
+        "dst": b.global_array(prefix + "dst", w * h),
+    }
+
+
+def emit_rotate_range(f, bufs, w, h, lo, hi, prefix=""):
+    """Rotate pixels [lo, hi) of the source; returns the loop."""
+    p = f.reg(f"{prefix}p_rot")
+    x = f.reg(f"{prefix}x_rot")
+    y = f.reg(f"{prefix}y_rot")
+    with f.for_loop(p, lo, hi) as loop:
+        f.set(x, p % w)
+        f.set(y, p // w)
+        f.store(bufs["dst"], x * h + (h - 1 - y), f.load(bufs["src"], p))
+    return loop
+
+
+def build(scale: int = 1):
+    w, h = 64 * scale, 48 * scale
+    b = ProgramBuilder("rotate")
+    bufs = declare(b, w, h)
+    with b.function("main") as f:
+        init = lcg_fill(f, bufs["src"], w * h, seed=9091)
+        rot = emit_rotate_range(f, bufs, w, h, 0, w * h)
+    meta = WorkloadMeta(
+        annotated={"init_image": init.line, "rotate_pixels": rot.line},
+        expected_identified={"init_image", "rotate_pixels"},
+    )
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    w, h = 64 * scale, 48 * scale
+    b = ProgramBuilder("rotate-pthread")
+    bufs = declare(b, w, h)
+    with b.function("rotate_worker", params=("wid", "lo", "hi")) as f:
+        emit_rotate_range(f, bufs, w, h, f.param("lo"), f.param("hi"), prefix="w_")
+    with b.function("main") as f:
+        lcg_fill(f, bufs["src"], w * h, seed=9091)
+        spawn_workers(f, "rotate_worker", w * h, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="rotate",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="90-degree image rotation",
+    )
+)

@@ -1,0 +1,97 @@
+"""streamcluster — online clustering analog.
+
+Repeated gain evaluation of candidate centers over a small point set: few
+distinct addresses hammered many times (Table I: 8.6e3 addresses vs 1.2e7
+accesses — the lowest address/access ratio in the suite).  The gain
+accumulator makes every evaluation round a reduction; the pthread version
+partitions points with a locked shared gain.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import lcg_fill
+from repro.workloads.starbench._spmd import spawn_workers
+
+ROUNDS = 12
+
+
+def declare(b: ProgramBuilder, n: int):
+    return {
+        "px": b.global_array("scx", n),
+        "py": b.global_array("scy", n),
+        "cost": b.global_array("cost", n),  # current assignment cost per point
+        "gain": b.global_scalar("gain"),
+    }
+
+
+def emit_round_range(f, v, lo, hi, round_no, prefix="", lock_id=None):
+    """Evaluate opening a candidate center at point index ``round_no``."""
+    i = f.reg(f"{prefix}i_rnd")
+    dx = f.reg(f"{prefix}dx")
+    dy = f.reg(f"{prefix}dy")
+    d = f.reg(f"{prefix}d")
+    delta = f.reg(f"{prefix}delta")
+    cand = round_no * 37  # deterministic candidate index stride
+    with f.for_loop(i, lo, hi) as loop:
+        f.set(dx, f.load(v["px"], i) - f.load(v["px"], (cand + round_no) % 97))
+        f.set(dy, f.load(v["py"], i) - f.load(v["py"], (cand + round_no) % 97))
+        f.set(d, dx * dx + dy * dy)
+        f.set(delta, f.load(v["cost"], i) - d)
+        with f.if_(delta.gt(0)):
+            if lock_id is None:
+                f.store(v["gain"], None, f.load(v["gain"]) + delta)
+            else:
+                with f.lock(lock_id):
+                    f.store(v["gain"], None, f.load(v["gain"]) + delta)
+            f.store(v["cost"], i, d)
+    return loop
+
+
+def build(scale: int = 1):
+    n = 500 * scale
+    b = ProgramBuilder("streamcluster")
+    v = declare(b, n)
+    annotated, identified = {}, set()
+    with b.function("main") as f:
+        annotated["init_x"] = lcg_fill(f, v["px"], n, seed=71).line
+        annotated["init_y"] = lcg_fill(f, v["py"], n, seed=72).line
+        annotated["init_cost"] = lcg_fill(f, v["cost"], n, seed=73).line
+        identified.update(annotated)
+        for rnd in range(ROUNDS):
+            loop = emit_round_range(f, v, 0, n, rnd, prefix=f"r{rnd}_")
+            if rnd == 0:
+                annotated["gain_round"] = loop.line
+                identified.add("gain_round")  # gain is a same-line reduction
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    n = 500 * scale
+    b = ProgramBuilder("streamcluster-pthread")
+    v = declare(b, n)
+    with b.function("gain_worker", params=("wid", "lo", "hi")) as f:
+        for rnd in range(ROUNDS):
+            emit_round_range(
+                f, v, f.param("lo"), f.param("hi"), rnd, prefix=f"w{rnd}_", lock_id=1
+            )
+            f.barrier(rnd, threads)
+    with b.function("main") as f:
+        lcg_fill(f, v["px"], n, seed=71)
+        lcg_fill(f, v["py"], n, seed=72)
+        lcg_fill(f, v["cost"], n, seed=73)
+        spawn_workers(f, "gain_worker", n, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="streamcluster",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="online clustering gain evaluation",
+    )
+)

@@ -1,0 +1,141 @@
+"""tinyjpeg — JPEG-decode analog.
+
+Per-block decode over tiny shared tables: coefficient "entropy decode"
+(table lookups driven by a register-held bitstream state), dequantization
+against a 64-entry table, and a separable 8x8 inverse-transform pass.
+Matches tinyjpeg's Table I profile — a few hundred addresses (the tables
+and one block buffer) swept tens of millions of times.  Blocks are
+independent, so the pthread version splits blocks across threads.
+"""
+
+from __future__ import annotations
+
+from repro.minivm import ProgramBuilder
+from repro.workloads.base import Workload, WorkloadMeta, register
+from repro.workloads.kernels import LCG_M, lcg_step, lcg_fill
+from repro.workloads.starbench._spmd import spawn_workers
+
+BLOCK = 64  # one 8x8 block
+
+
+def declare(b: ProgramBuilder, n_blocks: int, threads: int = 1):
+    return {
+        "huff": b.global_array("huff", 256),
+        "quant": b.global_array("quant", BLOCK),
+        # one scratch block per thread (like per-decoder state)
+        "coeffs": b.global_array("coeffs", BLOCK * max(threads, 1)),
+        "out": b.global_array("out", n_blocks * BLOCK),
+        # chroma upsampling + colorspace stage (one byte per luma sample)
+        "rgb": b.global_array("rgb", n_blocks * BLOCK),
+    }
+
+
+def emit_upsample_range(f, v, lo, hi, prefix=""):
+    """Chroma upsample + YCbCr->RGB-ish conversion over decoded blocks —
+    the post-IDCT stage of a real tiny JPEG decoder (elementwise over the
+    decoded plane: parallelizable)."""
+    blk = f.reg(f"{prefix}blk_up")
+    k = f.reg(f"{prefix}k_up")
+    y = f.reg(f"{prefix}y_up")
+    with f.for_loop(blk, lo, hi) as loop:
+        with f.for_loop(k, 0, BLOCK):
+            f.set(y, f.load(v["out"], blk * BLOCK + k))
+            # chroma sampled at half resolution within the block
+            f.store(
+                v["rgb"],
+                blk * BLOCK + k,
+                (y * 298 + f.load(v["out"], blk * BLOCK + (k // 2) * 2) * 100)
+                // 256
+                % 256,
+            )
+    return loop
+
+
+def emit_decode_range(f, v, lo, hi, scratch_base, prefix=""):
+    blk = f.reg(f"{prefix}blk")
+    k = f.reg(f"{prefix}k")
+    r = f.reg(f"{prefix}r")
+    c = f.reg(f"{prefix}c")
+    bits = f.reg(f"{prefix}bits")
+    s = f.reg(f"{prefix}s")
+    with f.for_loop(blk, lo, hi) as loop:
+        f.set(bits, (blk * 2654435761) % LCG_M)
+        # "entropy decode" + dequantize into the scratch block
+        with f.for_loop(k, 0, BLOCK):
+            lcg_step(f, bits)
+            f.store(
+                v["coeffs"],
+                scratch_base + k,
+                f.load(v["huff"], bits % 256) * f.load(v["quant"], k),
+            )
+        # separable inverse transform: rows then columns of the 8x8 block
+        with f.for_loop(r, 0, 8):
+            f.set(s, 0)
+            with f.for_loop(c, 0, 8):
+                f.set(s, f.reg(f"{prefix}s") + f.load(v["coeffs"], scratch_base + r * 8 + c))
+            with f.for_loop(c, 0, 8):
+                f.store(
+                    v["coeffs"],
+                    scratch_base + r * 8 + c,
+                    f.load(v["coeffs"], scratch_base + r * 8 + c) * 2 - s / 8,
+                )
+        with f.for_loop(c, 0, 8):
+            f.set(s, 0)
+            with f.for_loop(r, 0, 8):
+                f.set(s, f.reg(f"{prefix}s") + f.load(v["coeffs"], scratch_base + r * 8 + c))
+            with f.for_loop(r, 0, 8):
+                f.store(
+                    v["out"],
+                    blk * BLOCK + r * 8 + c,
+                    (f.load(v["coeffs"], scratch_base + r * 8 + c) + s / 8) / 2,
+                )
+    return loop
+
+
+def build(scale: int = 1):
+    n_blocks = 48 * scale
+    b = ProgramBuilder("tinyjpeg")
+    v = declare(b, n_blocks)
+    annotated, identified = {}, set()
+    with b.function("main") as f:
+        annotated["init_huff"] = lcg_fill(f, v["huff"], 256, seed=81).line
+        annotated["init_quant"] = lcg_fill(f, v["quant"], BLOCK, seed=82).line
+        identified.update(annotated)
+        loop = emit_decode_range(f, v, 0, n_blocks, 0)
+        annotated["decode_blocks"] = loop.line
+        # The single shared scratch block carries WAR/WAW between blocks;
+        # privatization handles it, so the block loop is still identified
+        # (the pthread port indeed gives each thread its own scratch).
+        identified.add("decode_blocks")
+        up = emit_upsample_range(f, v, 0, n_blocks)
+        annotated["upsample_color"] = up.line
+        identified.add("upsample_color")
+    meta = WorkloadMeta(annotated=annotated, expected_identified=identified)
+    return b.build(), meta
+
+
+def build_par(scale: int = 1, threads: int = 4):
+    n_blocks = 48 * scale
+    b = ProgramBuilder("tinyjpeg-pthread")
+    v = declare(b, n_blocks, threads)
+    with b.function("decode_worker", params=("wid", "lo", "hi")) as f:
+        emit_decode_range(
+            f, v, f.param("lo"), f.param("hi"), f.param("wid") * BLOCK, prefix="w_"
+        )
+        emit_upsample_range(f, v, f.param("lo"), f.param("hi"), prefix="w_")
+    with b.function("main") as f:
+        lcg_fill(f, v["huff"], 256, seed=81)
+        lcg_fill(f, v["quant"], BLOCK, seed=82)
+        spawn_workers(f, "decode_worker", n_blocks, threads)
+    return b.build(), WorkloadMeta()
+
+
+register(
+    Workload(
+        name="tinyjpeg",
+        suite="starbench",
+        build_seq=build,
+        build_par=build_par,
+        description="block decode against tiny shared tables",
+    )
+)

@@ -1,0 +1,118 @@
+"""Tests for dependence-distance analysis and do-across classification."""
+
+import math
+
+from repro.core.deps import DepType
+from repro.analyses import dependence_distances, classify_doacross
+from repro.analyses.distance import DistanceKey
+from repro.common.sourceloc import encode_location
+from repro.minivm import ProgramBuilder, run_program
+from tests.trace_helpers import loc, seq_trace
+
+
+class TestDistances:
+    def test_distance_one_recurrence(self):
+        # a[i] = a[i-1]: every iteration depends on the previous one.
+        ops = [("L+", 10)]
+        for i in range(1, 6):
+            ops += [
+                ("Li", 10),
+                ("r", 0x100 + 8 * (i - 1), 11, "a"),
+                ("w", 0x100 + 8 * i, 12, "a"),
+            ]
+        ops += [("L-", 10)]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        key = DistanceKey(DepType.RAW, loc(12), loc(11), 0)
+        assert d.min_distance[key] == 1
+        assert d.doacross_degree == 1.0
+
+    def test_distance_k_skewed_recurrence(self):
+        # a[i] = a[i-3]: three iterations can be in flight.
+        k = 3
+        ops = [("L+", 10)]
+        for i in range(k, 12):
+            ops += [
+                ("Li", 10),
+                ("r", 0x100 + 8 * (i - k), 11, "a"),
+                ("w", 0x100 + 8 * i, 12, "a"),
+            ]
+        ops += [("L-", 10)]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        assert d.doacross_degree == float(k)
+
+    def test_doall_loop_infinite_degree(self):
+        ops = [("L+", 10)]
+        for i in range(5):
+            ops += [("Li", 10), ("w", 0x100 + 8 * i, 11, "a"),
+                    ("r", 0x100 + 8 * i, 12, "a")]
+        ops += [("L-", 10)]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        assert math.isinf(d.doacross_degree)
+        assert d.n_independent == 5  # the intra-iteration RAWs
+
+    def test_minimum_over_mixed_distances(self):
+        # reads of i-1 and i-4: the min (1) is the schedulability bound.
+        ops = [("L+", 10)]
+        for i in range(4, 12):
+            ops += [
+                ("Li", 10),
+                ("r", 0x100 + 8 * (i - 1), 11, "a"),
+                ("r", 0x100 + 8 * (i - 4), 13, "a"),
+                ("w", 0x100 + 8 * i, 12, "a"),
+            ]
+        ops += [("L-", 10)]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        assert d.doacross_degree == 1.0
+        k4 = DistanceKey(DepType.RAW, loc(12), loc(13), 0)
+        assert d.min_distance[k4] == 4
+
+    def test_war_waw_distances_tracked_separately(self):
+        # scalar accumulator: RAW/WAR/WAW all at distance 1 (except the
+        # intra-iteration WAR).
+        ops = [("L+", 10)]
+        for _ in range(4):
+            ops += [("Li", 10), ("r", 0x8, 11, "s"), ("w", 0x8, 12, "s")]
+        ops += [("L-", 10)]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        types = {k.dep_type for k in d.min_distance}
+        assert DepType.RAW in types and DepType.WAW in types
+        assert d.min_distance[DistanceKey(DepType.RAW, loc(12), loc(11), 0)] == 1
+
+    def test_accesses_outside_loop_ignored(self):
+        ops = [("w", 0x8, 1, "x"), ("L+", 10), ("Li", 10),
+               ("r", 0x8, 11, "x"), ("L-", 10), ("r", 0x8, 2, "x")]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        assert d.min_distance == {}  # pre-loop write isn't an intra-loop dep
+
+    def test_multiple_dynamic_executions_reset_state(self):
+        """The last iteration of execution 1 must not link to the first
+        iteration of execution 2."""
+        ops = []
+        for _ in range(2):
+            ops += [("L+", 10), ("Li", 10), ("r", 0x8, 11, "s"),
+                    ("w", 0x8, 12, "s"), ("L-", 10)]
+        d = dependence_distances(seq_trace(ops), loc(10))
+        assert d.min_distance == {}  # within one iteration only -> distance 0
+
+    def test_minivm_end_to_end(self):
+        b = ProgramBuilder("skew")
+        a = b.global_array("a", 32)
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 32):
+                f.store(a, i, i)
+            with f.for_loop(i, 2, 32) as skewed:
+                f.store(a, i, f.load(a, i - 2) + 1)
+        batch = run_program(b.build())
+        site = encode_location(0, skewed.line)
+        d = dependence_distances(batch, site)
+        assert d.doacross_degree == 2.0
+
+    def test_classify_many(self):
+        batch = seq_trace(
+            [("L+", 10), ("Li", 10), ("r", 0x8, 11), ("L-", 10),
+             ("L+", 20), ("Li", 20), ("w", 0x10, 21), ("L-", 20)]
+        )
+        result = classify_doacross(batch, [loc(10), loc(20)])
+        assert set(result) == {loc(10), loc(20)}
+        assert all(math.isinf(r.doacross_degree) for r in result.values())

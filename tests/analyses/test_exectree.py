@@ -1,0 +1,88 @@
+"""Tests for the dynamic execution tree and call tree."""
+
+from repro.analyses import build_execution_tree, call_tree
+from repro.minivm import ProgramBuilder, run_program
+
+
+def build_nested_program():
+    """main -> helper (called twice), helper contains a loop."""
+    b = ProgramBuilder("nested")
+    data = b.global_array("data", 8)
+    with b.function("helper", params=("base",)) as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 4) as loop:
+            f.store(data, f.param("base") + i, i)
+    with b.function("main") as f:
+        f.call("helper", 0)
+        f.call("helper", 4)
+    return b.build(), loop
+
+
+class TestExecutionTree:
+    def test_structure(self):
+        prog, loop = build_nested_program()
+        trees = build_execution_tree(run_program(prog))
+        root = trees[0]
+        # root -> main -> helper -> loop
+        (main,) = root.children.values()
+        assert main.kind == "func" and main.visits == 1
+        (helper,) = main.children.values()
+        assert helper.kind == "func"
+        assert helper.visits == 2  # same static context, two dynamic calls
+        (loop_node,) = helper.children.values()
+        assert loop_node.kind == "loop"
+        assert loop_node.visits == 2
+        assert loop_node.iterations == 8  # 4 per call
+
+    def test_access_attribution(self):
+        prog, _ = build_nested_program()
+        trees = build_execution_tree(run_program(prog))
+        root = trees[0]
+        assert root.total_accesses == 8  # 8 stores, all inside the loop
+        (main,) = root.children.values()
+        (helper,) = main.children.values()
+        (loop_node,) = helper.children.values()
+        assert loop_node.direct_accesses == 8
+        assert main.direct_accesses == 0
+
+    def test_node_count_and_render(self):
+        prog, _ = build_nested_program()
+        root = build_execution_tree(run_program(prog))[0]
+        assert root.n_nodes == 4  # root, main, helper, loop
+        text = root.render()
+        assert "<root>" in text and "loop" in text and "iters=8" in text
+
+    def test_per_thread_trees(self):
+        b = ProgramBuilder("mt")
+        x = b.global_array("x", 4)
+        with b.function("worker", params=("wid",)) as f:
+            f.store(x, f.param("wid"), 1)
+        with b.function("main") as f:
+            f.spawn("worker", 0)
+            f.spawn("worker", 1)
+            f.join_all()
+        trees = build_execution_tree(run_program(b.build()))
+        assert set(trees) == {0, 1, 2}
+        for tid in (1, 2):
+            (worker,) = trees[tid].children.values()
+            assert worker.kind == "func"
+            assert worker.total_accesses == 1
+
+
+class TestCallTree:
+    def test_loops_collapsed_into_functions(self):
+        prog, _ = build_nested_program()
+        trees = call_tree(run_program(prog))
+        root = trees[0]
+        (main,) = root.children.values()
+        (helper,) = main.children.values()
+        assert helper.children == {}  # loop frame gone
+        assert helper.direct_accesses == 8  # loop's accesses re-attached
+        assert helper.visits == 2
+
+    def test_total_accesses_preserved(self):
+        prog, _ = build_nested_program()
+        batch = run_program(prog)
+        exec_total = build_execution_tree(batch)[0].total_accesses
+        call_total = call_tree(batch)[0].total_accesses
+        assert exec_total == call_total == 8

@@ -1,0 +1,65 @@
+"""Tests for the dependence graph and loop table views."""
+
+from repro.common.config import ProfilerConfig
+from repro.core import profile_trace
+from repro.analyses import build_dependence_graph, loop_table
+from tests.trace_helpers import seq_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def sample_result():
+    ops = [("L+", 10)]
+    for _ in range(3):
+        ops += [("Li", 10), ("r", 0x8, 11, "s"), ("w", 0x8, 12, "s")]
+    ops += [("L-", 10, 13)]
+    return profile_trace(seq_trace(ops), PERFECT)
+
+
+class TestDependenceGraph:
+    def test_nodes_and_edges(self):
+        g = build_dependence_graph(sample_result())
+        assert "0:11|0" in g and "0:12|0" in g
+        # RAW: write@12 -> read@11; WAR: read@11 -> write@12
+        types = {d["dep_type"] for *_, d in g.edges(data=True)}
+        assert types == {"RAW", "WAR", "WAW"}
+
+    def test_edge_attributes(self):
+        g = build_dependence_graph(sample_result())
+        raw_edges = [
+            d for *_, d in g.edges(data=True) if d["dep_type"] == "RAW"
+        ]
+        (raw,) = raw_edges
+        assert raw["var"] == "s"
+        assert raw["count"] == 2  # iterations 2 and 3
+        assert raw["carried"] == ["0:10"]
+        assert raw["race"] is False
+
+    def test_init_excluded_by_default_included_on_request(self):
+        res = sample_result()
+        assert "INIT" not in build_dependence_graph(res)
+        g = build_dependence_graph(res, include_init=True)
+        assert "INIT" in g
+
+    def test_empty_store(self):
+        res = profile_trace(seq_trace([]), PERFECT)
+        g = build_dependence_graph(res)
+        assert len(g) == 0
+
+
+class TestLoopTable:
+    def test_rows_with_classification(self):
+        rows = loop_table(sample_result())
+        (row,) = rows
+        assert row.site == "0:10"
+        assert row.end == "0:13"
+        assert row.total_iterations == 3
+        assert row.executions == 1
+        assert row.mean_iterations == 3.0
+        assert row.parallelizable is False  # carried RAW on s, not reduction
+        assert "blocked" in row.note
+
+    def test_rows_without_classification(self):
+        (row,) = loop_table(sample_result(), classify=False)
+        assert row.parallelizable is None
+        assert row.note == ""

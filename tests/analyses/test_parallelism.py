@@ -1,0 +1,172 @@
+"""Tests for loop-parallelism discovery on hand-built MiniVM programs with
+known ground truth."""
+
+from repro.common.config import ProfilerConfig
+from repro.common.sourceloc import encode_location
+from repro.core import profile_trace
+from repro.analyses import analyze_loops, count_parallelizable
+from repro.minivm import ProgramBuilder, run_program
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def classify(build):
+    """Build, run, profile, classify; returns (classifications, result, prog)."""
+    prog, sites = build()
+    res = profile_trace(run_program(prog), PERFECT)
+    cls = analyze_loops(res)
+    enc = {
+        name: encode_location(prog.file_id, line) for name, line in sites.items()
+    }
+    return cls, res, enc
+
+
+def build_independent():
+    """for i: a[i] = b[i] * 2 — trivially parallel."""
+    b = ProgramBuilder("independent")
+    a = b.global_array("a", 32)
+    src = b.global_array("b", 32)
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 32):
+            f.store(src, i, i)
+        with f.for_loop(i, 0, 32) as loop:
+            f.store(a, i, f.load(src, i) * 2)
+    return b.build(), {"loop": loop.line}
+
+
+def build_true_recurrence():
+    """for i: a[i] = a[i-1] + 1 — genuinely sequential."""
+    b = ProgramBuilder("recurrence")
+    a = b.global_array("a", 32)
+    with b.function("main") as f:
+        f.store(a, 0, 1)
+        i = f.reg("i")
+        with f.for_loop(i, 1, 32) as loop:
+            f.store(a, i, f.load(a, i - 1) + 1)
+    return b.build(), {"loop": loop.line}
+
+
+def build_reduction():
+    """for i: s = s + a[i] — parallel with a reduction clause."""
+    b = ProgramBuilder("reduction")
+    a = b.global_array("a", 32)
+    s = b.global_scalar("s")
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 32):
+            f.store(a, i, i)
+        with f.for_loop(i, 0, 32) as loop:
+            f.store(s, None, f.load(s) + f.load(a, i))
+    return b.build(), {"loop": loop.line}
+
+
+def build_privatizable():
+    """for i: t = a[i]; b[i] = t*t — t is storage reuse, privatizable."""
+    b = ProgramBuilder("private")
+    a = b.global_array("a", 32)
+    out = b.global_array("out", 32)
+    t = b.global_scalar("t")
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 32):
+            f.store(a, i, i + 1)
+        with f.for_loop(i, 0, 32) as loop:
+            f.store(t, None, f.load(a, i))
+            f.store(out, i, f.load(t) * f.load(t))
+    return b.build(), {"loop": loop.line}
+
+
+class TestClassification:
+    def test_independent_loop_parallelizable(self):
+        cls, res, enc = classify(build_independent)
+        c = cls[enc["loop"]]
+        assert c.parallelizable
+        assert not c.reductions and not c.blocking
+
+    def test_true_recurrence_blocked(self):
+        cls, res, enc = classify(build_true_recurrence)
+        c = cls[enc["loop"]]
+        assert not c.parallelizable
+        assert c.blocking
+        assert "a" in c.reason(res)
+
+    def test_reduction_recognized(self):
+        cls, res, enc = classify(build_reduction)
+        c = cls[enc["loop"]]
+        assert c.parallelizable
+        assert {res.var_name(v) for v in c.reductions} == {"s"}
+        assert "reduction(s)" in c.reason(res)
+
+    def test_reduction_rejected_when_disallowed(self):
+        prog, sites = build_reduction()
+        res = profile_trace(run_program(prog), PERFECT)
+        cls = analyze_loops(res, allow_reductions=False)
+        site = encode_location(prog.file_id, sites["loop"])
+        assert not cls[site].parallelizable
+
+    def test_privatizable_variable_detected(self):
+        cls, res, enc = classify(build_privatizable)
+        c = cls[enc["loop"]]
+        assert c.parallelizable
+        assert {res.var_name(v) for v in c.privatizable} == {"t"}
+        assert "private(t)" in c.reason(res)
+
+    def test_privatization_disallowed_blocks(self):
+        prog, sites = build_privatizable()
+        res = profile_trace(run_program(prog), PERFECT)
+        cls = analyze_loops(res, allow_privatization=False)
+        site = encode_location(prog.file_id, sites["loop"])
+        assert not cls[site].parallelizable
+
+    def test_init_loops_parallelizable(self):
+        """The plain initialization loops in the fixtures parallelize too."""
+        cls, _, enc = classify(build_reduction)
+        others = [c for s, c in cls.items() if s != enc["loop"]]
+        assert others and all(c.parallelizable for c in others)
+
+    def test_count_helper(self):
+        cls, _, _ = classify(build_true_recurrence)
+        assert count_parallelizable(cls) == len(cls) - 1
+
+    def test_iteration_counts_attached(self):
+        cls, _, enc = classify(build_independent)
+        assert cls[enc["loop"]].total_iterations == 32
+
+
+class TestMixedRealisticKernel:
+    def test_stencil_loop_not_flagged_by_read_only_neighbors(self):
+        """out[i] = (in[i-1] + in[i] + in[i+1])/3: reads overlap across
+        iterations but never after a write in the loop -> parallelizable."""
+        b = ProgramBuilder("stencil")
+        src = b.global_array("src", 34)
+        dst = b.global_array("dst", 34)
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 34):
+                f.store(src, i, i * 3)
+            with f.for_loop(i, 1, 33) as loop:
+                f.store(
+                    dst,
+                    i,
+                    (f.load(src, i - 1) + f.load(src, i) + f.load(src, i + 1)) / 3,
+                )
+        res = profile_trace(run_program(b.build()), PERFECT)
+        cls = analyze_loops(res)
+        site = encode_location(0, loop.line)
+        assert cls[site].parallelizable
+
+    def test_in_place_stencil_blocked(self):
+        """a[i] = (a[i-1] + a[i+1])/2 in place: carried RAW -> blocked."""
+        b = ProgramBuilder("inplace")
+        a = b.global_array("a", 34)
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 34):
+                f.store(a, i, i)
+            with f.for_loop(i, 1, 33) as loop:
+                f.store(a, i, (f.load(a, i - 1) + f.load(a, i + 1)) / 2)
+        res = profile_trace(run_program(b.build()), PERFECT)
+        cls = analyze_loops(res)
+        site = encode_location(0, loop.line)
+        assert not cls[site].parallelizable

@@ -1,0 +1,140 @@
+"""Tests for the race-detection application (lockset + reversal evidence)."""
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.core import profile_trace
+from repro.analyses import detect_races
+from repro.analyses.races import lockset_candidates
+from repro.minivm import ProgramBuilder, ScheduleConfig, run_program
+
+PERFECT_MT = ProfilerConfig(perfect_signature=True, multithreaded_target=True)
+
+
+def build_program(protect: str):
+    """Two workers touching a shared scalar.
+
+    protect: "locked" | "racy" | "mixed" (locked writer, unlocked reader).
+    """
+    b = ProgramBuilder(f"prog-{protect}")
+    shared = b.global_scalar("shared")
+    private = b.global_array("private", 2)
+    with b.function("worker", params=("wid",)) as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 5):
+            if protect == "locked":
+                with f.lock(1):
+                    f.store(shared, None, f.load(shared) + 1)
+            elif protect == "racy":
+                f.store(shared, None, f.load(shared) + 1)
+            else:  # mixed discipline: one side locks, the other does not
+                with f.if_(f.param("wid").eq(0)):
+                    with f.lock(1):
+                        f.store(shared, None, f.load(shared) + 1)
+                with f.else_():
+                    f.set(f.reg("v"), f.load(shared))
+            f.store(private, f.param("wid"), i)  # thread-local, never racy
+    with b.function("main") as f:
+        f.spawn("worker", 0)
+        f.spawn("worker", 1)
+        f.join_all()
+    return b.build()
+
+
+def analyze(protect: str, delay=0.0, seed=0):
+    batch = run_program(
+        build_program(protect),
+        schedule=ScheduleConfig(policy="roundrobin", seed=seed, delay_probability=delay),
+    )
+    res = profile_trace(batch, PERFECT_MT)
+    return batch, res, detect_races(batch, res)
+
+
+class TestLockset:
+    def test_locked_program_clean(self):
+        _, _, report = analyze("locked")
+        assert len(report) == 0
+        assert "no race candidates" in report.render()
+
+    def test_racy_program_flagged_unprotected(self):
+        _, _, report = analyze("racy")
+        assert len(report) == 1
+        (c,) = report.candidates
+        assert c.var_name == "shared"
+        assert c.verdict == "unprotected"
+        assert c.threads == frozenset({1, 2})
+        assert not c.common_lockset
+
+    def test_mixed_discipline_flagged(self):
+        """One locked side does not save an unlocked other side."""
+        _, _, report = analyze("mixed")
+        assert any(c.var_name == "shared" for c in report.candidates)
+
+    def test_thread_local_data_never_flagged(self):
+        _, _, report = analyze("racy")
+        assert all(c.var_name != "private" for c in report.candidates)
+
+    def test_read_only_sharing_not_flagged(self):
+        b = ProgramBuilder("readonly")
+        table = b.global_array("table", 8)
+        with b.function("worker", params=("wid",)) as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 8):
+                f.set(f.reg("v"), f.load(table, i))
+        with b.function("main") as f:
+            j = f.reg("j")
+            with f.for_loop(j, 0, 8):
+                f.store(table, j, j)
+            f.spawn("worker", 0)
+            f.spawn("worker", 1)
+            f.join_all()
+        batch = run_program(b.build(), schedule=ScheduleConfig(policy="roundrobin"))
+        res = profile_trace(batch, PERFECT_MT)
+        report = detect_races(batch, res)
+        # main wrote before spawning; workers only read -> writes and reads
+        # are cross-thread but the writes happened before sharing began.
+        # Eraser's basic rule is conservative here: table IS flagged unless
+        # initialization is exempted.  We keep the conservative behaviour
+        # and simply verify it is not reported as observed.
+        assert all(c.verdict != "observed" for c in report.candidates)
+
+    def test_lockset_states_track_protection(self):
+        batch, _, _ = analyze("locked")
+        states = lockset_candidates(batch)
+        shared_states = [
+            st for st in states.values()
+            if len(st.threads) >= 2 and st.has_write
+        ]
+        assert shared_states
+        assert all(st.lockset for st in shared_states)  # lock 1 everywhere
+
+
+class TestObservedEvidence:
+    def test_reversal_upgrades_verdict(self):
+        found_observed = False
+        for seed in range(6):
+            _, res, report = analyze("racy", delay=0.6, seed=seed)
+            if res.stats.races_flagged:
+                (c,) = [c for c in report.candidates if c.var_name == "shared"]
+                assert c.verdict == "observed"
+                found_observed = True
+                break
+        assert found_observed
+
+    def test_report_ordering_observed_first(self):
+        from repro.analyses.races import RaceCandidate, RaceReport
+
+        r = RaceReport(
+            candidates=[
+                RaceCandidate(1, "b", "unprotected", frozenset(), frozenset(), frozenset(), 1),
+                RaceCandidate(0, "a", "observed", frozenset(), frozenset(), frozenset(), 1),
+            ]
+        )
+        r.candidates.sort(key=lambda c: (c.verdict != "observed", c.var_name))
+        assert [c.verdict for c in r.candidates] == ["observed", "unprotected"]
+        assert len(r.observed) == 1 and len(r.unprotected) == 1
+
+    def test_describe_mentions_threads_and_locs(self):
+        _, _, report = analyze("racy")
+        text = report.render()
+        assert "shared" in text and "no common lock" in text

@@ -1,0 +1,128 @@
+"""Tests for section-level aggregation and multi-run union."""
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.common.errors import ProfilerError
+from repro.core import DepType, profile_trace
+from repro.analyses import section_dependences, union_of_results
+from repro.analyses.sections import TOPLEVEL
+from tests.trace_helpers import loc, seq_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def two_loop_trace():
+    """Loop A (lines 10-13) writes what loop B (lines 20-23) reads."""
+    ops = [("L+", 10)]
+    for i in range(4):
+        ops += [("Li", 10), ("w", 0x100 + 8 * i, 11, "buf")]
+    ops += [("L-", 10, 13), ("L+", 20)]
+    for i in range(4):
+        ops += [("Li", 20), ("r", 0x100 + 8 * i, 21, "buf")]
+    ops += [("L-", 20, 23)]
+    return seq_trace(ops)
+
+
+class TestSections:
+    def test_cross_loop_flow_detected(self):
+        res = profile_trace(two_loop_trace(), PERFECT)
+        deps = section_dependences(res)
+        raw = [d for d in deps if d.dep_type is DepType.RAW]
+        assert len(raw) == 1
+        assert raw[0].source_region == loc(10)
+        assert raw[0].sink_region == loc(20)
+        assert raw[0].instances == 4
+
+    def test_intra_region_hidden_by_default(self):
+        ops = [("L+", 10)]
+        for _ in range(3):
+            ops += [("Li", 10), ("r", 0x8, 11, "s"), ("w", 0x8, 12, "s")]
+        ops += [("L-", 10, 13)]
+        res = profile_trace(seq_trace(ops), PERFECT)
+        assert section_dependences(res) == []
+        intra = section_dependences(res, include_intra=True)
+        assert intra and all(
+            d.source_region == d.sink_region == loc(10) for d in intra
+        )
+
+    def test_toplevel_region(self):
+        ops = [("w", 0x8, 1, "g"), ("L+", 10), ("Li", 10), ("r", 0x8, 11, "g"),
+               ("L-", 10, 13)]
+        res = profile_trace(seq_trace(ops), PERFECT)
+        (d,) = [d for d in section_dependences(res) if d.dep_type is DepType.RAW]
+        assert d.source_region == TOPLEVEL
+        assert d.sink_region == loc(10)
+        assert "toplevel" in d.describe()
+
+    def test_init_excluded_by_default(self):
+        res = profile_trace(two_loop_trace(), PERFECT)
+        assert all(
+            d.dep_type is not DepType.INIT for d in section_dependences(res)
+        )
+        with_init = section_dependences(res, include_init=True, include_intra=True)
+        assert any(d.dep_type is DepType.INIT for d in with_init)
+
+    def test_sorted_by_intensity(self):
+        res = profile_trace(two_loop_trace(), PERFECT)
+        deps = section_dependences(res, include_intra=True, include_init=True)
+        counts = [d.instances for d in deps]
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestUnion:
+    def test_union_accumulates_new_dependences(self):
+        """Different 'inputs' exercise different paths; the union covers both."""
+        run_a = profile_trace(
+            seq_trace([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")]), PERFECT
+        )
+        run_b = profile_trace(
+            seq_trace([("w", 0x8, 1, "x"), ("r", 0x8, 3, "x")]), PERFECT
+        )
+        merged = union_of_results([run_a, run_b])
+        sinks = {d.sink_loc for d in merged.store if d.dep_type is DepType.RAW}
+        assert sinks == {loc(2), loc(3)}
+
+    def test_union_remaps_variable_ids(self):
+        """Runs interning variables in different orders still merge by name."""
+        run_a = profile_trace(
+            seq_trace([("w", 0x8, 1, "alpha"), ("w", 0x10, 2, "beta"),
+                       ("r", 0x8, 3, "alpha")]), PERFECT
+        )
+        run_b = profile_trace(
+            seq_trace([("w", 0x10, 2, "beta"), ("w", 0x8, 1, "alpha"),
+                       ("r", 0x8, 3, "alpha")]), PERFECT
+        )
+        merged = union_of_results([run_a, run_b])
+        raws = [d for d in merged.store if d.dep_type is DepType.RAW]
+        assert len(raws) == 1  # identical dep despite different intern order
+        assert merged.var_name(raws[0].var) == "alpha"
+
+    def test_union_accumulates_loop_iterations(self):
+        ops = [("L+", 10), ("Li", 10), ("r", 0x8, 11), ("L-", 10)]
+        res = profile_trace(seq_trace(ops), PERFECT)
+        merged = union_of_results([res, res, res])
+        assert merged.loops[loc(10)].total_iterations == 3
+        assert merged.loops[loc(10)].executions == 3
+
+    def test_union_stats_and_instances(self):
+        res = profile_trace(
+            seq_trace([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")]), PERFECT
+        )
+        merged = union_of_results([res, res])
+        assert merged.stats.n_accesses == 2 * res.stats.n_accesses
+        assert merged.store.instances == 2 * res.store.instances
+        assert len(merged.store) == len(res.store)  # same set, just unioned
+
+    def test_union_empty_rejected(self):
+        with pytest.raises(ProfilerError):
+            union_of_results([])
+
+    def test_union_single_is_identity_on_set(self):
+        res = profile_trace(
+            seq_trace([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")]), PERFECT
+        )
+        merged = union_of_results([res])
+        assert merged.store.as_set(with_tids=True, with_carried=True) == {
+            d.projected() for d in res.store
+        }

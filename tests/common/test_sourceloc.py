@@ -1,0 +1,81 @@
+"""Tests for source-location packing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.sourceloc import (
+    LINE_MASK,
+    MAX_FILE_ID,
+    NO_LOC,
+    SourceLocation,
+    decode_location,
+    encode_location,
+    format_location,
+)
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        enc = encode_location(1, 60)
+        assert decode_location(enc) == SourceLocation(1, 60)
+
+    def test_zero_is_valid(self):
+        assert decode_location(encode_location(0, 0)) == SourceLocation(0, 0)
+
+    def test_extremes(self):
+        enc = encode_location(MAX_FILE_ID, LINE_MASK)
+        assert enc < 2**31  # fits int32
+        assert decode_location(enc) == SourceLocation(MAX_FILE_ID, LINE_MASK)
+
+    @given(
+        file_id=st.integers(min_value=0, max_value=MAX_FILE_ID),
+        line=st.integers(min_value=0, max_value=LINE_MASK),
+    )
+    def test_roundtrip_property(self, file_id, line):
+        assert decode_location(encode_location(file_id, line)) == (file_id, line)
+
+    @given(
+        a=st.tuples(
+            st.integers(min_value=0, max_value=MAX_FILE_ID),
+            st.integers(min_value=0, max_value=LINE_MASK),
+        ),
+        b=st.tuples(
+            st.integers(min_value=0, max_value=MAX_FILE_ID),
+            st.integers(min_value=0, max_value=LINE_MASK),
+        ),
+    )
+    def test_encoding_is_injective_and_order_preserving(self, a, b):
+        ea, eb = encode_location(*a), encode_location(*b)
+        assert (ea == eb) == (a == b)
+        assert (ea < eb) == (a < b)  # lexicographic (file, line) order
+
+    def test_file_id_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_location(MAX_FILE_ID + 1, 0)
+        with pytest.raises(ValueError):
+            encode_location(-1, 0)
+
+    def test_line_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_location(0, LINE_MASK + 1)
+        with pytest.raises(ValueError):
+            encode_location(0, -1)
+
+    def test_decode_rejects_negative(self):
+        with pytest.raises(ValueError):
+            decode_location(NO_LOC)
+
+
+class TestFormat:
+    def test_format_matches_paper_style(self):
+        assert format_location(encode_location(1, 60)) == "1:60"
+
+    def test_format_sentinel_is_star(self):
+        assert format_location(NO_LOC) == "*"
+
+    def test_sourcelocation_str(self):
+        assert str(SourceLocation(4, 77)) == "4:77"
+
+    def test_encode_method_matches_function(self):
+        loc = SourceLocation(3, 75)
+        assert loc.encode() == encode_location(3, 75)

@@ -1,0 +1,142 @@
+"""Tests for dependence records and the merging store."""
+
+from repro.core.deps import DepType, Dependence, DependenceStore, set_rates
+
+
+def dep(t=DepType.RAW, sink=10, src=5, var=0, tid=0, stid=0, carried=(), race=False):
+    return Dependence(
+        t, sink_loc=sink, sink_tid=tid, source_loc=src, source_tid=stid,
+        var=var, carried=frozenset(carried), race=race,
+    )
+
+
+class TestDependence:
+    def test_hashable_and_equal(self):
+        assert dep() == dep()
+        assert hash(dep()) == hash(dep())
+        assert dep() != dep(src=6)
+
+    def test_carried_query(self):
+        d = dep(carried=(100, 200))
+        assert d.is_carried_for(100)
+        assert not d.is_carried_for(300)
+
+    def test_projection_levels(self):
+        d = dep(tid=1, stid=2, carried=(7,))
+        full = d.projected()
+        no_tid = d.projected(with_tids=False)
+        assert len(full) > len(no_tid)
+        assert d.projected(with_carried=False) != full
+
+
+class TestStore:
+    def test_merging_identical_instances(self):
+        s = DependenceStore()
+        for _ in range(1000):
+            s.add(dep())
+        assert len(s) == 1
+        assert s.instances == 1000
+
+    def test_distinct_entries_kept(self):
+        s = DependenceStore()
+        s.add(dep(src=1))
+        s.add(dep(src=2))
+        s.add(dep(t=DepType.WAW, src=1))
+        assert len(s) == 3
+
+    def test_at_sink_grouping(self):
+        s = DependenceStore()
+        s.add(dep(sink=10))
+        s.add(dep(sink=10, src=9))
+        s.add(dep(sink=20))
+        assert len(s.at_sink(10)) == 2
+        assert len(s.at_sink(20)) == 1
+        assert s.at_sink(99) == set()
+        assert s.n_sinks == 2
+
+    def test_merge_stores(self):
+        a, b = DependenceStore(), DependenceStore()
+        a.add(dep(src=1))
+        b.add(dep(src=1))  # duplicate across stores
+        b.add(dep(src=2))
+        a.merge(b)
+        assert len(a) == 2
+        assert a.instances == 3
+
+    def test_count_by_type(self):
+        s = DependenceStore()
+        s.add(dep(t=DepType.RAW))
+        s.add(dep(t=DepType.WAR))
+        s.add(dep(t=DepType.WAR, src=9))
+        counts = s.count_by_type()
+        assert counts[DepType.RAW] == 1
+        assert counts[DepType.WAR] == 2
+        assert counts[DepType.INIT] == 0
+
+    def test_races_listing(self):
+        s = DependenceStore()
+        s.add(dep())
+        s.add(dep(src=99, race=True))
+        assert [d.source_loc for d in s.races()] == [99]
+
+    def test_sorted_entries_deterministic(self):
+        s1, s2 = DependenceStore(), DependenceStore()
+        deps = [dep(src=i % 3, sink=10 + i % 2) for i in range(10)]
+        for d in deps:
+            s1.add(d)
+        for d in reversed(deps):
+            s2.add(d)
+        assert s1.sorted_entries() == s2.sorted_entries()
+
+    def test_equality(self):
+        s1, s2 = DependenceStore(), DependenceStore()
+        s1.add(dep())
+        s2.add(dep())
+        s2.add(dep())  # merged away
+        assert s1 == s2
+
+    def test_add_merged_counts(self):
+        s = DependenceStore()
+        s.add_merged(dep(), count=500)
+        assert len(s) == 1
+        assert s.instances == 500
+
+
+class TestSetRates:
+    def test_identical_sets_zero_rates(self):
+        a, b = DependenceStore(), DependenceStore()
+        for d in (dep(src=1), dep(src=2)):
+            a.add(d)
+            b.add(d)
+        r = set_rates(a, b)
+        assert r.fpr == 0.0 and r.fnr == 0.0
+
+    def test_false_positive_counted(self):
+        rep, base = DependenceStore(), DependenceStore()
+        rep.add(dep(src=1))
+        rep.add(dep(src=999))  # spurious
+        base.add(dep(src=1))
+        r = set_rates(rep, base)
+        assert r.false_positives == 1
+        assert r.fpr == 0.5
+        assert r.fnr == 0.0
+
+    def test_false_negative_counted(self):
+        rep, base = DependenceStore(), DependenceStore()
+        base.add(dep(src=1))
+        base.add(dep(src=2))
+        rep.add(dep(src=1))
+        r = set_rates(rep, base)
+        assert r.false_negatives == 1
+        assert r.fnr == 0.5
+
+    def test_empty_sets(self):
+        r = set_rates(DependenceStore(), DependenceStore())
+        assert r.fpr == 0.0 and r.fnr == 0.0
+
+    def test_projection_can_forgive_tids(self):
+        rep, base = DependenceStore(), DependenceStore()
+        rep.add(dep(tid=1))
+        base.add(dep(tid=2))
+        assert set_rates(rep, base).fpr == 1.0
+        assert set_rates(rep, base, with_tids=False).fpr == 0.0

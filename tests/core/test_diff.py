@@ -1,0 +1,60 @@
+"""Tests for the dependence-listing diff tool."""
+
+from repro.common.config import ProfilerConfig
+from repro.core import diff_outputs, format_dependences, profile_trace
+from tests.trace_helpers import seq_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def listing(ops):
+    return format_dependences(profile_trace(seq_trace(ops), PERFECT))
+
+
+class TestDiffOutputs:
+    def test_identical(self):
+        a = listing([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")])
+        d = diff_outputs(a, a)
+        assert d.identical
+        assert "identical" in d.render()
+        assert len(d.common) == 2  # INIT + RAW
+
+    def test_asymmetric_difference(self):
+        a = listing([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")])
+        b = listing([("w", 0x8, 1, "x"), ("r", 0x8, 3, "x")])
+        d = diff_outputs(a, b)
+        assert not d.identical
+        assert len(d.only_a) == 1 and len(d.only_b) == 1
+        text = d.render("runA", "runB")
+        assert "only runA" in text and "only runB" in text
+        assert "0:2" in text and "0:3" in text
+
+    def test_iteration_counts_ignored(self):
+        """Loop iteration totals differ across inputs; records do not."""
+        def run(n):
+            ops = [("L+", 10)]
+            for _ in range(n):
+                ops += [("Li", 10), ("r", 0x8, 11, "s"), ("w", 0x8, 12, "s")]
+            ops += [("L-", 10)]
+            return listing(ops)
+
+        d = diff_outputs(run(3), run(7))
+        assert d.identical
+
+    def test_superset_detected(self):
+        a = listing([("w", 0x8, 1, "x")])
+        b = listing([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")])
+        d = diff_outputs(a, b)
+        assert not d.only_a and len(d.only_b) == 1
+
+    def test_cli_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        fa = tmp_path / "a.deps"
+        fb = tmp_path / "b.deps"
+        fa.write_text(listing([("w", 0x8, 1, "x"), ("r", 0x8, 2, "x")]))
+        fb.write_text(listing([("w", 0x8, 1, "x"), ("r", 0x8, 3, "x")]))
+        assert main(["diff", str(fa), str(fb)]) == 1
+        assert "only" in capsys.readouterr().out
+        fb.write_text(fa.read_text())
+        assert main(["diff", str(fa), str(fb)]) == 0

@@ -1,0 +1,87 @@
+"""Tests for the optional read-after-read recording (``ignore_rar=False``)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.common.config import ProfilerConfig
+from repro.core import DependenceProfiler, DepType, profile_trace
+from tests.core.test_engine_equivalence import random_ops
+from tests.trace_helpers import loc, seq_trace
+
+WITH_RAR = ProfilerConfig(perfect_signature=True, ignore_rar=False)
+DEFAULT = ProfilerConfig(perfect_signature=True)
+ENGINES = ["reference", "vectorized"]
+
+
+@pytest.fixture(params=ENGINES)
+def engine(request):
+    return request.param
+
+
+class TestRarSemantics:
+    def test_rar_recorded_when_enabled(self, engine):
+        batch = seq_trace([("r", 0x8, 1, "x"), ("r", 0x8, 2, "x")])
+        res = profile_trace(batch, WITH_RAR, engine)
+        rars = [d for d in res.store if d.dep_type is DepType.RAR]
+        assert [(d.sink_loc, d.source_loc) for d in rars] == [(loc(2), loc(1))]
+        assert res.stats.dep_instances[DepType.RAR] == 1
+
+    def test_rar_ignored_by_default(self, engine):
+        """The paper's default: RAR dependences are dropped entirely."""
+        batch = seq_trace([("r", 0x8, 1, "x"), ("r", 0x8, 2, "x")])
+        res = profile_trace(batch, DEFAULT, engine)
+        assert len(res.store) == 0
+        assert res.stats.dep_instances[DepType.RAR] == 0
+
+    def test_rar_source_is_last_read(self, engine):
+        batch = seq_trace(
+            [("r", 0x8, 1, "x"), ("r", 0x8, 2, "x"), ("r", 0x8, 3, "x")]
+        )
+        res = profile_trace(batch, WITH_RAR, engine)
+        sinks = {
+            d.sink_loc: d.source_loc
+            for d in res.store
+            if d.dep_type is DepType.RAR
+        }
+        assert sinks == {loc(2): loc(1), loc(3): loc(2)}
+
+    def test_rar_does_not_change_other_types(self, engine):
+        ops = [("w", 0x8, 1, "x"), ("r", 0x8, 2, "x"), ("r", 0x8, 3, "x"),
+               ("w", 0x8, 4, "x")]
+        with_r = profile_trace(seq_trace(ops), WITH_RAR, engine)
+        without = profile_trace(seq_trace(ops), DEFAULT, engine)
+        strip = lambda res: {
+            d.projected() for d in res.store if d.dep_type is not DepType.RAR
+        }
+        assert strip(with_r) == strip(without)
+
+    def test_rar_carried_classification(self, engine):
+        ops = [("L+", 10)]
+        for _ in range(3):
+            ops += [("Li", 10), ("r", 0x8, 11, "t")]
+        ops += [("L-", 10)]
+        res = profile_trace(seq_trace(ops), WITH_RAR, engine)
+        (d,) = [d for d in res.store if d.dep_type is DepType.RAR]
+        assert d.carried == frozenset({loc(10)})
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=random_ops())
+def test_rar_engine_equivalence(ops):
+    batch = seq_trace(ops)
+    ref = DependenceProfiler(WITH_RAR, "reference").profile(batch)
+    vec = DependenceProfiler(WITH_RAR, "vectorized").profile(batch)
+    assert ref.store == vec.store
+    assert ref.stats.dep_instances == vec.stats.dep_instances
+    assert ref.stats.races_flagged == vec.stats.races_flagged
+
+
+def test_rar_in_output_format():
+    from repro.core import format_dependences, parse_dependences
+
+    batch = seq_trace([("r", 0x8, 1, "x"), ("r", 0x8, 2, "x")])
+    res = profile_trace(batch, WITH_RAR)
+    text = format_dependences(res)
+    assert "{RAR 0:1|x}" in text
+    parsed = parse_dependences(text)
+    assert ("RAR", "0:1", 0, "x") in parsed.nom[("0:2", 0)]

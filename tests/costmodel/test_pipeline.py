@@ -1,0 +1,183 @@
+"""Tests for the cost model: calibration anchors, pipeline replay shape
+properties, and memory breakdown."""
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.costmodel import (
+    CostParams,
+    estimate_memory,
+    estimate_parallel,
+    estimate_serial,
+)
+from repro.parallel import ParallelProfiler, ParallelRunInfo
+from tests.trace_helpers import seq_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def balanced_info(n_workers=8, chunks_per_worker=50, rows=4096):
+    info = ParallelRunInfo(n_workers=n_workers)
+    for i in range(chunks_per_worker * n_workers):
+        info.chunk_log.append((i % n_workers, rows))
+    info.per_worker_accesses = [chunks_per_worker * rows] * n_workers
+    return info
+
+
+def skewed_info(n_workers=8, chunks=400, rows=4096, hot_share=0.8):
+    info = ParallelRunInfo(n_workers=n_workers)
+    hot = int(chunks * hot_share)
+    for i in range(chunks):
+        w = 0 if i < hot else 1 + (i % (n_workers - 1))
+        info.chunk_log.append((w, rows))
+    return info
+
+
+def total_rows(info):
+    return sum(r for w, r in info.chunk_log if w >= 0)
+
+
+class TestCalibrationAnchors:
+    """The suite-level anchors from the paper's Section VI-B."""
+
+    def test_serial_anchor_190x(self):
+        assert estimate_serial(10**6) == pytest.approx(190.0, rel=0.01)
+
+    def test_8_workers_near_97x(self):
+        info = balanced_info(8)
+        est = estimate_parallel(info, total_rows(info), store_entries=1000)
+        # Balanced pipelines land slightly below the paper's 97x average
+        # (which includes imbalanced benchmarks); the band is what matters.
+        assert 85 <= est.slowdown <= 105
+
+    def test_16_workers_near_78x(self):
+        info = balanced_info(16)
+        est = estimate_parallel(info, total_rows(info), store_entries=1000)
+        assert 75 <= est.slowdown <= 90
+
+    def test_lock_based_ratio_in_band(self):
+        info = balanced_info(8)
+        n = total_rows(info)
+        free = estimate_parallel(info, n, 1000, lock_free=True).slowdown
+        locked = estimate_parallel(info, n, 1000, lock_free=False).slowdown
+        assert 1.3 <= locked / free <= 1.6  # the paper's 1.3-1.6x speedup
+
+    def test_mt_target_anchors(self):
+        i8, i16 = balanced_info(8), balanced_info(16)
+        s8 = estimate_parallel(i8, total_rows(i8), 1000, mt_target=True).slowdown
+        s16 = estimate_parallel(i16, total_rows(i16), 1000, mt_target=True).slowdown
+        assert 290 <= s8 <= 400  # paper: 346x
+        assert 220 <= s16 <= 320  # paper: 261x
+        assert s16 < s8
+
+    def test_serial_mt_target_higher(self):
+        assert estimate_serial(1000, mt_target=True) > estimate_serial(1000)
+
+
+class TestShapeProperties:
+    def test_parallel_beats_serial(self):
+        info = balanced_info(8)
+        est = estimate_parallel(info, total_rows(info), 1000)
+        assert est.slowdown < estimate_serial(total_rows(info))
+
+    def test_more_workers_help_sublinearly(self):
+        s = {}
+        for w in (2, 4, 8, 16):
+            info = balanced_info(w, chunks_per_worker=400 // w)
+            s[w] = estimate_parallel(info, total_rows(info), 1000).slowdown
+        assert s[16] < s[8] < s[4] < s[2]
+        # Sub-linear: 8x workers give far less than 8x improvement.
+        assert s[2] / s[16] < 3.0
+
+    def test_imbalance_hurts(self):
+        bal, skew = balanced_info(8, 50), skewed_info(8, 400)
+        sb = estimate_parallel(bal, total_rows(bal), 1000).slowdown
+        ss = estimate_parallel(skew, total_rows(skew), 1000).slowdown
+        assert ss > sb * 1.3
+
+    def test_queue_backpressure_counted(self):
+        skew = skewed_info(4, 200, hot_share=1.0)  # everything on worker 0
+        est = estimate_parallel(skew, total_rows(skew), 1000, queue_depth=2)
+        assert est.queue_wait_time > 0
+
+    def test_rebalance_markers_charge_time(self):
+        info = balanced_info(4, 10)
+        info.chunk_log.insert(20, (-1, 0))
+        info.rebalance_rounds = 1
+        info.addresses_migrated = 10
+        with_rb = estimate_parallel(info, total_rows(info), 1000)
+        assert with_rb.rebalance_time > 0
+
+    def test_merge_cost_scales_with_entries(self):
+        info = balanced_info(4)
+        n = total_rows(info)
+        small = estimate_parallel(info, n, store_entries=10)
+        large = estimate_parallel(info, n, store_entries=10**6)
+        assert large.makespan > small.makespan
+
+    def test_full_overlap_parameter_lowers_bound(self):
+        info = skewed_info(8, 200, hot_share=0.5)
+        n = total_rows(info)
+        coupled = estimate_parallel(info, n, 0, params=CostParams(overlap=1.0))
+        pipelined = estimate_parallel(info, n, 0, params=CostParams(overlap=0.0))
+        assert pipelined.slowdown < coupled.slowdown
+
+    def test_replay_from_real_run(self):
+        """End-to-end: chunk log from a real deterministic run feeds the model."""
+        ops = []
+        for r in range(50):
+            for i in range(32):
+                a = 0x1000 + 8 * i
+                ops += [("w", a, 1, "x"), ("r", a, 2, "x")]
+        batch = seq_trace(ops)
+        for w in (2, 8):
+            cfg = PERFECT.with_(workers=w, chunk_size=64)
+            res, info = ParallelProfiler(cfg).profile(batch)
+            est = estimate_parallel(
+                info, res.stats.n_accesses, len(res.store), queue_depth=cfg.queue_depth
+            )
+            assert 0 < est.slowdown < estimate_serial(res.stats.n_accesses)
+
+
+class TestMemoryModel:
+    def test_signature_bytes_match_paper_config(self):
+        """16 threads x 6.25e6 slots x 4 B x 2 signatures = 382 MB? The
+        paper says 1e8 aggregated slots consume 382 MB — one read+write pair
+        accounted at 4 B/slot overall."""
+        cfg = ProfilerConfig(signature_slots=10**8, workers=16)
+        est = estimate_memory(cfg, None, 0, 0)
+        assert est.signatures == 2 * (10**8 // 16) * 4 * 16
+
+    def test_components_accumulate(self):
+        cfg = ProfilerConfig(signature_slots=10**6, workers=8)
+        info = ParallelRunInfo(n_workers=8, chunks_allocated=100)
+        est = estimate_memory(cfg, info, store_entries=5000, n_unique_addresses=10**5)
+        assert est.queues == 100 * cfg.chunk_size * 24
+        assert est.dep_store == 5000 * 96
+        assert est.total > est.signatures
+
+    def test_serial_has_no_queue_memory(self):
+        cfg = ProfilerConfig(signature_slots=10**6, workers=1)
+        est = estimate_memory(cfg, None, 100, 100)
+        assert est.queues == 0
+
+    def test_mt_target_costs_more(self):
+        cfg = ProfilerConfig(signature_slots=10**6, workers=8)
+        info = ParallelRunInfo(n_workers=8, chunks_allocated=64)
+        seq = estimate_memory(cfg, info, 1000, 1000)
+        mt = estimate_memory(cfg, info, 1000, 1000, n_sync_events=500, mt_target=True)
+        assert mt.total > seq.total
+
+    def test_more_workers_more_signature_memory(self):
+        """Fig. 7's shape: per-worker slots are fixed in the paper's setup,
+        so memory grows with the thread count."""
+        slots_per_worker = 6_250_000
+        m8 = estimate_memory(
+            ProfilerConfig(signature_slots=slots_per_worker * 8, workers=8),
+            None, 0, 0,
+        ).signatures
+        m16 = estimate_memory(
+            ProfilerConfig(signature_slots=slots_per_worker * 16, workers=16),
+            None, 0, 0,
+        ).signatures
+        assert m16 == 2 * m8

@@ -1,0 +1,273 @@
+"""Tests for MiniVM program construction and sequential execution."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.common.errors import MiniVmError
+from repro.core import DepType, profile_trace
+from repro.minivm import ProgramBuilder, run_program
+from repro.trace import FREE, LOOP_ENTER, LOOP_EXIT, READ, WRITE
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def build_vecsum(n=16):
+    b = ProgramBuilder("vecsum")
+    data = b.global_array("data", n)
+    total = b.global_scalar("total")
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, n):
+            f.store(data, i, i * 2)
+        with f.for_loop(i, 0, n):
+            f.store(total, None, f.load(total) + f.load(data, i))
+    return b.build(), data, total
+
+
+class TestBuilder:
+    def test_build_requires_main(self):
+        b = ProgramBuilder("nomain")
+        with b.function("helper"):
+            pass
+        with pytest.raises(MiniVmError):
+            b.build()
+
+    def test_duplicate_global_rejected(self):
+        b = ProgramBuilder("p")
+        b.global_scalar("x")
+        with pytest.raises(MiniVmError):
+            b.global_scalar("x")
+
+    def test_duplicate_function_rejected(self):
+        b = ProgramBuilder("p")
+        with b.function("main"):
+            pass
+        with pytest.raises(MiniVmError):
+            b.function("main")
+
+    def test_call_to_undefined_function_rejected(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            f.call("ghost")
+        with pytest.raises(MiniVmError):
+            b.build()
+
+    def test_call_arity_checked(self):
+        b = ProgramBuilder("p")
+        with b.function("g", params=("a", "b")):
+            pass
+        with b.function("main") as f:
+            f.call("g", 1)
+        with pytest.raises(MiniVmError):
+            b.build()
+
+    def test_line_numbers_increase(self):
+        prog, *_ = build_vecsum()
+        lines = [s.line for s in prog.main.body]
+        assert lines == sorted(lines)
+        assert prog.n_lines > 0
+
+    def test_else_requires_if(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            with pytest.raises(MiniVmError):
+                f.else_()
+
+    def test_loop_end_line_after_body(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 3) as loop:
+                f.set(f.reg("t"), i)
+        assert loop.end_line > loop.line
+
+    def test_param_lookup(self):
+        b = ProgramBuilder("p")
+        with b.function("g", params=("n",)) as f:
+            assert f.param("n").name == "n"
+            with pytest.raises(MiniVmError):
+                f.param("zzz")
+
+
+class TestSequentialExecution:
+    def test_vecsum_computes_and_traces(self):
+        prog, *_ = build_vecsum(8)
+        batch = run_program(prog)
+        # 8 init writes + (8 reads total + 8 reads data + 8 writes total)
+        assert int(np.count_nonzero(batch.kind == WRITE)) == 16
+        assert int(np.count_nonzero(batch.kind == READ)) == 16
+        assert int(np.count_nonzero(batch.kind == LOOP_ENTER)) == 2
+
+    def test_vecsum_memory_result(self):
+        from repro.minivm.scheduler import Scheduler
+
+        prog, data, total = build_vecsum(8)
+        sched = Scheduler(prog)
+        sched.run(())
+        base, _ = sched.interp._global_bases["total"]
+        assert sched.memory.read(base) == sum(2 * i for i in range(8))
+
+    def test_profiled_deps_of_vecsum(self):
+        prog, *_ = build_vecsum(8)
+        res = profile_trace(run_program(prog), PERFECT)
+        raws = [d for d in res.store if d.dep_type == DepType.RAW]
+        # total accumulation is loop-carried; data reads are not.
+        var_names = {res.var_name(d.var) for d in raws}
+        assert var_names == {"total", "data"}
+        carried = {res.var_name(d.var) for d in raws if d.carried}
+        assert carried == {"total"}
+
+    def test_if_else_branches(self):
+        b = ProgramBuilder("p")
+        out = b.global_array("out", 4)
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 4):
+                with f.if_((i % 2).eq(0)):
+                    f.store(out, i, 100)
+                with f.else_():
+                    f.store(out, i, 200)
+        from repro.minivm.scheduler import Scheduler
+
+        sched = Scheduler(b.build())
+        sched.run(())
+        base, _ = sched.interp._global_bases["out"]
+        vals = [sched.memory.read(base + 8 * i) for i in range(4)]
+        assert vals == [100, 200, 100, 200]
+
+    def test_while_loop_runs_and_counts_iterations(self):
+        b = ProgramBuilder("p")
+        x = b.global_scalar("x")
+        with b.function("main") as f:
+            f.store(x, None, 5)
+            with f.while_loop(f.load(x).gt(0)):
+                f.store(x, None, f.load(x) - 1)
+        batch = run_program(b.build())
+        exit_rows = np.flatnonzero(batch.kind == LOOP_EXIT)
+        assert batch.aux[exit_rows[0]] == 5
+
+    def test_for_loop_zero_iterations(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 0):
+                f.set(f.reg("t"), 1)
+        batch = run_program(b.build())
+        exit_rows = np.flatnonzero(batch.kind == LOOP_EXIT)
+        assert batch.aux[exit_rows[0]] == 0
+
+    def test_for_loop_negative_step(self):
+        b = ProgramBuilder("p")
+        acc = b.global_scalar("acc")
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 5, 0, step=-1):
+                f.store(acc, None, f.load(acc) + i)
+        from repro.minivm.scheduler import Scheduler
+
+        sched = Scheduler(b.build())
+        sched.run(())
+        base, _ = sched.interp._global_bases["acc"]
+        assert sched.memory.read(base) == 5 + 4 + 3 + 2 + 1
+
+    def test_for_loop_step_zero_raises(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 3, step=0):
+                f.set(f.reg("t"), 1)
+        with pytest.raises(MiniVmError):
+            run_program(b.build())
+
+    def test_out_of_bounds_index_raises(self):
+        b = ProgramBuilder("p")
+        a = b.global_array("a", 4)
+        with b.function("main") as f:
+            f.store(a, 9, 1)
+        with pytest.raises(MiniVmError):
+            run_program(b.build())
+
+    def test_unset_register_raises(self):
+        b = ProgramBuilder("p")
+        x = b.global_scalar("x")
+        with b.function("main") as f:
+            f.store(x, None, f.reg("never_set"))
+        with pytest.raises(MiniVmError):
+            run_program(b.build())
+
+    def test_procedure_call_with_args(self):
+        b = ProgramBuilder("p")
+        out = b.global_scalar("out")
+        with b.function("addto", params=("v",)) as f:
+            f.store(out, None, f.load(out) + f.param("v"))
+        with b.function("main") as f:
+            f.call("addto", 10)
+            f.call("addto", 32)
+        from repro.minivm.scheduler import Scheduler
+
+        sched = Scheduler(b.build())
+        sched.run(())
+        base, _ = sched.interp._global_bases["out"]
+        assert sched.memory.read(base) == 42
+
+    def test_traced_locals_reuse_addresses_across_calls(self):
+        """Two calls' locals share addresses; lifetime comes from the stack."""
+        b = ProgramBuilder("p")
+        with b.function("work") as f:
+            t = f.local_scalar("t")
+            f.store(t, None, 1)
+            f.set(f.reg("r"), f.load(t))
+        with b.function("main") as f:
+            f.call("work")
+            f.call("work")
+        batch = run_program(b.build())
+        writes = batch.addr[batch.kind == WRITE]
+        assert writes[0] == writes[1]
+
+    def test_heap_alloc_free_events(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            buf = f.heap_var("buf")
+            f.alloc(buf, 16)
+            i = f.reg("i")
+            with f.for_loop(i, 0, 16):
+                f.store(buf, i, i)
+            f.free(buf)
+        batch = run_program(b.build())
+        assert int(np.count_nonzero(batch.kind == FREE)) == 1
+        free_row = np.flatnonzero(batch.kind == FREE)[0]
+        assert batch.aux[free_row] == 16 * 8  # bytes
+
+    def test_free_unbound_raises(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            buf = f.heap_var("buf")
+            f.free(buf)
+        with pytest.raises(MiniVmError):
+            run_program(b.build())
+
+    def test_heap_reuse_with_lifetime_analysis_no_stale_deps(self):
+        b = ProgramBuilder("p")
+        with b.function("main") as f:
+            a = f.heap_var("a")
+            f.alloc(a, 4)
+            f.store(a, 0, 7)
+            f.free(a)
+            b2 = f.heap_var("b2")
+            f.alloc(b2, 4)  # reuses a's address
+            f.set(f.reg("r"), f.load(b2, 0))
+        res = profile_trace(run_program(b.build()), PERFECT)
+        assert not [d for d in res.store if d.dep_type == DepType.RAW]
+
+    def test_main_with_arguments(self):
+        b = ProgramBuilder("p")
+        out = b.global_scalar("out")
+        with b.function("main", params=("n",)) as f:
+            f.store(out, None, f.param("n") * 2)
+        from repro.minivm.scheduler import Scheduler
+
+        sched = Scheduler(b.build())
+        sched.run((21,))
+        base, _ = sched.interp._global_bases["out"]
+        assert sched.memory.read(base) == 42

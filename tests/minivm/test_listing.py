@@ -1,0 +1,99 @@
+"""Tests for the MiniVM source-listing renderer."""
+
+import re
+
+from repro.minivm import ProgramBuilder
+from repro.minivm.listing import listing_loc, source_listing
+
+
+def build_sample():
+    b = ProgramBuilder("sample")
+    data = b.global_array("data", 8)
+    total = b.global_scalar("total")
+    with b.function("helper", params=("k",)) as f:
+        f.store(total, None, f.load(total) + f.param("k"))
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 8):
+            f.store(data, i, i * 2)
+            with f.if_((i % 2).eq(0)):
+                f.call("helper", f.load(data, i))
+        buf = f.heap_var("buf")
+        f.alloc(buf, 4)
+        f.free(buf)
+    return b.build()
+
+
+class TestListing:
+    def test_all_lines_numbered_and_sorted(self):
+        text = source_listing(build_sample())
+        nums = [int(m.group(1)) for m in re.finditer(r"^\s*(\d+) \|", text, re.M)]
+        assert nums == sorted(nums)
+        assert len(set(nums)) == len(nums)  # one entry per line
+
+    def test_declarations_rendered(self):
+        text = source_listing(build_sample())
+        assert "global data[8]" in text
+        assert "global total" in text
+        assert "def helper(k):" in text
+        assert "def main():" in text
+
+    def test_statements_rendered(self):
+        text = source_listing(build_sample())
+        assert "for i in range(0, 8):" in text
+        assert "data[i] = (i * 2)" in text
+        assert "total = (total + k)" in text
+        assert "helper(data[i])" in text
+        assert "buf = malloc(4)" in text
+        assert "free(buf)" in text
+        assert "# end for" in text
+
+    def test_line_numbers_match_trace_locations(self):
+        """A dependence's reported line must point at the right listing row."""
+        from repro.common.config import ProfilerConfig
+        from repro.common.sourceloc import decode_location
+        from repro.core import DepType, profile_trace
+        from repro.minivm import run_program
+
+        prog = build_sample()
+        res = profile_trace(run_program(prog), ProfilerConfig(perfect_signature=True))
+        listing = {
+            int(m.group(1)): m.group(2)
+            for m in re.finditer(r"^\s*(\d+) \| (.*)$", source_listing(prog), re.M)
+        }
+        raws = [d for d in res.store if d.dep_type is DepType.RAW]
+        assert raws
+        for d in raws:
+            line = decode_location(d.sink_loc).line
+            assert "total" in listing[line] or "data" in listing[line]
+
+    def test_loc_counter(self):
+        prog = build_sample()
+        assert listing_loc(prog) == prog.n_lines > 8
+
+    def test_workload_listings_render(self):
+        """Every registered workload's program pretty-prints cleanly."""
+        from repro.workloads import get_workload, workload_names
+
+        for name in workload_names("nas")[:3] + ["kmeans", "h264dec"]:
+            wl = get_workload(name)
+            prog, _ = wl.build_seq(1)
+            text = source_listing(prog)
+            assert "def main():" in text
+            assert text.count("\n") >= prog.n_lines // 2
+
+    def test_mt_constructs_rendered(self):
+        b = ProgramBuilder("mt")
+        x = b.global_scalar("x")
+        with b.function("w", params=("wid",)) as f:
+            with f.lock(3):
+                f.store(x, None, 1)
+            f.barrier(0, 2)
+        with b.function("main") as f:
+            f.spawn("w", 0)
+            f.spawn("w", 1)
+            f.join_all()
+        text = source_listing(b.build())
+        assert "lock(3)" in text and "unlock(3)" in text
+        assert "barrier(0, parties=2)" in text
+        assert "spawn w(0)" in text and "join_all()" in text

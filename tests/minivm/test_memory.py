@@ -1,0 +1,111 @@
+"""Tests for the MiniVM memory model."""
+
+import pytest
+
+from repro.common.errors import MiniVmError
+from repro.minivm.memory import ELEM_SIZE, GLOBAL_BASE, Memory
+
+
+class TestGlobals:
+    def test_sequential_allocation(self):
+        m = Memory()
+        a = m.alloc_global(4)
+        b = m.alloc_global(1)
+        assert a == GLOBAL_BASE
+        assert b == a + 4 * ELEM_SIZE
+
+
+class TestHeap:
+    def test_malloc_disjoint(self):
+        m = Memory()
+        a = m.malloc(10)
+        b = m.malloc(10)
+        assert abs(b - a) >= 10 * ELEM_SIZE
+
+    def test_free_then_malloc_reuses_address(self):
+        """Address recycling is what variable-lifetime analysis exists for."""
+        m = Memory()
+        a = m.malloc(10)
+        m.mfree(a)
+        b = m.malloc(10)
+        assert b == a
+
+    def test_reused_block_reads_zero(self):
+        m = Memory()
+        a = m.malloc(2)
+        m.write(a, 42)
+        m.mfree(a)
+        b = m.malloc(2)
+        assert b == a
+        assert m.read(b) == 0
+
+    def test_smaller_request_fits_freed_block(self):
+        m = Memory()
+        a = m.malloc(10)
+        m.mfree(a)
+        assert m.malloc(4) == a
+
+    def test_larger_request_skips_freed_block(self):
+        m = Memory()
+        a = m.malloc(4)
+        m.mfree(a)
+        assert m.malloc(100) != a
+
+    def test_double_free_raises(self):
+        m = Memory()
+        a = m.malloc(4)
+        m.mfree(a)
+        with pytest.raises(MiniVmError):
+            m.mfree(a)
+
+    def test_free_unallocated_raises(self):
+        with pytest.raises(MiniVmError):
+            Memory().mfree(0xDEAD)
+
+    def test_malloc_zero_raises(self):
+        with pytest.raises(MiniVmError):
+            Memory().malloc(0)
+
+    def test_live_block_count(self):
+        m = Memory()
+        a = m.malloc(1)
+        b = m.malloc(1)
+        assert m.n_live_heap_blocks == 2
+        m.mfree(a)
+        assert m.n_live_heap_blocks == 1
+
+
+class TestStacks:
+    def test_frames_reuse_addresses_across_calls(self):
+        m = Memory()
+        f1 = m.push_frame(0, 8)
+        m.pop_frame(0)
+        f2 = m.push_frame(0, 8)
+        assert f1 == f2
+
+    def test_nested_frames_disjoint(self):
+        m = Memory()
+        f1 = m.push_frame(0, 8)
+        f2 = m.push_frame(0, 8)
+        assert f2 == f1 + 8 * ELEM_SIZE
+
+    def test_per_thread_stacks_disjoint(self):
+        m = Memory()
+        a = m.push_frame(0, 8)
+        b = m.push_frame(1, 8)
+        assert abs(a - b) >= 8 * ELEM_SIZE
+
+    def test_popped_frame_values_cleared(self):
+        m = Memory()
+        base = m.push_frame(0, 2)
+        m.write(base, 7)
+        m.pop_frame(0)
+        m.push_frame(0, 2)
+        assert m.read(base) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(MiniVmError):
+            Memory().pop_frame(0)
+
+    def test_uninitialized_reads_zero(self):
+        assert Memory().read(0x123456) == 0

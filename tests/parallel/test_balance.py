@@ -1,0 +1,86 @@
+"""Tests for access statistics and the hot-address rebalancer."""
+
+import numpy as np
+
+from repro.parallel.address_map import AddressMap
+from repro.parallel.balance import AccessStats, Rebalancer
+
+
+def stats_from(counts: dict[int, int]) -> AccessStats:
+    s = AccessStats()
+    for addr, c in counts.items():
+        s.record_many(np.full(c, addr, dtype=np.int64))
+    return s
+
+
+class TestAccessStats:
+    def test_record_many_counts(self):
+        s = AccessStats()
+        s.record_many(np.array([8, 8, 16, 8], dtype=np.int64))
+        assert s.count_of(8) == 3
+        assert s.count_of(16) == 1
+        assert s.total == 4
+        assert s.n_addresses == 2
+
+    def test_record_scalar(self):
+        s = AccessStats()
+        s.record(8)
+        s.record(8)
+        assert s.count_of(8) == 2
+
+    def test_hottest_ordering_deterministic(self):
+        s = stats_from({8: 5, 16: 5, 24: 9})
+        hot = s.hottest(3)
+        assert hot == [(24, 9), (8, 5), (16, 5)]  # count desc, addr asc ties
+
+    def test_hottest_with_fewer_addresses(self):
+        s = stats_from({8: 1})
+        assert s.hottest(10) == [(8, 1)]
+
+
+class TestRebalancer:
+    def test_imbalance_detected(self):
+        # Elements 0, 4, 8, 12 (stride 32 bytes): all home to worker 0 of 4.
+        amap = AddressMap(4)
+        s = stats_from({0: 1000, 32: 1000, 64: 1000, 96: 1000})
+        r = Rebalancer(amap, hot_addresses=4)
+        assert r.imbalance(s) == 4.0
+
+    def test_rebalance_spreads_hot_addresses(self):
+        amap = AddressMap(4)
+        s = stats_from({0: 1000, 32: 1000, 64: 1000, 96: 1000})
+        r = Rebalancer(amap, hot_addresses=4)
+        decision = r.rebalance(s)
+        assert decision.n_moves == 3  # one can stay home
+        workers = {amap.worker_of(a) for a in (0, 32, 64, 96)}
+        assert workers == {0, 1, 2, 3}
+        assert abs(r.imbalance(s) - 1.0) < 1e-9
+
+    def test_rebalance_is_minimal_when_balanced(self):
+        amap = AddressMap(4)
+        s = stats_from({0: 100, 8: 100, 16: 100, 24: 100})  # already spread
+        r = Rebalancer(amap, hot_addresses=4)
+        assert r.rebalance(s).n_moves == 0
+
+    def test_skewed_counts_use_lpt_greedy(self):
+        """One very hot address alone on a worker; others packed elsewhere."""
+        amap = AddressMap(2)
+        s = stats_from({0: 1000, 2: 10, 4: 10, 6: 10})  # all on worker 0
+        r = Rebalancer(amap, hot_addresses=4)
+        r.rebalance(s)
+        hot_worker = amap.worker_of(0)
+        others = {amap.worker_of(a) for a in (2, 4, 6)}
+        assert others == {1 - hot_worker}
+
+    def test_counters_accumulate(self):
+        amap = AddressMap(2)
+        s = stats_from({0: 10, 2: 10})
+        r = Rebalancer(amap, hot_addresses=2)
+        r.rebalance(s)
+        r.rebalance(s)
+        assert r.rounds == 2
+
+    def test_empty_stats_noop(self):
+        r = Rebalancer(AddressMap(2))
+        assert r.rebalance(AccessStats()).n_moves == 0
+        assert r.imbalance(AccessStats()) == 1.0

@@ -1,0 +1,120 @@
+"""Tests for the lock-free SPSC ring and the locked queue, including a real
+two-thread stress test of the lock-free algorithm."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import QueueClosedError
+from repro.parallel.queues import LockedQueue, SpscRingQueue
+
+
+@pytest.fixture(params=[SpscRingQueue, LockedQueue], ids=["lockfree", "locked"])
+def queue_cls(request):
+    return request.param
+
+
+class TestQueueProtocol:
+    def test_fifo_order(self, queue_cls):
+        q = queue_cls(8)
+        for i in range(5):
+            assert q.try_push(i)
+        out = []
+        while True:
+            ok, v = q.try_pop()
+            if not ok:
+                break
+            out.append(v)
+        assert out == [0, 1, 2, 3, 4]
+
+    def test_pop_empty(self, queue_cls):
+        ok, v = queue_cls(4).try_pop()
+        assert not ok and v is None
+
+    def test_push_full_fails_without_losing_items(self, queue_cls):
+        q = queue_cls(2)
+        pushed = 0
+        while q.try_push(pushed):
+            pushed += 1
+        assert pushed >= 2
+        assert not q.try_push(99)
+        assert q.push_fail_count >= 1
+        got = 0
+        while q.try_pop()[0]:
+            got += 1
+        assert got == pushed
+
+    def test_close_then_push_raises(self, queue_cls):
+        q = queue_cls(4)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.try_push(1)
+
+    def test_drained_semantics(self, queue_cls):
+        q = queue_cls(4)
+        q.try_push(1)
+        q.close()
+        assert not q.drained  # closed but still has an item
+        q.try_pop()
+        assert q.drained
+
+    def test_capacity_positive_required(self, queue_cls):
+        with pytest.raises(ValueError):
+            queue_cls(0)
+
+    def test_wraparound_many_times(self, queue_cls):
+        q = queue_cls(4)
+        for i in range(1000):
+            assert q.try_push(i)
+            ok, v = q.try_pop()
+            assert ok and v == i
+
+
+class TestSpscSpecific:
+    def test_capacity_rounded_to_power_of_two(self):
+        assert SpscRingQueue(5).capacity == 8
+        assert SpscRingQueue(8).capacity == 8
+
+    def test_len_tracks_in_flight(self):
+        q = SpscRingQueue(8)
+        q.try_push(1)
+        q.try_push(2)
+        assert len(q) == 2
+        q.try_pop()
+        assert len(q) == 1
+
+    def test_pop_clears_slot_reference(self):
+        q = SpscRingQueue(2)
+        obj = object()
+        q.try_push(obj)
+        q.try_pop()
+        assert all(s is None for s in q._slots)
+
+    @pytest.mark.parametrize("n_items", [10_000])
+    def test_two_thread_stress_no_loss_no_dup_in_order(self, n_items):
+        """Real producer/consumer threads hammer the ring: every item must
+        arrive exactly once, in order, with no locks anywhere."""
+        q = SpscRingQueue(16)
+        received = []
+
+        def producer():
+            i = 0
+            while i < n_items:
+                if q.try_push(i):
+                    i += 1
+            q.close()
+
+        def consumer():
+            while True:
+                ok, v = q.try_pop()
+                if ok:
+                    received.append(v)
+                elif q.drained:
+                    return
+
+        threads = [threading.Thread(target=producer), threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert received == list(range(n_items))

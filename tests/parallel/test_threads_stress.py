@@ -1,0 +1,67 @@
+"""Stress/property tests for the real-thread pipeline mode.
+
+The deterministic mode is exhaustively property-tested elsewhere; these
+runs put actual ``threading.Thread`` consumers behind the lock-free rings
+(and the locked rings) on randomized traces and demand bit-equal results
+with the sequential reference — the strongest correctness statement we can
+make about the concurrent architecture under the GIL's memory model.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.common.config import ProfilerConfig
+from repro.core import profile_trace
+from repro.parallel import ParallelProfiler
+from tests.core.test_engine_equivalence import random_ops
+from tests.trace_helpers import seq_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=random_ops())
+def test_threaded_pipeline_equals_sequential(ops):
+    batch = seq_trace(ops)
+    seq = profile_trace(batch, PERFECT, "reference")
+    cfg = PERFECT.with_(workers=3, chunk_size=4, queue_depth=2)
+    par, info = ParallelProfiler(cfg, mode="threads").profile(batch)
+    assert par.store == seq.store
+    assert sum(info.per_worker_accesses) == seq.stats.n_accesses
+
+
+@pytest.mark.parametrize("lock_free", [True, False])
+def test_threaded_pipeline_with_rebalancing(lock_free):
+    """Rebalancing quiesces live worker threads before migrating state."""
+    ops = []
+    hot = [0x1000 + 0x100 * k for k in range(4)]  # same home worker
+    for _ in range(400):
+        for a in hot:
+            ops.append(("w", a, 5, "h"))
+            ops.append(("r", a, 6, "h"))
+    batch = seq_trace(ops)
+    cfg = PERFECT.with_(
+        workers=4,
+        chunk_size=16,
+        queue_depth=2,
+        lock_free_queues=lock_free,
+        rebalance_interval_chunks=4,
+    )
+    par, info = ParallelProfiler(cfg, mode="threads", window=512).profile(batch)
+    seq = profile_trace(batch, PERFECT, "reference")
+    assert par.store == seq.store
+    assert info.rebalance_rounds >= 1
+
+
+def test_threaded_pipeline_large_trace():
+    from repro.workloads import get_trace
+
+    batch = get_trace("tinyjpeg")
+    cfg = PERFECT.with_(workers=8, chunk_size=128)
+    par, _ = ParallelProfiler(cfg, mode="threads").profile(batch)
+    seq = profile_trace(batch, PERFECT, "vectorized")
+    assert par.store == seq.store

@@ -1,0 +1,93 @@
+"""Tests for the Eq. 2 false-positive model and hash quality."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.rng import make_rng
+from repro.sigmem import (
+    expected_fpr,
+    expected_occupancy,
+    hash_addresses,
+    slots_for_target_fpr,
+)
+
+
+class TestEq2:
+    def test_zero_insertions_zero_fpr(self):
+        assert expected_fpr(0, 1000) == 0.0
+
+    def test_monotone_in_n(self):
+        m = 10_000
+        vals = [expected_fpr(n, m) for n in (0, 10, 100, 1000, 10_000, 100_000)]
+        assert vals == sorted(vals)
+
+    def test_inverse_in_m(self):
+        n = 1000
+        assert expected_fpr(n, 100) > expected_fpr(n, 10_000) > expected_fpr(n, 10**8)
+
+    def test_paper_scale_values(self):
+        """Table I scale: ~1e6 addresses into 1e6/1e7/1e8 slots."""
+        assert expected_fpr(1_100_000, 10**6) > 0.5  # heavily loaded
+        assert expected_fpr(1_100_000, 10**8) < 0.02  # nearly collision-free
+
+    def test_matches_naive_formula(self):
+        naive = 1 - (1 - 1 / 5000) ** 700
+        assert math.isclose(expected_fpr(700, 5000), naive, rel_tol=1e-12)
+
+    def test_precision_at_huge_m(self):
+        # naive formula underflows to 0 here; log1p/expm1 must not.
+        assert 0 < expected_fpr(10, 10**12) < 1e-10
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            expected_fpr(-1, 10)
+        with pytest.raises(ValueError):
+            expected_fpr(1, 0)
+
+    def test_expected_occupancy_bounds(self):
+        occ = expected_occupancy(500, 1000)
+        assert 0 < occ < 500  # collisions make it less than n
+
+
+class TestSizing:
+    @pytest.mark.parametrize("n", [100, 10_000, 1_000_000])
+    @pytest.mark.parametrize("p", [0.1, 0.01, 0.001])
+    def test_sizing_meets_target(self, n, p):
+        m = slots_for_target_fpr(n, p)
+        assert expected_fpr(n, m) <= p
+        # and is tight: one order of magnitude fewer slots would violate it
+        assert expected_fpr(n, max(1, m // 10)) > p
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            slots_for_target_fpr(100, 0.0)
+        with pytest.raises(ValueError):
+            slots_for_target_fpr(100, 1.0)
+
+    def test_zero_addresses(self):
+        assert slots_for_target_fpr(0, 0.01) == 1
+
+
+class TestHashUniformity:
+    def test_strided_addresses_spread(self):
+        """Array traversals produce strided addresses; the hash must spread
+        them instead of mapping them to a few slots (Eq. 2 assumes uniform)."""
+        m = 1024
+        addrs = np.arange(0, 8 * 100_000, 8, dtype=np.int64)
+        slots = hash_addresses(addrs, m)
+        counts = np.bincount(slots, minlength=m)
+        mean = len(addrs) / m
+        assert counts.max() < 2.0 * mean
+        assert counts.min() > 0.3 * mean
+
+    def test_random_addresses_match_eq2(self):
+        """Measured slot occupancy after n random inserts tracks Eq. 2."""
+        rng = make_rng(0, "hash")
+        m, n = 4096, 3000
+        addrs = rng.integers(0, 2**40, n, dtype=np.int64) * 8
+        slots = hash_addresses(addrs, m)
+        occupancy = len(np.unique(slots)) / m
+        predicted = expected_fpr(n, m)
+        assert abs(occupancy - predicted) < 0.03

@@ -1,0 +1,116 @@
+"""Tests for the report renderers and the ddprof CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.report import ascii_table, bar_chart, csv_lines, fmt
+
+
+class TestFmt:
+    def test_float_precision(self):
+        assert fmt(3.14159) == "3.142"
+        assert fmt(42.123) == "42.1"
+        assert fmt(1234.5) == "1,234"
+        assert fmt(0.0) == "0"
+
+    def test_bool_and_str(self):
+        assert fmt(True) == "yes"
+        assert fmt(False) == "no"
+        assert fmt("abc") == "abc"
+
+
+class TestAsciiTable:
+    def test_alignment_and_title(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["bb", 22]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert all(len(l) == len(lines[1]) for l in lines[3:])
+
+    def test_empty_rows(self):
+        out = ascii_table(["x"], [])
+        assert "x" in out
+
+
+class TestCsv:
+    def test_basic(self):
+        out = csv_lines(["a", "b"], [[1, 2.5]])
+        assert out.splitlines() == ["a,b", "1,2.500"]
+
+    def test_thousands_commas_stripped(self):
+        out = csv_lines(["v"], [[12345.0]])
+        assert out.splitlines()[1] == "12345"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart([("a", 10.0), ("b", 5.0)], title="chart", unit="x")
+        lines = out.splitlines()
+        assert lines[0] == "chart"
+        assert lines[1].count("#") == 2 * lines[2].count("#")
+
+    def test_zero_and_empty(self):
+        assert "(no data)" in bar_chart([], title="t")
+        out = bar_chart([("a", 0.0)])
+        assert "#" not in out
+
+
+class TestCli:
+    def test_workloads_lists_suites(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "[nas]" in out and "cg" in out and "water-spatial" in out
+
+    def test_profile_sequential(self, capsys):
+        assert main(["profile", "ep"]) == 0
+        out = capsys.readouterr().out
+        assert "NOM" in out and "merged dependences" in out
+
+    def test_profile_with_signature_slots(self, capsys):
+        assert main(["profile", "ep", "--slots", "100000"]) == 0
+        assert "NOM" in capsys.readouterr().out
+
+    def test_loops_table(self, capsys):
+        assert main(["loops", "mg"]) == 0
+        out = capsys.readouterr().out
+        assert "parallelizable" in out or "parallel" in out
+
+    def test_comm_matrix(self, capsys):
+        assert main(["comm", "water-spatial", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "(producers)" in out
+
+    def test_races_clean_program(self, capsys):
+        assert main(["races", "md5", "--delay", "0.0", "--threads", "2"]) == 0
+        assert "no potential data races" in capsys.readouterr().out
+
+    def test_unknown_workload_errors(self):
+        from repro.common.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["profile", "quake"])
+
+    def test_listing(self, capsys):
+        assert main(["listing", "ep"]) == 0
+        out = capsys.readouterr().out
+        assert "def main():" in out and "for " in out
+
+    def test_listing_parallel_variant(self, capsys):
+        assert main(["listing", "md5", "--variant", "par", "--threads", "2"]) == 0
+        assert "spawn" in capsys.readouterr().out
+
+    def test_tree(self, capsys):
+        assert main(["tree", "ep"]) == 0
+        out = capsys.readouterr().out
+        assert "<root>" in out and "loop" in out
+
+    def test_sections(self, capsys):
+        assert main(["sections", "mg"]) == 0
+        out = capsys.readouterr().out
+        assert "RAW" in out and "loop" in out
+
+    def test_distances(self, capsys):
+        assert main(["distances", "cg"]) == 0
+        out = capsys.readouterr().out
+        assert "DOALL" in out and "serial" in out
+        assert "distance 1" in out  # the forward-substitution recurrence

@@ -1,0 +1,45 @@
+"""Round-trip tests for trace (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.trace import READ, WRITE, TraceRecorder, load_trace, save_trace
+
+
+def make_batch():
+    r = TraceRecorder()
+    v = r.intern_var("buf")
+    r.loop_enter(500)
+    for i in range(20):
+        r.loop_iter(500)
+        r.write(0x100 + 8 * i, loc=10, var=v)
+        r.read(0x100 + 8 * i, loc=11, var=v)
+    r.loop_exit(500)
+    return r.build()
+
+
+def test_roundtrip(tmp_path):
+    batch = make_batch()
+    path = tmp_path / "t.npz"
+    save_trace(batch, path)
+    loaded = load_trace(path)
+    for col in ("kind", "tid", "loc", "addr", "aux", "var", "ts", "ctx"):
+        assert np.array_equal(getattr(batch, col), getattr(loaded, col)), col
+    assert loaded.var_names == batch.var_names
+    assert loaded.ctx_stacks == batch.ctx_stacks
+
+
+def test_roundtrip_empty(tmp_path):
+    from repro.trace import TraceBuilder
+
+    path = tmp_path / "empty.npz"
+    save_trace(TraceBuilder().build(), path)
+    assert len(load_trace(path)) == 0
+
+
+def test_bad_file_raises(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, kind=np.zeros(1, dtype=np.uint8))  # missing everything else
+    with pytest.raises(TraceFormatError):
+        load_trace(path)

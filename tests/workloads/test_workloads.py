@@ -1,0 +1,234 @@
+"""Tests for the benchmark workload analogs.
+
+Every registered workload must build, run deterministically, and — for the
+Table II ground truth — have its annotated loops classified exactly as its
+metadata promises (expected_identified == what analyze_loops finds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.core import profile_trace
+from repro.analyses import analyze_loops, communication_matrix
+from repro.workloads import (
+    get_trace,
+    get_workload,
+    workload_names,
+    workloads_in_suite,
+)
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+NAS = workload_names("nas")
+STARBENCH = workload_names("starbench")
+ALL_SEQ = NAS + STARBENCH
+
+
+class TestRegistry:
+    def test_all_suites_populated(self):
+        assert len(NAS) == 8
+        assert len(STARBENCH) == 11
+        assert workload_names("splash2x") == [
+            "fft-transpose",
+            "master-worker",
+            "water-spatial",
+        ]
+
+    def test_unknown_workload_raises(self):
+        from repro.common.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            get_workload("doom")
+
+    def test_unknown_variant_raises(self):
+        from repro.common.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            get_trace("cg", variant="gpu")
+
+    def test_nas_has_no_parallel_variant(self):
+        from repro.common.errors import WorkloadError
+
+        assert not get_workload("cg").has_parallel_variant
+        with pytest.raises(WorkloadError):
+            get_trace("cg", variant="par")
+
+    def test_all_starbench_have_parallel_variants(self):
+        for wl in workloads_in_suite("starbench"):
+            assert wl.has_parallel_variant, wl.name
+
+    def test_trace_caching_returns_same_object(self):
+        a = get_trace("ep")
+        b = get_trace("ep")
+        assert a is b
+
+    def test_different_scales_differ(self):
+        a = get_trace("rotate", scale=1)
+        b = get_trace("rotate", scale=2)
+        assert len(b) > len(a)
+
+
+@pytest.mark.parametrize("name", ALL_SEQ)
+class TestSequentialWorkloads:
+    def test_builds_and_runs(self, name):
+        batch = get_trace(name)
+        assert len(batch) > 1000
+        assert batch.n_unique_addresses > 10
+        assert batch.n_threads == 1
+
+    def test_ground_truth_matches_analysis(self, name):
+        """The central Table II property: the classification of every
+        annotated loop matches the workload's declared ground truth."""
+        batch, meta = get_trace(name, with_meta=True)
+        res = profile_trace(batch, PERFECT)
+        cls = analyze_loops(res)
+        sites = meta.annotated_sites()
+        assert sites, "workload must declare annotated loops"
+        for key, site in sites.items():
+            assert site in cls, f"annotated loop {key} was never profiled"
+            assert cls[site].parallelizable == (key in meta.expected_identified), (
+                f"{name}:{key} classified "
+                f"{'parallel' if cls[site].parallelizable else 'blocked'}, "
+                f"ground truth says the opposite"
+            )
+
+    def test_deterministic_rebuild(self, name):
+        from repro.workloads.base import clear_trace_cache
+
+        a = get_trace(name)
+        clear_trace_cache()
+        b = get_trace(name)
+        assert np.array_equal(a.addr, b.addr)
+        assert np.array_equal(a.kind, b.kind)
+
+
+@pytest.mark.parametrize("name", ["c-ray", "kmeans", "md5", "h264dec", "rotate"])
+class TestParallelWorkloads:
+    def test_runs_multithreaded(self, name):
+        batch = get_trace(name, variant="par", threads=4)
+        assert batch.n_threads == 5  # main + 4 workers
+
+    def test_no_flagged_races_when_locked(self, name):
+        """All pthread analogs synchronize correctly: no timestamp
+        reversals without injected push delays."""
+        batch = get_trace(name, variant="par", threads=4)
+        res = profile_trace(batch, PERFECT.with_(multithreaded_target=True))
+        assert res.stats.races_flagged == 0
+
+    def test_cross_thread_dependences_exist(self, name):
+        batch = get_trace(name, variant="par", threads=4)
+        res = profile_trace(batch, PERFECT.with_(multithreaded_target=True))
+        m = communication_matrix(res, n_threads=5)
+        assert m.sum() > 0
+
+
+class TestWaterSpatial:
+    def test_neighbor_banded_communication(self):
+        """Figure 9's shape: workers talk to spatial neighbours only."""
+        threads = 6
+        batch = get_trace("water-spatial", variant="par", threads=threads)
+        res = profile_trace(batch, PERFECT.with_(multithreaded_target=True))
+        m = communication_matrix(res, n_threads=threads + 1)
+        w = m[1:, 1:]  # drop the main thread
+        band = off_band = 0.0
+        for pr in range(threads):
+            for co in range(threads):
+                if pr == co:
+                    continue
+                if abs(pr - co) == 1:
+                    band += w[pr, co]
+                else:
+                    off_band += w[pr, co]
+        assert band > 0
+        assert off_band == 0  # strictly neighbour-banded
+
+    def test_results_deterministic_per_seed(self):
+        a = get_trace("water-spatial", variant="par", threads=4, seed=3)
+        from repro.workloads.base import clear_trace_cache
+
+        clear_trace_cache()
+        b = get_trace("water-spatial", variant="par", threads=4, seed=3)
+        assert np.array_equal(a.tid, b.tid)
+
+
+class TestCommunicationTopologies:
+    """The three splash2x analogs produce three distinct matrix shapes."""
+
+    def matrix(self, name, threads=4):
+        batch = get_trace(name, variant="par", threads=threads)
+        res = profile_trace(batch, PERFECT.with_(multithreaded_target=True))
+        return communication_matrix(res, n_threads=batch.n_threads)
+
+    def test_fft_transpose_is_all_to_all(self):
+        threads = 4
+        m = self.matrix("fft-transpose", threads)[1:, 1:]
+        for p in range(threads):
+            for c in range(threads):
+                if p != c:
+                    assert m[p, c] > 0, (p, c)
+
+    def test_master_worker_is_a_star(self):
+        threads = 3
+        m = self.matrix("master-worker", threads)
+        master = 1  # first spawned thread
+        workers = range(2, threads + 2)
+        for w in workers:
+            assert m[master, w] > 0  # tasks flow master -> worker
+            assert m[w, master] > 0  # results flow worker -> master
+        for a in workers:
+            for b in workers:
+                if a != b:
+                    assert m[a, b] == 0  # workers never talk to each other
+
+    def test_topologies_distinguishable(self):
+        """Band vs star vs all-to-all: pairwise different supports."""
+        import numpy as np
+
+        def support(name, threads=4):
+            m = self.matrix(name, threads)
+            full = np.zeros((threads + 1, threads + 1), dtype=bool)
+            k = min(m.shape[0], threads + 1)
+            full[:k, :k] = m[:k, :k] > 0
+            return full
+
+        shapes = {
+            name: support(name)
+            for name in ("water-spatial", "fft-transpose", "master-worker")
+        }
+        names = list(shapes)
+        for i in range(len(names)):
+            for j in range(i + 1, len(names)):
+                assert not np.array_equal(shapes[names[i]], shapes[names[j]])
+
+
+class TestWorkloadShapes:
+    """Suite-level distribution properties the experiments rely on."""
+
+    def test_rgbyuv_is_address_heavy(self):
+        """rgbyuv has the highest address/access ratio (Table I driver)."""
+        ratios = {}
+        for name in ("rgbyuv", "streamcluster", "tinyjpeg"):
+            batch = get_trace(name)
+            ratios[name] = batch.n_unique_addresses / batch.n_accesses
+        assert ratios["rgbyuv"] > ratios["streamcluster"]
+        assert ratios["rgbyuv"] > ratios["tinyjpeg"]
+
+    def test_ep_touches_few_addresses(self):
+        assert get_trace("ep").n_unique_addresses < 100
+
+    def test_md5_has_hot_state_addresses(self):
+        """md5's four state words soak up a large share of accesses."""
+        batch = get_trace("md5")
+        mask = batch.access_mask()
+        addrs, counts = np.unique(batch.addr[mask], return_counts=True)
+        top4 = np.sort(counts)[-4:].sum()
+        assert top4 / counts.sum() > 0.1
+
+    def test_nas_identified_ratio_near_paper(self):
+        """Aggregate Table II shape: ~92.5% of annotated loops identified."""
+        ann = ident = 0
+        for name in NAS:
+            _, meta = get_trace(name, with_meta=True)
+            ann += len(meta.annotated)
+            ident += len(meta.expected_identified)
+        assert 0.85 <= ident / ann <= 0.98
