@@ -38,6 +38,23 @@ def emit(results_dir):
     return _emit
 
 
+@pytest.fixture
+def metrics_registry(results_dir, request):
+    """A metrics registry whose events land next to the benchmark artifacts.
+
+    Pass it as ``registry=`` to any profiler; span/sample/snapshot events are
+    written to ``benchmarks/results/<test_name>.metrics.jsonl`` so a benchmark
+    run leaves a telemetry trail alongside its ``*.txt`` tables.
+    """
+    from repro.obs import JsonlSink, MetricsRegistry
+
+    path = results_dir / f"{request.node.name}.metrics.jsonl"
+    reg = MetricsRegistry(JsonlSink(path))
+    yield reg
+    reg.emit({"type": "snapshot", **reg.snapshot()})
+    reg.close()
+
+
 @pytest.fixture(scope="session")
 def starbench_names():
     from repro.workloads import workload_names

@@ -1,0 +1,64 @@
+"""Telemetry overhead: instrumented vs. uninstrumented profiling runs.
+
+The observability layer promises near-zero cost when no sink is attached
+(counters are plain attribute bumps; event construction is guarded by
+``sink.enabled``) and modest cost with the JSONL sink on.  This experiment
+measures both deltas on a real pipeline run and drops the instrumented
+run's event log next to the other artifacts via the ``metrics_registry``
+fixture — the telemetry trail a benchmark run is expected to leave.
+"""
+
+import time
+
+from repro.common.config import ProfilerConfig
+from repro.obs import MetricsRegistry, read_jsonl
+from repro.parallel import ParallelProfiler
+from repro.report import ascii_table
+from repro.workloads import get_trace
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+def _timed_run(batch, registry=None):
+    cfg = PERFECT.with_(workers=4)
+    t0 = time.perf_counter()
+    result, info = ParallelProfiler(cfg, registry=registry).profile(batch)
+    return time.perf_counter() - t0, result
+
+
+def test_telemetry_overhead(benchmark, emit, metrics_registry, results_dir):
+    batch = get_trace("kmeans")
+    _timed_run(batch)  # warm the trace cache and code paths
+
+    t_plain, r_plain = _timed_run(batch)
+    t_counters, r_counters = _timed_run(batch, MetricsRegistry())
+    t_jsonl, r_jsonl = _timed_run(batch, metrics_registry)
+
+    # Telemetry must never change the profile itself.
+    assert r_plain.store == r_counters.store == r_jsonl.store
+
+    rows = [
+        ["no registry", t_plain, 1.0],
+        ["registry, null sink", t_counters, t_counters / t_plain],
+        ["registry, jsonl sink", t_jsonl, t_jsonl / t_plain],
+    ]
+    emit(
+        "telemetry_overhead.txt",
+        ascii_table(
+            ["configuration", "seconds", "vs plain"], rows,
+            title="Telemetry overhead (kmeans analog, 4 workers)",
+        ),
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_metrics_jsonl_lands_in_results(metrics_registry, results_dir, benchmark):
+    """The fixture writes <test name>.metrics.jsonl into benchmarks/results/."""
+    batch = get_trace("ep")
+    ParallelProfiler(PERFECT.with_(workers=2), registry=metrics_registry).profile(batch)
+    metrics_registry.sink.flush()
+    path = results_dir / "test_metrics_jsonl_lands_in_results.metrics.jsonl"
+    assert path.exists()
+    events = read_jsonl(path)
+    assert any(e["type"] == "span" for e in events)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

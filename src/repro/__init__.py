@@ -33,6 +33,15 @@ from repro.core import (
     set_rates,
 )
 from repro.minivm import ProgramBuilder, ScheduleConfig, run_program
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    RunReport,
+    Sampler,
+    prometheus_text,
+)
 from repro.parallel import ParallelProfiler
 from repro.trace import TraceBatch, TraceRecorder, load_trace, save_trace
 
@@ -43,10 +52,16 @@ __all__ = [
     "Dependence",
     "DependenceProfiler",
     "DependenceStore",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
     "ParallelProfiler",
     "ProfileResult",
     "ProfilerConfig",
     "ProgramBuilder",
+    "RunReport",
+    "Sampler",
     "ScheduleConfig",
     "SourceLocation",
     "TraceBatch",
@@ -58,6 +73,7 @@ __all__ = [
     "load_trace",
     "parse_dependences",
     "profile_trace",
+    "prometheus_text",
     "run_program",
     "save_trace",
     "set_rates",

@@ -10,6 +10,11 @@ Subcommands::
     ddprof listing <workload>              numbered source listing of the analog
     ddprof tree <workload> [...]           dynamic execution tree
     ddprof sections <workload> [...]       region-level dependence summary
+    ddprof stats <workload> [...]          telemetry run-report of a pipeline run
+
+Every profiling subcommand accepts ``--metrics-out FILE`` (write the
+telemetry event stream as JSONL) and ``--json`` (append/print the
+machine-readable run report; schema in docs/observability.md).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import sys
 from repro.common.config import ProfilerConfig
 from repro.core import format_dependences, profile_trace
 from repro.minivm import ScheduleConfig, run_program
+from repro.obs import JsonlSink, MetricsRegistry, RunReport
 
 
 def _profiler_args(p: argparse.ArgumentParser) -> None:
@@ -35,6 +41,14 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--engine", choices=["vectorized", "reference"], default="vectorized"
     )
+    p.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write the telemetry event stream (JSONL) to FILE",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable run report as JSON",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ProfilerConfig:
@@ -45,16 +59,54 @@ def _config_from(args: argparse.Namespace) -> ProfilerConfig:
     return cfg.with_(multithreaded_target=args.variant == "par")
 
 
-def _trace_from(args: argparse.Namespace):
+def _registry_from(args: argparse.Namespace) -> MetricsRegistry:
+    """Telemetry registry for one CLI run (JSONL sink when requested)."""
+    sink = JsonlSink(args.metrics_out) if args.metrics_out else None
+    return MetricsRegistry(sink)
+
+
+def _report_from(
+    args: argparse.Namespace,
+    reg: MetricsRegistry,
+    result=None,
+    info=None,
+    engine: str | None = None,
+) -> RunReport:
+    """Freeze telemetry: final snapshot event, close the sink, build report."""
+    reg.emit({"type": "snapshot", **reg.snapshot()})
+    reg.close()
+    return RunReport.build(
+        reg,
+        result,
+        info,
+        workload=args.workload,
+        variant=args.variant,
+        engine=engine or args.engine,
+    )
+
+
+def _finish_telemetry(
+    args: argparse.Namespace, reg: MetricsRegistry, result=None, info=None
+) -> None:
+    """Shared tail of every profiling subcommand."""
+    report = _report_from(args, reg, result, info)
+    if args.json:
+        print(report.to_json())
+
+
+def _trace_from(args: argparse.Namespace, reg: MetricsRegistry | None = None):
     from repro.workloads import get_trace
 
-    return get_trace(
-        args.workload,
-        variant=args.variant,
-        scale=args.scale,
-        threads=args.threads,
-        seed=args.seed,
-    )
+    if reg is None:
+        reg = MetricsRegistry()
+    with reg.span("trace-build"):
+        return get_trace(
+            args.workload,
+            variant=args.variant,
+            scale=args.scale,
+            threads=args.threads,
+            seed=args.seed,
+        )
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -70,16 +122,42 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    batch = _trace_from(args)
-    res = profile_trace(batch, _config_from(args), args.engine)
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
     sys.stdout.write(format_dependences(res, verbose=args.verbose))
-    s = res.stats
-    print(
-        f"\n# {s.n_accesses} accesses, {s.n_unique_addresses} addresses, "
-        f"{len(res.store)} merged dependences "
-        f"({res.store.instances} instances, {res.merge_reduction_factor:.0f}x merge), "
-        f"{s.races_flagged} potential races"
-    )
+    if not args.json:
+        s = res.stats
+        print(
+            f"\n# {s.n_accesses} accesses, {s.n_unique_addresses} addresses, "
+            f"{len(res.store)} merged dependences "
+            f"({res.store.instances} instances, "
+            f"{res.merge_reduction_factor:.0f}x merge), "
+            f"{s.races_flagged} potential races"
+        )
+    _finish_telemetry(args, reg, res)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run the full parallel pipeline and print its telemetry run-report."""
+    from repro.parallel import ParallelProfiler
+
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    cfg = _config_from(args).with_(workers=args.workers)
+    res, info = ParallelProfiler(cfg, registry=reg).profile(batch)
+    report = _report_from(args, reg, res, info, engine="pipeline")
+    if args.json:
+        print(report.to_json())
+    else:
+        sys.stdout.write(report.render())
+    if args.prometheus_out:
+        from pathlib import Path
+
+        from repro.obs import prometheus_text
+
+        Path(args.prometheus_out).write_text(prometheus_text(reg))
     return 0
 
 
@@ -87,8 +165,9 @@ def cmd_loops(args: argparse.Namespace) -> int:
     from repro.analyses import loop_table
     from repro.report import ascii_table
 
-    batch = _trace_from(args)
-    res = profile_trace(batch, _config_from(args), args.engine)
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
     rows = [
         (r.site, r.end, r.executions, r.total_iterations, r.parallelizable, r.note)
         for r in loop_table(res)
@@ -100,6 +179,7 @@ def cmd_loops(args: argparse.Namespace) -> int:
             title=f"Loops of {args.workload} ({args.variant})",
         )
     )
+    _finish_telemetry(args, reg, res)
     return 0
 
 
@@ -107,10 +187,12 @@ def cmd_comm(args: argparse.Namespace) -> int:
     from repro.analyses import communication_matrix, render_matrix
 
     args.variant = "par"
-    batch = _trace_from(args)
-    res = profile_trace(batch, _config_from(args), args.engine)
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
     m = communication_matrix(res, n_threads=args.threads + 1)
     sys.stdout.write(render_matrix(m[1:, 1:]))
+    _finish_telemetry(args, reg, res)
     return 0
 
 
@@ -119,15 +201,18 @@ def cmd_races(args: argparse.Namespace) -> int:
     from repro.workloads import get_workload
 
     args.variant = "par"
+    reg = _registry_from(args)
     wl = get_workload(args.workload)
-    program, _ = wl.build_par(args.scale or wl.default_scale, args.threads)
-    batch = run_program(
-        program,
-        schedule=ScheduleConfig(
-            policy="roundrobin", seed=args.seed, delay_probability=args.delay
-        ),
-    )
-    res = profile_trace(batch, _config_from(args), args.engine)
+    with reg.span("trace-build"):
+        program, _ = wl.build_par(args.scale or wl.default_scale, args.threads)
+        batch = run_program(
+            program,
+            schedule=ScheduleConfig(
+                policy="roundrobin", seed=args.seed, delay_probability=args.delay
+            ),
+        )
+    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
+    _finish_telemetry(args, reg, res)
     races = res.store.races()
     if not races:
         print("no potential data races flagged")
@@ -148,8 +233,9 @@ def cmd_distances(args: argparse.Namespace) -> int:
     from repro.common.sourceloc import format_location
     from repro.core import profile_trace as _pt
 
-    batch = _trace_from(args)
-    res = _pt(batch, _config_from(args), args.engine)
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    res = _pt(batch, _config_from(args), args.engine, registry=reg)
     for site in sorted(res.loops):
         d = dependence_distances(batch, site)
         degree = d.doacross_degree
@@ -167,6 +253,7 @@ def cmd_distances(args: argparse.Namespace) -> int:
                 f"{format_location(key.sink_loc)} on "
                 f"{res.var_name(key.var)}: distance {dist}"
             )
+    _finish_telemetry(args, reg, res)
     return 0
 
 
@@ -209,9 +296,11 @@ def cmd_tree(args: argparse.Namespace) -> int:
 def cmd_sections(args: argparse.Namespace) -> int:
     from repro.analyses import section_dependences
 
-    batch = _trace_from(args)
-    res = profile_trace(batch, _config_from(args), args.engine)
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
     deps = section_dependences(res)
+    _finish_telemetry(args, reg, res)
     if not deps:
         print("no cross-region dependences")
         return 0
@@ -256,6 +345,18 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("distances", help="per-loop dependence distances")
     _profiler_args(p)
     p.set_defaults(fn=cmd_distances)
+    p = sub.add_parser(
+        "stats", help="telemetry run-report of a full pipeline run"
+    )
+    _profiler_args(p)
+    p.add_argument(
+        "--workers", type=int, default=4, help="pipeline worker count"
+    )
+    p.add_argument(
+        "--prometheus-out", metavar="FILE", default=None,
+        help="also write a Prometheus text exposition of the final metrics",
+    )
+    p.set_defaults(fn=cmd_stats)
     p = sub.add_parser(
         "diff", help="compare two saved dependence listings record by record"
     )

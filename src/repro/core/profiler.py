@@ -9,6 +9,10 @@ Engines:
 
 * ``"vectorized"`` (default) — the numpy engine; identical output, fast.
 * ``"reference"``  — Algorithm 1 event-at-a-time; the executable spec.
+
+Telemetry: pass a :class:`~repro.obs.metrics.MetricsRegistry` to record an
+``engine`` span, access/dependence counters, and signature occupancy
+gauges for the run; with no registry the engines run uninstrumented.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.common.errors import ProfilerError
 from repro.core.reference import ReferenceEngine
 from repro.core.result import ProfileResult
 from repro.core.vectorized import VectorizedEngine
+from repro.obs.metrics import MetricsRegistry
 from repro.sigmem import ArraySignature, PerfectSignature
 from repro.sigmem.signature import AccessTracker
 from repro.trace import TraceBatch
@@ -25,10 +30,29 @@ from repro.trace import TraceBatch
 ENGINES = ("vectorized", "reference")
 
 
-def make_trackers(config: ProfilerConfig) -> tuple[AccessTracker, AccessTracker]:
-    """Build the (read, write) tracker pair a configuration calls for."""
+def make_trackers(
+    config: ProfilerConfig, registry: MetricsRegistry | None = None
+) -> tuple[AccessTracker, AccessTracker]:
+    """Build the (read, write) tracker pair a configuration calls for.
+
+    With a registry, array signatures count hash-conflict evictions into
+    ``sigmem.evictions{kind=...}`` counters.
+    """
     if config.perfect_signature:
         return PerfectSignature(), PerfectSignature()
+    if registry is not None:
+        return (
+            ArraySignature(
+                config.signature_slots,
+                config.hash_salt,
+                eviction_counter=registry.counter("sigmem.evictions", kind="read"),
+            ),
+            ArraySignature(
+                config.signature_slots,
+                config.hash_salt,
+                eviction_counter=registry.counter("sigmem.evictions", kind="write"),
+            ),
+        )
     return (
         ArraySignature(config.signature_slots, config.hash_salt),
         ArraySignature(config.signature_slots, config.hash_salt),
@@ -39,25 +63,61 @@ class DependenceProfiler:
     """Profile traces under one configuration."""
 
     def __init__(
-        self, config: ProfilerConfig | None = None, engine: str = "vectorized"
+        self,
+        config: ProfilerConfig | None = None,
+        engine: str = "vectorized",
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ProfilerError(f"unknown engine {engine!r}; pick from {ENGINES}")
         self.config = config if config is not None else ProfilerConfig()
         self.engine_name = engine
+        self.registry = registry
 
     def profile(self, batch: TraceBatch) -> ProfileResult:
         """Run the configured engine over ``batch`` and return the result."""
-        if self.engine_name == "vectorized":
-            return VectorizedEngine(self.config).run(batch)
-        read_tracker, write_tracker = make_trackers(self.config)
-        return ReferenceEngine(self.config, read_tracker, write_tracker).run(batch)
+        reg = self.registry
+        if reg is None:
+            # Uninstrumented fast path — identical to the seed behaviour.
+            if self.engine_name == "vectorized":
+                return VectorizedEngine(self.config).run(batch)
+            read_tracker, write_tracker = make_trackers(self.config)
+            return ReferenceEngine(
+                self.config, read_tracker, write_tracker
+            ).run(batch)
+
+        with reg.span("engine", engine=self.engine_name):
+            if self.engine_name == "vectorized":
+                result = VectorizedEngine(self.config).run(batch)
+            else:
+                read_tracker, write_tracker = make_trackers(self.config, reg)
+                result = ReferenceEngine(
+                    self.config, read_tracker, write_tracker
+                ).run(batch)
+                reg.gauge_fn("sigmem.occupied", read_tracker.occupied, kind="read")
+                reg.gauge_fn(
+                    "sigmem.occupied", write_tracker.occupied, kind="write"
+                )
+                if isinstance(read_tracker, ArraySignature):
+                    reg.gauge_fn(
+                        "sigmem.fill_ratio", read_tracker.fill_ratio, kind="read"
+                    )
+                    reg.gauge_fn(
+                        "sigmem.fill_ratio",
+                        write_tracker.fill_ratio,
+                        kind="write",
+                    )
+        result.stats.publish(reg)
+        reg.gauge("engine.unique_addresses").set(result.stats.n_unique_addresses)
+        reg.gauge("deps.merged_entries").set(result.store.n_entries)
+        return result
 
 
 def profile_trace(
     batch: TraceBatch,
     config: ProfilerConfig | None = None,
     engine: str = "vectorized",
+    registry: MetricsRegistry | None = None,
 ) -> ProfileResult:
     """Convenience one-shot profiling call."""
-    return DependenceProfiler(config, engine).profile(batch)
+    return DependenceProfiler(config, engine, registry).profile(batch)

@@ -6,11 +6,19 @@ from dataclasses import dataclass, field
 
 from repro.core.controlflow import LoopInfo
 from repro.core.deps import DepType, DependenceStore
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
 class ProfileStats:
-    """Bookkeeping collected during one profiling run."""
+    """Bookkeeping collected during one profiling run.
+
+    The dataclass remains the downstream API, but it doubles as a *view*
+    over the telemetry registry: :meth:`publish` pushes one engine's totals
+    into registry counters (labelled by worker for the pipeline), and
+    :meth:`from_registry` re-derives an aggregate by summing those counter
+    families — so the parallel engine no longer hand-sums private fields.
+    """
 
     n_events: int = 0
     n_accesses: int = 0
@@ -26,6 +34,45 @@ class ProfileStats:
     @property
     def total_instances(self) -> int:
         return sum(self.dep_instances.values())
+
+    # -- registry bridge ----------------------------------------------------
+    def publish(self, registry: MetricsRegistry, **labels: object) -> None:
+        """Mirror these totals into counters of ``registry``."""
+        registry.counter("engine.events", **labels).inc(self.n_events)
+        registry.counter("engine.reads", **labels).inc(self.n_reads)
+        registry.counter("engine.writes", **labels).inc(self.n_writes)
+        registry.counter("engine.races_flagged", **labels).inc(self.races_flagged)
+        for t, c in self.dep_instances.items():
+            registry.counter("deps.instances", type=t.name, **labels).inc(c)
+        registry.gauge("engine.tracker_memory_bytes", **labels).set(
+            self.tracker_memory_bytes
+        )
+
+    @classmethod
+    def from_registry(cls, registry: MetricsRegistry) -> "ProfileStats":
+        """Aggregate view: sum each counter family across all label sets."""
+        stats = cls(
+            n_events=registry.sum_counters("engine.events"),
+            n_reads=registry.sum_counters("engine.reads"),
+            n_writes=registry.sum_counters("engine.writes"),
+            races_flagged=registry.sum_counters("engine.races_flagged"),
+        )
+        stats.n_accesses = stats.n_reads + stats.n_writes
+        by_type = {t.name: t for t in DepType}
+        for c in registry.counters():
+            if c.name != "deps.instances":
+                continue
+            tname = dict(c.labels).get("type")
+            if tname in by_type:
+                stats.dep_instances[by_type[tname]] += c.value
+        stats.tracker_memory_bytes = int(
+            sum(
+                g.value
+                for g in registry.gauges()
+                if g.name == "engine.tracker_memory_bytes"
+            )
+        )
+        return stats
 
 
 @dataclass

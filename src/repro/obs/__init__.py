@@ -1,0 +1,58 @@
+"""repro.obs — the profiler's telemetry subsystem.
+
+A first-class measurement plane for the whole pipeline, kept free of
+profiler imports so every layer (queues, signatures, engines, CLI) can
+depend on it without cycles:
+
+* :class:`MetricsRegistry` + :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — the instrument registry (``metrics``);
+* ``registry.span(name)`` — phase timing as a context manager;
+* :class:`Sampler` — periodic gauge sampling into time-series events;
+* sinks — :class:`NullSink` (default, zero overhead), :class:`MemorySink`,
+  :class:`JsonlSink`, :class:`TeeSink`;
+* :func:`prometheus_text` / :func:`parse_prometheus` — text exposition;
+* :class:`RunReport` — the structured per-run JSON report.
+
+Hot-path contract: plain counters are always live (an ``inc()`` is one
+integer add), while *event* construction is guarded by ``sink.enabled`` so
+a run without a configured sink does no extra allocation.
+"""
+
+from repro.obs.export import parse_prometheus, prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanRecord,
+    format_name,
+)
+from repro.obs.report import RunReport
+from repro.obs.sampler import Sampler
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Sink,
+    TeeSink,
+    read_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullSink",
+    "RunReport",
+    "Sampler",
+    "Sink",
+    "SpanRecord",
+    "TeeSink",
+    "format_name",
+    "parse_prometheus",
+    "prometheus_text",
+    "read_jsonl",
+]

@@ -1,0 +1,102 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+``prometheus_text`` renders the classic text format (``# TYPE`` headers,
+``name{label="v"} value`` samples, cumulative ``_bucket``/``_sum``/
+``_count`` histogram series); ``parse_prometheus`` reads it back into a
+flat ``{sample_name: value}`` dict so tests (and scrapers without a real
+Prometheus) can round-trip the export.
+
+Metric names use dots internally (``queue.push_stalls``); the exporter
+maps every non ``[a-zA-Z0-9_:]`` character to ``_`` per the Prometheus
+naming rules, prefixed with ``ddprof_``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$"
+)
+
+PREFIX = "ddprof_"
+
+
+def _prom_name(name: str) -> str:
+    return PREFIX + _NAME_RE.sub("_", name)
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt_value(v: float) -> str:
+    if isinstance(v, int) or float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text exposition format."""
+    # Group by family so each # TYPE header appears once.
+    families: dict[str, tuple[str, list[Any]]] = {}
+    for m in registry:
+        kind = (
+            "counter"
+            if isinstance(m, Counter)
+            else "gauge" if isinstance(m, Gauge) else "histogram"
+        )
+        families.setdefault(m.name, (kind, []))[1].append(m)
+
+    lines: list[str] = []
+    for name in sorted(families):
+        kind, members = families[name]
+        pname = _prom_name(name)
+        lines.append(f"# TYPE {pname} {kind}")
+        for m in sorted(members, key=lambda m: m.labels):
+            if isinstance(m, Histogram):
+                cum = 0
+                for ub, c in zip(m.buckets, m.counts):
+                    cum += c
+                    le = 'le="%s"' % _fmt_value(ub)
+                    lines.append(
+                        f"{pname}_bucket{_labels_text(m.labels, le)} {cum}"
+                    )
+                cum += m.counts[-1]
+                inf = 'le="+Inf"'
+                lines.append(
+                    f"{pname}_bucket{_labels_text(m.labels, inf)} {cum}"
+                )
+                lines.append(
+                    f"{pname}_sum{_labels_text(m.labels)} {_fmt_value(m.sum)}"
+                )
+                lines.append(f"{pname}_count{_labels_text(m.labels)} {m.count}")
+            else:
+                lines.append(
+                    f"{pname}{_labels_text(m.labels)} {_fmt_value(m.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse exposition text into ``{'name{labels}': value}`` (round-trip)."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        labels = m.group("labels")
+        key = m.group("name") + (f"{{{labels}}}" if labels else "")
+        out[key] = float(m.group("value"))
+    return out

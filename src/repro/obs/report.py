@@ -1,0 +1,182 @@
+"""The structured run-report — one JSON document per profiling run.
+
+``RunReport.build`` freezes a :class:`~repro.obs.metrics.MetricsRegistry`
+(plus, when available, the :class:`~repro.core.result.ProfileResult` and
+:class:`~repro.parallel.engine.ParallelRunInfo`) into a single
+machine-readable document.  This is the profiler's quantitative contract:
+every number the paper charts — slowdown phases, memory, queue stalls,
+load imbalance — appears under a stable key, so before/after comparisons
+across PRs are a JSON diff instead of log archaeology.
+
+Schema (``ddprof.run-report/1``)::
+
+    {
+      "schema": "ddprof.run-report/1",
+      "meta":       {workload, variant, engine, workers, ...},
+      "phases":     [{"phase": ..., "seconds": ..., "count": ...}, ...],
+      "counters":   {"queue.push_stalls{worker=\"0\"}": 3, ...},
+      "gauges":     {...},
+      "histograms": {name: {buckets, counts, sum, count}, ...},
+      "profile":    {accesses, reads, writes, deps, races, memory, ...},
+      "parallel":   {workers, stalls, imbalance, rebalancing, ...} | null
+    }
+
+See ``docs/observability.md`` for the metric catalog and
+``docs/output_format.md`` for how this report relates to the dependence
+output format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports obs)
+    from repro.core.result import ProfileResult
+    from repro.parallel.engine import ParallelRunInfo
+
+SCHEMA = "ddprof.run-report/1"
+
+
+def _profile_section(result: "ProfileResult") -> dict[str, Any]:
+    s = result.stats
+    return {
+        "events": s.n_events,
+        "accesses": s.n_accesses,
+        "reads": s.n_reads,
+        "writes": s.n_writes,
+        "unique_addresses": s.n_unique_addresses,
+        "dep_instances": {t.name: c for t, c in s.dep_instances.items()},
+        "total_instances": s.total_instances,
+        "merged_dependences": result.store.n_entries,
+        "merge_reduction_factor": result.merge_reduction_factor,
+        "races_flagged": s.races_flagged,
+        "tracker_memory_bytes": s.tracker_memory_bytes,
+        "multithreaded": result.multithreaded,
+    }
+
+
+def _parallel_section(info: "ParallelRunInfo") -> dict[str, Any]:
+    return {
+        "workers": info.n_workers,
+        "chunks": info.n_chunks,
+        "broadcast_rows": info.n_broadcast_rows,
+        "per_worker_accesses": list(info.per_worker_accesses),
+        "per_worker_chunks": list(info.per_worker_chunks),
+        "access_imbalance": info.access_imbalance,
+        "push_stalls": info.push_stalls,
+        "pop_stalls": info.pop_stalls,
+        "lock_ops": info.lock_ops,
+        "rebalance_rounds": info.rebalance_rounds,
+        "addresses_migrated": info.addresses_migrated,
+        "chunks_allocated": info.chunks_allocated,
+        "queue_memory_bytes": info.queue_memory_bytes,
+        "signature_memory_bytes": info.signature_memory_bytes,
+    }
+
+
+@dataclass
+class RunReport:
+    """Frozen view of one run's telemetry."""
+
+    meta: dict[str, Any] = field(default_factory=dict)
+    phases: list[dict[str, Any]] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, Any] = field(default_factory=dict)
+    profile: dict[str, Any] = field(default_factory=dict)
+    parallel: dict[str, Any] | None = None
+
+    @classmethod
+    def build(
+        cls,
+        registry: MetricsRegistry,
+        result: "ProfileResult | None" = None,
+        info: "ParallelRunInfo | None" = None,
+        **meta: Any,
+    ) -> "RunReport":
+        snap = registry.snapshot()
+        phases = [
+            {"phase": name, "seconds": agg["seconds"], "count": int(agg["count"])}
+            for name, agg in registry.phase_totals().items()
+        ]
+        return cls(
+            meta=dict(meta),
+            phases=phases,
+            counters=snap["counters"],
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+            profile=_profile_section(result) if result is not None else {},
+            parallel=_parallel_section(info) if info is not None else None,
+        )
+
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "meta": self.meta,
+            "phases": self.phases,
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+            "profile": self.profile,
+            "parallel": self.parallel,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    # -- human rendering ------------------------------------------------------
+    def render(self) -> str:
+        """Terminal-friendly summary (``ddprof stats`` default output)."""
+        lines: list[str] = []
+        if self.meta:
+            head = " ".join(f"{k}={v}" for k, v in self.meta.items())
+            lines.append(f"run report [{head}]")
+        else:
+            lines.append("run report")
+        if self.phases:
+            lines.append("  phases:")
+            total = sum(p["seconds"] for p in self.phases)
+            for p in sorted(self.phases, key=lambda p: -p["seconds"]):
+                pct = 100.0 * p["seconds"] / total if total else 0.0
+                lines.append(
+                    f"    {p['phase']:<14s} {p['seconds'] * 1e3:10.3f} ms"
+                    f"  x{p['count']:<5d} {pct:5.1f}%"
+                )
+        if self.profile:
+            pr = self.profile
+            lines.append(
+                "  profile: "
+                f"{pr['accesses']} accesses ({pr['reads']}r/{pr['writes']}w), "
+                f"{pr['merged_dependences']} merged deps "
+                f"({pr['total_instances']} instances, "
+                f"{pr['merge_reduction_factor']:.0f}x merge), "
+                f"{pr['races_flagged']} potential races"
+            )
+            lines.append(
+                f"  memory: {pr['tracker_memory_bytes']} tracker bytes, "
+                f"{pr['unique_addresses']} unique addresses"
+            )
+        if self.parallel:
+            pa = self.parallel
+            lines.append(
+                f"  pipeline: {pa['workers']} workers, {pa['chunks']} chunks, "
+                f"imbalance {pa['access_imbalance']:.2f}, "
+                f"stalls push={pa['push_stalls']} pop={pa['pop_stalls']}, "
+                f"rebalances {pa['rebalance_rounds']} "
+                f"({pa['addresses_migrated']} addresses moved)"
+            )
+        if self.counters:
+            lines.append("  counters:")
+            for name, v in self.counters.items():
+                lines.append(f"    {name:<48s} {v}")
+        if self.gauges:
+            lines.append("  gauges:")
+            for name, v in self.gauges.items():
+                fv = f"{v:.4f}".rstrip("0").rstrip(".") if v else "0"
+                lines.append(f"    {name:<48s} {fv}")
+        return "\n".join(lines) + "\n"

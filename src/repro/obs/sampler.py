@@ -1,0 +1,88 @@
+"""Periodic gauge sampling — the telemetry time-series plane.
+
+Scalar counters tell you *how much*; the sampler tells you *when*.  It
+polls a set of registered probes (per-worker queue occupancy, signature
+slot fill, chunk-pool size, ...) and emits one ``sample`` event per poll
+carrying every probed value, so a JSONL log becomes a time series that can
+show queue back-pressure building or a signature filling up mid-run.
+
+Two driving modes, matching the pipeline's two execution modes:
+
+* **manual** — the deterministic producer calls :meth:`poll` at its window
+  cadence; polls are rate-limited by ``min_interval_s`` (0 = every call).
+* **threaded** — :meth:`start` spins a daemon thread polling every
+  ``period_s``; used by the ``threads`` pipeline mode.  :meth:`stop` joins
+  it and takes one final sample so short runs always log at least one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry, format_name
+
+
+class Sampler:
+    """Polls registered probes into gauges + ``sample`` events."""
+
+    def __init__(
+        self, registry: MetricsRegistry, min_interval_s: float = 0.0
+    ) -> None:
+        self.registry = registry
+        self.min_interval_s = min_interval_s
+        self._probes: list[tuple[str, Callable[[], float]]] = []
+        self._last_poll = float("-inf")
+        self.n_samples = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def add(self, name: str, fn: Callable[[], float], **labels: Any) -> None:
+        """Register one probe; its gauge reads live via the callback."""
+        gauge = self.registry.gauge_fn(name, fn, **labels)
+        self._probes.append((format_name(gauge.name, gauge.labels), fn))
+
+    @property
+    def n_probes(self) -> int:
+        return len(self._probes)
+
+    def poll(self, force: bool = False) -> bool:
+        """Take one sample if the rate limit allows; True when sampled."""
+        if not self._probes:
+            return False
+        now = time.perf_counter()
+        if not force and now - self._last_poll < self.min_interval_s:
+            return False
+        self._last_poll = now
+        self.n_samples += 1
+        if self.registry.sink.enabled:
+            values = {name: float(fn()) for name, fn in self._probes}
+            self.registry.emit(
+                {"type": "sample", "seq": self.n_samples, "values": values}
+            )
+        return True
+
+    # -- threaded driving (pipeline mode "threads") ---------------------------
+    def start(self, period_s: float = 0.01) -> None:
+        """Poll from a daemon thread every ``period_s`` until :meth:`stop`."""
+        if self._thread is not None:
+            return
+
+        def loop() -> None:
+            while not self._stop.wait(period_s):
+                self.poll(force=True)
+
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the thread (if any) and take one final sample."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.poll(force=True)

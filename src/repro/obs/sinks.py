@@ -1,0 +1,137 @@
+"""Telemetry sinks — where emitted events go.
+
+A sink receives *events*: flat dicts with a ``"type"`` key (``span``,
+``sample``, ``rebalance``, ...) plus a ``"ts"`` wall-clock stamp added by the
+registry.  Sinks are deliberately dumb — no buffering policy, no schema —
+so the hot path pays only a dict construction and one call.
+
+``NullSink`` is the default everywhere.  Its ``enabled`` flag is ``False``,
+which lets instrumented code skip even *building* the event dict::
+
+    if registry.sink.enabled:
+        registry.emit({"type": "sample", ...})
+
+so a profiler run with no sink configured costs nothing beyond the plain
+integer counters it would keep anyway.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, IO
+
+
+class Sink:
+    """Base sink: interface + the ``enabled`` fast-path flag."""
+
+    enabled: bool = True
+
+    def emit(self, event: dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered events to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class NullSink(Sink):
+    """Discards everything; ``enabled=False`` disables event construction."""
+
+    enabled = False
+
+    def emit(self, event: dict[str, Any]) -> None:
+        pass
+
+
+#: Shared default instance — sinkless registries all point here.
+NULL_SINK = NullSink()
+
+
+class MemorySink(Sink):
+    """Keeps events in a list; the unit-test and introspection sink."""
+
+    def __init__(self) -> None:
+        self.events: list[dict[str, Any]] = []
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def of_type(self, kind: str) -> list[dict[str, Any]]:
+        return [e for e in self.events if e.get("type") == kind]
+
+
+class JsonlSink(Sink):
+    """Appends one JSON object per line to a file (the event-log format).
+
+    Field order is stable (sorted keys) so logs diff cleanly across runs.
+    The file opens lazily on the first event and is created empty on
+    ``close()`` if nothing was ever emitted — callers can rely on the file
+    existing after a run.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._fh: IO[str] | None = None
+        self.n_events = 0
+
+    def _file(self) -> IO[str]:
+        if self._fh is None:
+            self._fh = self.path.open("w", encoding="utf-8")
+        return self._fh
+
+    def emit(self, event: dict[str, Any]) -> None:
+        self._file().write(
+            json.dumps(event, sort_keys=True, separators=(",", ":"), default=str)
+            + "\n"
+        )
+        self.n_events += 1
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is None:
+            # Guarantee the file exists even for an event-free run.
+            self.path.touch()
+        else:
+            self._fh.close()
+            self._fh = None
+
+
+class TeeSink(Sink):
+    """Fans every event out to several sinks (e.g. memory + JSONL)."""
+
+    def __init__(self, *sinks: Sink) -> None:
+        self.sinks = [s for s in sinks if s.enabled]
+        self.enabled = bool(self.sinks)
+
+    def emit(self, event: dict[str, Any]) -> None:
+        for s in self.sinks:
+            s.emit(event)
+
+    def flush(self) -> None:
+        for s in self.sinks:
+            s.flush()
+
+    def close(self) -> None:
+        for s in self.sinks:
+            s.close()
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL event log back into dicts (round-trip helper)."""
+    out: list[dict[str, Any]] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.address_map import AddressMap
 
 
@@ -63,11 +64,23 @@ class RebalanceDecision:
 
 
 class Rebalancer:
-    """Implements the top-k even-spread policy over an :class:`AddressMap`."""
+    """Implements the top-k even-spread policy over an :class:`AddressMap`.
 
-    def __init__(self, address_map: AddressMap, hot_addresses: int = 10) -> None:
+    With a :class:`~repro.obs.metrics.MetricsRegistry` attached, every
+    round increments the ``rebalance.rounds``/``rebalance.moves`` counters
+    and emits one ``rebalance`` event carrying the observed imbalance and
+    the number of migrated addresses.
+    """
+
+    def __init__(
+        self,
+        address_map: AddressMap,
+        hot_addresses: int = 10,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.address_map = address_map
         self.hot_addresses = hot_addresses
+        self.registry = registry
         self.rounds = 0
         self.total_moves = 0
 
@@ -109,4 +122,15 @@ class Rebalancer:
                 self.address_map.redistribute(addr, w)
                 decision.moves.append((addr, old, w))
         self.total_moves += decision.n_moves
+        if self.registry is not None and decision.n_moves:
+            self.registry.counter("rebalance.rounds").inc()
+            self.registry.counter("rebalance.moves").inc(decision.n_moves)
+            self.registry.emit(
+                {
+                    "type": "rebalance",
+                    "round": self.rounds,
+                    "moves": decision.n_moves,
+                    "imbalance": self.imbalance(stats),
+                }
+            )
         return decision

@@ -20,6 +20,18 @@ Two execution modes:
   threads cannot show the paper's wall-clock speedup, which is why speedups
   are *estimated* by :mod:`repro.costmodel` from this pipeline's measured
   statistics.
+
+Telemetry: the run is instrumented through one
+:class:`~repro.obs.metrics.MetricsRegistry` — stall counters live *inside*
+the queues, rebalance counters inside the :class:`Rebalancer`, per-chunk
+latencies inside the workers, and a :class:`~repro.obs.sampler.Sampler`
+periodically scrapes queue occupancy / signature fill / chunk-pool gauges
+(inline per producer window in deterministic mode, from a daemon thread in
+``threads`` mode).  :class:`ParallelRunInfo` and the aggregate
+:class:`~repro.core.result.ProfileStats` are derived *views* of that
+registry rather than independently maintained bookkeeping.  Pass a
+registry with a sink to capture the event stream; the default private
+registry has a ``NullSink`` and costs only the plain counters.
 """
 
 from __future__ import annotations
@@ -35,6 +47,8 @@ from repro.common.errors import ProfilerError
 from repro.core.controlflow import extract_loop_info
 from repro.core.deps import DependenceStore
 from repro.core.result import ProfileResult, ProfileStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import Sampler
 from repro.parallel.address_map import AddressMap
 from repro.parallel.balance import AccessStats, Rebalancer
 from repro.parallel.chunks import Chunk, ChunkPool
@@ -47,7 +61,13 @@ MODES = ("deterministic", "threads")
 
 @dataclass
 class ParallelRunInfo:
-    """Pipeline statistics of one run — the cost model's raw material."""
+    """Pipeline statistics of one run — the cost model's raw material.
+
+    Constructed by :meth:`from_registry` as a frozen view over the run's
+    metrics registry (stall counters are the queues' own counters, worker
+    loads the workers' published counters, and so on); the dataclass keeps
+    the cost model's stable field-level API.
+    """
 
     n_workers: int = 0
     n_chunks: int = 0
@@ -75,6 +95,45 @@ class ParallelRunInfo:
         mean = sum(self.per_worker_accesses) / len(self.per_worker_accesses)
         return max(self.per_worker_accesses) / mean if mean > 0 else 1.0
 
+    @classmethod
+    def from_registry(
+        cls,
+        registry: MetricsRegistry,
+        n_workers: int,
+        chunk_log: list[tuple[int, int]],
+    ) -> "ParallelRunInfo":
+        """Derive the statistics view from the run's registry."""
+
+        def per_worker(name: str) -> list[int]:
+            by_worker = {
+                int(dict(c.labels)["worker"]): c.value
+                for c in registry.counters()
+                if c.name == name and "worker" in dict(c.labels)
+            }
+            return [by_worker.get(w, 0) for w in range(n_workers)]
+
+        def gauge_value(name: str) -> int:
+            return int(
+                sum(g.value for g in registry.gauges() if g.name == name)
+            )
+
+        return cls(
+            n_workers=n_workers,
+            n_chunks=registry.counter("pipeline.chunks").value,
+            n_broadcast_rows=registry.counter("pipeline.broadcast_rows").value,
+            per_worker_accesses=per_worker("worker.accesses"),
+            per_worker_chunks=per_worker("worker.chunks"),
+            rebalance_rounds=registry.counter("rebalance.rounds").value,
+            addresses_migrated=registry.counter("rebalance.moves").value,
+            chunk_log=chunk_log,
+            push_stalls=registry.sum_counters("queue.push_stalls"),
+            pop_stalls=registry.sum_counters("queue.pop_stalls"),
+            lock_ops=registry.sum_counters("queue.lock_ops"),
+            chunks_allocated=gauge_value("chunkpool.allocated"),
+            queue_memory_bytes=gauge_value("chunkpool.memory_bytes"),
+            signature_memory_bytes=gauge_value("engine.tracker_memory_bytes"),
+        )
+
 
 class ParallelProfiler:
     """The chunk/queue/worker pipeline of Section IV."""
@@ -85,6 +144,7 @@ class ParallelProfiler:
         mode: str = "deterministic",
         rebalance_threshold: float = 1.25,
         window: int = 1 << 15,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if mode not in MODES:
             raise ProfilerError(f"unknown mode {mode!r}; pick from {MODES}")
@@ -92,20 +152,63 @@ class ParallelProfiler:
         self.mode = mode
         self.rebalance_threshold = rebalance_threshold
         self.window = window
+        #: Telemetry registry; ``None`` means each run builds a private
+        #: sinkless one (counters still work, no event stream).
+        self.registry = registry
 
     # ------------------------------------------------------------------
     def profile(self, batch: TraceBatch) -> tuple[ProfileResult, ParallelRunInfo]:
         cfg = self.config
-        workers = [Worker(w, cfg) for w in range(cfg.workers)]
-        queue_cls = SpscRingQueue if cfg.lock_free_queues else LockedQueue
-        queues = [queue_cls(cfg.queue_depth) for _ in range(cfg.workers)]
+        # One registry per run: counters are monotonic, so a shared
+        # externally-supplied registry must not be reused across runs.
+        reg = self.registry if self.registry is not None else MetricsRegistry()
+        workers = [Worker(w, cfg, reg) for w in range(cfg.workers)]
+        if cfg.lock_free_queues:
+            queues: list[SpscRingQueue | LockedQueue] = [
+                SpscRingQueue(
+                    cfg.queue_depth,
+                    push_stalls=reg.counter("queue.push_stalls", worker=w),
+                    pop_stalls=reg.counter("queue.pop_stalls", worker=w),
+                )
+                for w in range(cfg.workers)
+            ]
+        else:
+            queues = [
+                LockedQueue(
+                    cfg.queue_depth,
+                    push_stalls=reg.counter("queue.push_stalls", worker=w),
+                    pop_stalls=reg.counter("queue.pop_stalls", worker=w),
+                    lock_ops_counter=reg.counter("queue.lock_ops", worker=w),
+                )
+                for w in range(cfg.workers)
+            ]
         pool = ChunkPool(cfg.chunk_size)
         open_chunks: list[Chunk] = [pool.acquire() for _ in range(cfg.workers)]
         amap = AddressMap(cfg.workers)
         stats = AccessStats()
-        rebalancer = Rebalancer(amap, cfg.hot_addresses)
-        info = ParallelRunInfo(n_workers=cfg.workers)
+        rebalancer = Rebalancer(amap, cfg.hot_addresses, registry=reg)
+        chunk_log: list[tuple[int, int]] = []
+        chunk_counter = reg.counter("pipeline.chunks")
         busy = [False] * cfg.workers
+
+        # -- periodic telemetry sampling --------------------------------
+        sampler = Sampler(reg)
+        for w in range(cfg.workers):
+            sampler.add(
+                "queue.occupancy", queues[w].__len__, worker=w
+            )
+            tr = workers[w].engine.read_tracker
+            tw = workers[w].engine.write_tracker
+            sampler.add("sigmem.occupied", tr.occupied, worker=w, kind="read")
+            sampler.add("sigmem.occupied", tw.occupied, worker=w, kind="write")
+            if hasattr(tr, "fill_ratio"):
+                sampler.add("sigmem.fill_ratio", tr.fill_ratio, worker=w, kind="read")
+                sampler.add(
+                    "sigmem.fill_ratio", tw.fill_ratio, worker=w, kind="write"
+                )
+        sampler.add("chunkpool.free", lambda: pool.free_count)
+        sampler.add("chunkpool.allocated", lambda: pool.allocated)
+        sampler.add("chunkpool.memory_bytes", lambda: pool.memory_bytes)
 
         threads: list[threading.Thread] = []
         if self.mode == "threads":
@@ -133,6 +236,8 @@ class ParallelProfiler:
             ]
             for t in threads:
                 t.start()
+            if reg.sink.enabled:
+                sampler.start(period_s=0.005)
 
         def drain_inline(w: int, limit: int | None = None) -> None:
             popped = 0
@@ -148,14 +253,15 @@ class ParallelProfiler:
             chunk = open_chunks[w]
             if chunk.count == 0:
                 return
-            chunk.seq = info.n_chunks
+            chunk.seq = chunk_counter.value
             while not queues[w].try_push(chunk):
                 if self.mode == "deterministic":
                     drain_inline(w, limit=1)
                 else:
                     time.sleep(0)
-            info.n_chunks += 1
-            info.chunk_log.append((w, chunk.count))
+            chunk_counter.inc()
+            reg.counter("worker.chunks", worker=w).inc()
+            chunk_log.append((w, chunk.count))
             open_chunks[w] = pool.acquire()
 
         def bulk_append(w: int, rows: np.ndarray) -> None:
@@ -200,9 +306,7 @@ class ParallelProfiler:
                 workers[new].migrate_in(addr, r, wrec)
             post_rebalance_imbalance[0] = rebalancer.imbalance(stats)
             if decision.n_moves:
-                info.rebalance_rounds += 1
-                info.addresses_migrated += decision.n_moves
-                info.chunk_log.append((-1, 0))
+                chunk_log.append((-1, 0))
 
         # ---- producer loop over windows of the trace ------------------
         kind = batch.kind
@@ -214,7 +318,9 @@ class ParallelProfiler:
             | (kind == LOOP_ITER)
             | (kind == LOOP_EXIT)
         )
-        info.n_broadcast_rows = int(np.count_nonzero(is_bcast))
+        reg.counter("pipeline.broadcast_rows").inc(
+            int(np.count_nonzero(is_bcast))
+        )
         # The paper re-checks the access statistics every 50 000 chunks; we
         # measure the interval in *routed accesses* (interval x chunk_size)
         # so the cadence does not depend on how many workers the control
@@ -225,54 +331,64 @@ class ParallelProfiler:
         n = len(batch)
         for s in range(0, n, self.window):
             e = min(s + self.window, n)
-            rows = np.arange(s, e, dtype=np.int64)
-            acc = is_access[s:e]
-            bcast = is_bcast[s:e]
-            acc_rows = rows[acc]
-            if len(acc_rows):
-                stats.record_many(addr[acc_rows])
-                accesses_routed += len(acc_rows)
-            assign = amap.workers_of(addr[s:e])
-            for w in range(cfg.workers):
-                wrows = rows[(acc & (assign == w)) | bcast]
-                if len(wrows):
-                    bulk_append(w, wrows)
+            with reg.span("route", window_start=s):
+                rows = np.arange(s, e, dtype=np.int64)
+                acc = is_access[s:e]
+                bcast = is_bcast[s:e]
+                acc_rows = rows[acc]
+                if len(acc_rows):
+                    stats.record_many(addr[acc_rows])
+                    accesses_routed += len(acc_rows)
+                assign = amap.workers_of(addr[s:e])
+            with reg.span("push", window_start=s):
+                for w in range(cfg.workers):
+                    wrows = rows[(acc & (assign == w)) | bcast]
+                    if len(wrows):
+                        bulk_append(w, wrows)
+            if self.mode == "deterministic":
+                sampler.poll()
             if accesses_routed - accesses_at_last_check >= rebalance_every:
                 accesses_at_last_check = accesses_routed
                 maybe_rebalance()
 
         # ---- flush + drain + merge --------------------------------------
-        for w in range(cfg.workers):
-            push_chunk(w)
-            queues[w].close()
-        if self.mode == "deterministic":
+        with reg.span("drain"):
             for w in range(cfg.workers):
-                drain_inline(w)
+                push_chunk(w)
+                queues[w].close()
+            if self.mode == "deterministic":
+                for w in range(cfg.workers):
+                    drain_inline(w)
+            else:
+                for t in threads:
+                    t.join()
+        if self.mode == "threads":
+            sampler.stop()
         else:
-            for t in threads:
-                t.join()
+            sampler.poll(force=True)  # final post-drain sample
 
-        store = DependenceStore()
-        agg = ProfileStats(n_events=len(batch))
-        for w, worker in enumerate(workers):
-            store.merge(worker.store)
-            agg.n_reads += worker.engine.stats.n_reads
-            agg.n_writes += worker.engine.stats.n_writes
-            agg.races_flagged += worker.engine.stats.races_flagged
-            for t, c in worker.engine.stats.dep_instances.items():
-                agg.dep_instances[t] += c
-            info.per_worker_accesses.append(worker.accesses_processed)
-            info.per_worker_chunks.append(worker.chunks_processed)
-        agg.n_accesses = agg.n_reads + agg.n_writes
-        agg.n_unique_addresses = batch.n_unique_addresses
-        agg.tracker_memory_bytes = sum(w.memory_bytes for w in workers)
+        with reg.span("merge"):
+            store = DependenceStore()
+            for w, worker in enumerate(workers):
+                store.merge(worker.store)
+                worker.engine.stats.publish(reg, worker=w)
+                reg.counter("worker.accesses", worker=w).inc(
+                    worker.accesses_processed
+                )
+                # Authoritative tracker memory: allocated signature arrays
+                # count even for workers that never processed a chunk.
+                reg.gauge("engine.tracker_memory_bytes", worker=w).set(
+                    worker.memory_bytes
+                )
+            # The aggregate statistics are a *view* of the registry: each
+            # worker published its engine totals above, and the producer-side
+            # facts (event count, unique addresses) overwrite the per-worker
+            # sums that double-count broadcast rows.
+            agg = ProfileStats.from_registry(reg)
+            agg.n_events = len(batch)
+            agg.n_unique_addresses = batch.n_unique_addresses
 
-        info.push_stalls = sum(q.push_fail_count for q in queues)
-        info.pop_stalls = sum(q.pop_fail_count for q in queues)
-        info.lock_ops = sum(getattr(q, "lock_ops", 0) for q in queues)
-        info.chunks_allocated = pool.allocated
-        info.queue_memory_bytes = pool.memory_bytes
-        info.signature_memory_bytes = agg.tracker_memory_bytes
+        info = ParallelRunInfo.from_registry(reg, cfg.workers, chunk_log)
 
         result = ProfileResult(
             store=store,

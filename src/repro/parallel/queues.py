@@ -18,6 +18,7 @@ from collections import deque
 from typing import Any
 
 from repro.common.errors import QueueClosedError
+from repro.obs.metrics import Counter
 
 
 class SpscRingQueue:
@@ -26,9 +27,20 @@ class SpscRingQueue:
     ``try_push``/``try_pop`` never block and never take a lock.  ``closed``
     is a producer-set flag letting the consumer distinguish "momentarily
     empty" from "finished".
+
+    Stall accounting lives in :class:`~repro.obs.metrics.Counter` objects —
+    callers (the pipeline engine) pass counters from their run's metrics
+    registry, making the registry the single source of truth; standalone
+    queues get private counters with the same semantics.  The legacy
+    ``push_fail_count``/``pop_fail_count`` attributes read through to them.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        push_stalls: Counter | None = None,
+        pop_stalls: Counter | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         # Round up to a power of two so the index mask is a single AND.
@@ -41,8 +53,16 @@ class SpscRingQueue:
         self._tail = 0  # producer cursor (only the producer writes)
         self._closed = False
         # Monotonic counters for contention accounting (cost model input).
-        self.push_fail_count = 0
-        self.pop_fail_count = 0
+        self.push_stalls = push_stalls or Counter("queue.push_stalls")
+        self.pop_stalls = pop_stalls or Counter("queue.pop_stalls")
+
+    @property
+    def push_fail_count(self) -> int:
+        return self.push_stalls.value
+
+    @property
+    def pop_fail_count(self) -> int:
+        return self.pop_stalls.value
 
     @property
     def capacity(self) -> int:
@@ -57,7 +77,7 @@ class SpscRingQueue:
             raise QueueClosedError("push on closed queue")
         tail = self._tail
         if tail - self._head > self._mask:
-            self.push_fail_count += 1
+            self.push_stalls.inc()
             return False
         self._slots[tail & self._mask] = item
         # Publishing order matters: the slot write above must precede the
@@ -69,7 +89,7 @@ class SpscRingQueue:
         """Consumer side: ``(False, None)`` when momentarily empty."""
         head = self._head
         if head == self._tail:
-            self.pop_fail_count += 1
+            self.pop_stalls.inc()
             return False, None
         item = self._slots[head & self._mask]
         self._slots[head & self._mask] = None  # let the chunk be recycled
@@ -93,17 +113,35 @@ class SpscRingQueue:
 class LockedQueue:
     """Mutex-protected queue with the same interface (the paper's baseline)."""
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        push_stalls: Counter | None = None,
+        pop_stalls: Counter | None = None,
+        lock_ops_counter: Counter | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._items: deque[Any] = deque()
         self._lock = threading.Lock()
         self._closed = False
-        self.push_fail_count = 0
-        self.pop_fail_count = 0
+        self.push_stalls = push_stalls or Counter("queue.push_stalls")
+        self.pop_stalls = pop_stalls or Counter("queue.pop_stalls")
         # Lock acquisitions are what the cost model charges for.
-        self.lock_ops = 0
+        self._lock_ops = lock_ops_counter or Counter("queue.lock_ops")
+
+    @property
+    def push_fail_count(self) -> int:
+        return self.push_stalls.value
+
+    @property
+    def pop_fail_count(self) -> int:
+        return self.pop_stalls.value
+
+    @property
+    def lock_ops(self) -> int:
+        return self._lock_ops.value
 
     @property
     def capacity(self) -> int:
@@ -115,20 +153,20 @@ class LockedQueue:
 
     def try_push(self, item: Any) -> bool:
         with self._lock:
-            self.lock_ops += 1
+            self._lock_ops.inc()
             if self._closed:
                 raise QueueClosedError("push on closed queue")
             if len(self._items) >= self._capacity:
-                self.push_fail_count += 1
+                self.push_stalls.inc()
                 return False
             self._items.append(item)
             return True
 
     def try_pop(self) -> tuple[bool, Any]:
         with self._lock:
-            self.lock_ops += 1
+            self._lock_ops.inc()
             if not self._items:
-                self.pop_fail_count += 1
+                self.pop_stalls.inc()
                 return False, None
             return True, self._items.popleft()
 

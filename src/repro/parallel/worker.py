@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import time
+
 from repro.common.config import ProfilerConfig
 from repro.core.deps import DependenceStore
 from repro.core.reference import ReferenceEngine
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.chunks import Chunk
 from repro.sigmem import ArraySignature, PerfectSignature
 from repro.sigmem.signature import AccessRecord
@@ -17,26 +20,59 @@ class Worker:
     Each worker is exclusively responsible for the addresses routed to it,
     so its read/write signature pair and its dependence map need no
     synchronization — the core of the paper's parallelization argument.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is supplied the
+    worker instruments itself: per-chunk latency histogram, signature
+    hash-conflict eviction counters, and callback-backed fill gauges that
+    the sampler scrapes from the live trackers.  Without a registry the
+    hot path is exactly the uninstrumented one.
     """
 
-    def __init__(self, wid: int, config: ProfilerConfig) -> None:
+    def __init__(
+        self,
+        wid: int,
+        config: ProfilerConfig,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.wid = wid
         self.config = config
         if config.perfect_signature:
             read_t: PerfectSignature | ArraySignature = PerfectSignature()
             write_t: PerfectSignature | ArraySignature = PerfectSignature()
+        elif registry is not None:
+            read_t = ArraySignature(
+                config.slots_per_worker,
+                config.hash_salt,
+                eviction_counter=registry.counter(
+                    "sigmem.evictions", worker=wid, kind="read"
+                ),
+            )
+            write_t = ArraySignature(
+                config.slots_per_worker,
+                config.hash_salt,
+                eviction_counter=registry.counter(
+                    "sigmem.evictions", worker=wid, kind="write"
+                ),
+            )
         else:
             read_t = ArraySignature(config.slots_per_worker, config.hash_salt)
             write_t = ArraySignature(config.slots_per_worker, config.hash_salt)
         self.engine = ReferenceEngine(config, read_t, write_t)
         self.accesses_processed = 0
         self.chunks_processed = 0
+        self._chunk_hist = (
+            registry.histogram("worker.chunk_seconds", worker=wid)
+            if registry is not None
+            else None
+        )
 
     @property
     def store(self) -> DependenceStore:
         return self.engine.store
 
     def process_chunk(self, batch: TraceBatch, chunk: Chunk) -> None:
+        hist = self._chunk_hist
+        t0 = time.perf_counter() if hist is not None else 0.0
         sub = batch.select(chunk.view())
         before = self.engine.stats.n_accesses
         self.engine.process(sub)
@@ -46,6 +82,8 @@ class Worker:
         )
         self.accesses_processed += self.engine.stats.n_accesses - before
         self.chunks_processed += 1
+        if hist is not None:
+            hist.observe(time.perf_counter() - t0)
 
     # -- signature-state migration (redistribution support) -----------------
     def migrate_out(

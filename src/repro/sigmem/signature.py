@@ -20,6 +20,7 @@ from typing import Iterator, NamedTuple
 
 import numpy as np
 
+from repro.obs.metrics import Counter
 from repro.sigmem.hashing import hash_address, hash_addresses
 
 #: Marks an empty slot in the ``loc`` plane.
@@ -91,12 +92,28 @@ class ArraySignature(AccessTracker):
     analysis tolerates (it only ever *reduces* stale state).
     """
 
-    def __init__(self, n_slots: int, salt: int = 0) -> None:
+    def __init__(
+        self,
+        n_slots: int,
+        salt: int = 0,
+        eviction_counter: "Counter | None" = None,
+    ) -> None:
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
         self.n_slots = int(n_slots)
         self.salt = int(salt)
         self._slots: list[AccessRecord | None] = [None] * self.n_slots
+        # Occupancy is maintained incrementally so fill gauges are O(1) to
+        # scrape (a full-slot scan per sample would dwarf the profiling).
+        self._filled = 0
+        # Optional telemetry: count inserts that *replace a different
+        # address* (hash-conflict evictions).  Needs a parallel owner-address
+        # plane, so it is only kept when a counter is supplied — the
+        # uninstrumented hot path stays exactly as before.
+        self.eviction_counter = eviction_counter
+        self._slot_addrs: list[int] | None = (
+            [0] * self.n_slots if eviction_counter is not None else None
+        )
 
     # -- core ops ---------------------------------------------------------
     def slot_of(self, addr: int) -> int:
@@ -106,13 +123,24 @@ class ArraySignature(AccessTracker):
         return hash_addresses(addrs, self.n_slots, self.salt)
 
     def insert(self, addr: int, record: AccessRecord) -> None:
-        self._slots[self.slot_of(addr)] = record
+        i = self.slot_of(addr)
+        slots = self._slots
+        if slots[i] is None:
+            self._filled += 1
+        elif self._slot_addrs is not None and self._slot_addrs[i] != addr:
+            self.eviction_counter.inc()  # type: ignore[union-attr]
+        if self._slot_addrs is not None:
+            self._slot_addrs[i] = addr
+        slots[i] = record
 
     def lookup(self, addr: int) -> AccessRecord | None:
         return self._slots[self.slot_of(addr)]
 
     def remove(self, addr: int) -> None:
-        self._slots[self.slot_of(addr)] = None
+        i = self.slot_of(addr)
+        if self._slots[i] is not None:
+            self._filled -= 1
+        self._slots[i] = None
 
     def remove_range(self, lo: int, hi: int, stride: int = 8) -> None:
         if hi <= lo:
@@ -120,21 +148,35 @@ class ArraySignature(AccessTracker):
         addrs = np.arange(lo, hi, stride, dtype=np.int64)
         slots = self._slots
         for i in np.unique(self.slots_of(addrs)).tolist():
+            if slots[i] is not None:
+                self._filled -= 1
             slots[i] = None
 
     def clear(self) -> None:
         self._slots = [None] * self.n_slots
+        self._filled = 0
+        if self._slot_addrs is not None:
+            self._slot_addrs = [0] * self.n_slots
 
     # -- slot-level access (used when migrating state between workers) ------
     def get_slot(self, i: int) -> AccessRecord | None:
         return self._slots[i]
 
     def set_slot(self, i: int, record: AccessRecord | None) -> None:
+        old = self._slots[i]
+        if old is None and record is not None:
+            self._filled += 1
+        elif old is not None and record is None:
+            self._filled -= 1
         self._slots[i] = record
 
     # -- set-style ops -------------------------------------------------------
     def occupied(self) -> int:
-        return sum(1 for r in self._slots if r is not None)
+        return self._filled
+
+    def fill_ratio(self) -> float:
+        """Fraction of slots holding a record (the signature fill gauge)."""
+        return self._filled / self.n_slots
 
     def occupied_slots(self) -> np.ndarray:
         """Indices of non-empty slots (the signature's "set" view)."""

@@ -1,0 +1,221 @@
+"""Run-report construction, pipeline telemetry views, and the CLI surface.
+
+``TestStatsCli`` is the acceptance check for the telemetry subsystem:
+``ddprof stats kmeans --metrics-out FILE`` must produce valid JSONL with
+per-phase span durations, per-worker queue occupancy samples, stall
+counters, and signature fill gauges.
+"""
+
+import json
+
+import pytest
+
+from repro import (
+    MemorySink,
+    MetricsRegistry,
+    ParallelProfiler,
+    ProfilerConfig,
+    ProfilerConfig as _PC,
+    RunReport,
+    profile_trace,
+)
+from repro.cli import main
+from repro.obs import read_jsonl
+
+PERFECT = ProfilerConfig(perfect_signature=True)
+
+
+@pytest.fixture(scope="module")
+def mg_trace():
+    from repro.workloads import get_trace
+
+    return get_trace("mg")
+
+
+class TestRunReport:
+    def test_build_from_sequential_run(self, mg_trace):
+        reg = MetricsRegistry()
+        res = profile_trace(mg_trace, PERFECT, registry=reg)
+        report = RunReport.build(reg, res, workload="mg", engine="vectorized")
+        d = report.to_dict()
+        assert d["schema"] == "ddprof.run-report/1"
+        assert d["meta"] == {"workload": "mg", "engine": "vectorized"}
+        assert d["profile"]["accesses"] == res.stats.n_accesses
+        assert d["profile"]["merged_dependences"] == res.store.n_entries
+        assert d["parallel"] is None
+        phases = {p["phase"] for p in d["phases"]}
+        assert "engine" in phases
+        # to_json parses back identically
+        assert json.loads(report.to_json()) == d
+
+    def test_build_from_pipeline_run(self, mg_trace):
+        reg = MetricsRegistry()
+        res, info = ParallelProfiler(
+            PERFECT.with_(workers=4), registry=reg
+        ).profile(mg_trace)
+        report = RunReport.build(reg, res, info, workload="mg")
+        d = report.to_dict()
+        assert d["parallel"]["workers"] == 4
+        assert d["parallel"]["chunks"] == info.n_chunks
+        assert d["parallel"]["push_stalls"] == info.push_stalls
+        assert {"route", "push", "drain", "merge"} <= {
+            p["phase"] for p in d["phases"]
+        }
+        assert d["counters"]['worker.accesses{worker="0"}'] == (
+            info.per_worker_accesses[0]
+        )
+
+    def test_render_is_human_readable(self, mg_trace):
+        reg = MetricsRegistry()
+        res, info = ParallelProfiler(
+            PERFECT.with_(workers=2), registry=reg
+        ).profile(mg_trace)
+        text = RunReport.build(reg, res, info, workload="mg").render()
+        assert "run report" in text and "phases:" in text
+        assert "pipeline: 2 workers" in text
+
+
+class TestPipelineTelemetry:
+    """The registry is the single source of truth for pipeline statistics."""
+
+    def test_stall_counters_single_source_of_truth(self, mg_trace):
+        reg = MetricsRegistry()
+        cfg = PERFECT.with_(workers=2, chunk_size=8, queue_depth=1)
+        _, info = ParallelProfiler(cfg, registry=reg).profile(mg_trace)
+        assert info.push_stalls == reg.sum_counters("queue.push_stalls") > 0
+        assert info.pop_stalls == reg.sum_counters("queue.pop_stalls")
+
+    def test_locked_queue_lock_ops_via_registry(self, mg_trace):
+        reg = MetricsRegistry()
+        cfg = PERFECT.with_(workers=2, lock_free_queues=False)
+        _, info = ParallelProfiler(cfg, registry=reg).profile(mg_trace)
+        assert info.lock_ops == reg.sum_counters("queue.lock_ops") > 0
+
+    def test_info_views_match_registry(self, mg_trace):
+        reg = MetricsRegistry()
+        _, info = ParallelProfiler(
+            PERFECT.with_(workers=3), registry=reg
+        ).profile(mg_trace)
+        assert info.n_chunks == reg.counter("pipeline.chunks").value
+        assert info.per_worker_accesses == [
+            reg.counter("worker.accesses", worker=w).value for w in range(3)
+        ]
+        assert info.per_worker_chunks == [
+            reg.counter("worker.chunks", worker=w).value for w in range(3)
+        ]
+
+    def test_stats_equal_unregistered_run(self, mg_trace):
+        """Attaching telemetry must not change profiling results."""
+        plain_res, plain_info = ParallelProfiler(
+            PERFECT.with_(workers=4)
+        ).profile(mg_trace)
+        reg = MetricsRegistry(MemorySink())
+        obs_res, obs_info = ParallelProfiler(
+            PERFECT.with_(workers=4), registry=reg
+        ).profile(mg_trace)
+        assert plain_res.store == obs_res.store
+        assert plain_res.stats == obs_res.stats
+        assert plain_info.per_worker_accesses == obs_info.per_worker_accesses
+        assert plain_info.n_chunks == obs_info.n_chunks
+
+    def test_chunk_latency_histogram_recorded(self, mg_trace):
+        reg = MetricsRegistry()
+        ParallelProfiler(PERFECT.with_(workers=2), registry=reg).profile(mg_trace)
+        h = reg.histogram("worker.chunk_seconds", worker=0)
+        assert h.count > 0 and h.sum > 0
+
+    def test_sigmem_eviction_counter(self):
+        """A 2-slot signature over many addresses must evict on conflicts."""
+        from tests.trace_helpers import seq_trace
+
+        ops = [("w", a, 1) for a in range(64)] + [("r", a, 1) for a in range(64)]
+        batch = seq_trace(ops)
+        reg = MetricsRegistry()
+        profile_trace(
+            batch, _PC(signature_slots=2), engine="reference", registry=reg
+        )
+        assert reg.sum_counters("sigmem.evictions") > 0
+
+
+class TestStatsCli:
+    def test_stats_prints_report(self, capsys):
+        assert main(["stats", "mg", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run report" in out and "phases:" in out and "pipeline:" in out
+
+    def test_stats_json(self, capsys):
+        assert main(["stats", "mg", "--workers", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "ddprof.run-report/1"
+        assert doc["meta"]["workload"] == "mg"
+        assert doc["parallel"]["workers"] == 2
+
+    def test_stats_metrics_out_acceptance(self, tmp_path, capsys):
+        """The ISSUE acceptance criterion, verbatim."""
+        path = tmp_path / "m.jsonl"
+        assert main(["stats", "kmeans", "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        events = read_jsonl(path)  # every line is valid JSON
+        assert events
+
+        spans = [e for e in events if e["type"] == "span"]
+        span_phases = {e["phase"] for e in spans}
+        assert {"trace-build", "route", "push", "drain", "merge"} <= span_phases
+        assert all(e["seconds"] >= 0 for e in spans)
+
+        samples = [e for e in events if e["type"] == "sample"]
+        assert samples
+        sample_keys = set().union(*(e["values"].keys() for e in samples))
+        assert 'queue.occupancy{worker="0"}' in sample_keys
+        assert 'queue.occupancy{worker="3"}' in sample_keys
+        assert any(k.startswith("sigmem.occupied{") for k in sample_keys)
+
+        snapshots = [e for e in events if e["type"] == "snapshot"]
+        assert len(snapshots) == 1
+        counters = snapshots[0]["counters"]
+        assert 'queue.push_stalls{worker="0"}' in counters
+        assert 'queue.pop_stalls{worker="0"}' in counters
+        gauges = snapshots[0]["gauges"]
+        assert any(g.startswith("sigmem.occupied{") for g in gauges)
+
+    def test_stats_prometheus_out(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(["stats", "mg", "--prometheus-out", str(path)]) == 0
+        capsys.readouterr()
+        from repro.obs import parse_prometheus
+
+        samples = parse_prometheus(path.read_text())
+        assert any(k.startswith("ddprof_queue_push_stalls") for k in samples)
+
+    def test_stats_with_signature_slots_has_fill_ratio(self, tmp_path, capsys):
+        path = tmp_path / "m.jsonl"
+        assert main(
+            ["stats", "mg", "--slots", "4096", "--metrics-out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        samples = [e for e in read_jsonl(path) if e["type"] == "sample"]
+        keys = set().union(*(e["values"].keys() for e in samples))
+        assert any(k.startswith("sigmem.fill_ratio{") for k in keys)
+
+    def test_profile_json_flag(self, capsys):
+        assert main(["profile", "ep", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "NOM" in out  # dependences still printed
+        json_start = out.index('{\n  "schema"')
+        doc = json.loads(out[json_start:])
+        assert doc["schema"] == "ddprof.run-report/1"
+        assert doc["profile"]["accesses"] > 0
+        assert {"trace-build", "engine"} <= {p["phase"] for p in doc["phases"]}
+
+    def test_profile_metrics_out(self, tmp_path, capsys):
+        path = tmp_path / "p.jsonl"
+        assert main(["profile", "ep", "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        events = read_jsonl(path)
+        assert any(e["type"] == "span" for e in events)
+        assert any(e["type"] == "snapshot" for e in events)
+
+    def test_loops_json_flag(self, capsys):
+        assert main(["loops", "mg", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"schema": "ddprof.run-report/1"' in out

@@ -1,0 +1,121 @@
+"""Sink behaviour: JSONL event log and Prometheus text export round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlSink,
+    MemorySink,
+    MetricsRegistry,
+    NullSink,
+    TeeSink,
+    parse_prometheus,
+    prometheus_text,
+    read_jsonl,
+)
+
+
+class TestJsonlSink:
+    def test_one_event_per_line_and_roundtrip(self, tmp_path):
+        path = tmp_path / "run.metrics.jsonl"
+        sink = JsonlSink(path)
+        reg = MetricsRegistry(sink)
+        reg.emit({"type": "span", "phase": "route", "seconds": 0.25})
+        reg.emit({"type": "sample", "seq": 1, "values": {"q": 3}})
+        reg.close()
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(l) for l in lines]  # every line parses alone
+        assert events == read_jsonl(path)
+        assert events[0]["type"] == "span"
+        assert events[0]["phase"] == "route"
+        assert events[1]["values"] == {"q": 3}
+        assert all("ts" in e for e in events)
+
+    def test_stable_field_order(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"b": 1, "a": 2, "type": "x"})
+        sink.close()
+        line = path.read_text().strip()
+        assert line == '{"a":2,"b":1,"type":"x"}'
+
+    def test_empty_run_still_creates_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        JsonlSink(path).close()
+        assert path.exists() and path.read_text() == ""
+
+    def test_counts_events(self, tmp_path):
+        sink = JsonlSink(tmp_path / "n.jsonl")
+        for i in range(5):
+            sink.emit({"type": "e", "i": i})
+        assert sink.n_events == 5
+        sink.close()
+
+
+class TestTeeAndNull:
+    def test_tee_fans_out(self, tmp_path):
+        mem = MemorySink()
+        jsonl = JsonlSink(tmp_path / "t.jsonl")
+        tee = TeeSink(mem, jsonl)
+        tee.emit({"type": "e"})
+        tee.close()
+        assert len(mem.events) == 1
+        assert len(read_jsonl(tmp_path / "t.jsonl")) == 1
+
+    def test_tee_drops_disabled_members(self):
+        tee = TeeSink(NullSink())
+        assert not tee.enabled  # nothing enabled -> emit is skipped upstream
+
+    def test_null_sink_is_disabled(self):
+        assert not NullSink().enabled
+
+
+class TestPrometheusExport:
+    @pytest.fixture
+    def registry(self):
+        reg = MetricsRegistry()
+        reg.counter("queue.push_stalls", worker=0).inc(3)
+        reg.counter("queue.push_stalls", worker=1).inc(4)
+        reg.gauge("chunkpool.allocated").set(16)
+        h = reg.histogram("worker.chunk_seconds", buckets=(0.001, 0.01), worker=0)
+        h.observe(0.0005)
+        h.observe(0.5)
+        return reg
+
+    def test_text_format_shape(self, registry):
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        assert "# TYPE ddprof_queue_push_stalls counter" in lines
+        assert 'ddprof_queue_push_stalls{worker="0"} 3' in lines
+        assert 'ddprof_queue_push_stalls{worker="1"} 4' in lines
+        assert "# TYPE ddprof_chunkpool_allocated gauge" in lines
+        assert "ddprof_chunkpool_allocated 16" in lines
+        # histogram series: cumulative buckets + sum + count
+        assert 'ddprof_worker_chunk_seconds_bucket{worker="0",le="0.001"} 1' in lines
+        assert 'ddprof_worker_chunk_seconds_bucket{worker="0",le="0.01"} 1' in lines
+        assert 'ddprof_worker_chunk_seconds_bucket{worker="0",le="+Inf"} 2' in lines
+        assert 'ddprof_worker_chunk_seconds_count{worker="0"} 2' in lines
+
+    def test_parse_roundtrip(self, registry):
+        samples = parse_prometheus(prometheus_text(registry))
+        assert samples['ddprof_queue_push_stalls{worker="0"}'] == 3.0
+        assert samples['ddprof_queue_push_stalls{worker="1"}'] == 4.0
+        assert samples["ddprof_chunkpool_allocated"] == 16.0
+        assert samples['ddprof_worker_chunk_seconds_sum{worker="0"}'] == (
+            pytest.approx(0.5005)
+        )
+
+    def test_each_type_header_once(self, registry):
+        text = prometheus_text(registry)
+        assert text.count("# TYPE ddprof_queue_push_stalls ") == 1
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("!!! not a sample")

@@ -6,6 +6,7 @@ import threading
 import pytest
 
 from repro.common.errors import QueueClosedError
+from repro.obs import MetricsRegistry
 from repro.parallel.queues import LockedQueue, SpscRingQueue
 
 
@@ -68,6 +69,68 @@ class TestQueueProtocol:
             assert q.try_push(i)
             ok, v = q.try_pop()
             assert ok and v == i
+
+    def test_wraparound_under_full_ring(self, queue_cls):
+        """Keep the queue saturated while draining: cursors wrap the ring
+        many times over with the ring at (or near) capacity throughout."""
+        q = queue_cls(4)
+        cap = q.capacity
+        next_in = 0
+        while q.try_push(next_in):
+            next_in += 1
+        assert next_in == cap
+        expected = 0
+        for _ in range(25 * cap):
+            ok, v = q.try_pop()
+            assert ok and v == expected
+            expected += 1
+            assert q.try_push(next_in)  # one slot just freed
+            next_in += 1
+            assert not q.try_push(-1)  # and it is full again
+        # Drain the remainder in order.
+        while True:
+            ok, v = q.try_pop()
+            if not ok:
+                break
+            assert v == expected
+            expected += 1
+        assert expected == next_in
+
+    def test_fail_counters_count_every_failed_attempt(self, queue_cls):
+        q = queue_cls(2)
+        assert q.push_fail_count == 0 and q.pop_fail_count == 0
+        while q.try_push(0):
+            pass
+        cap = q.capacity
+        for _ in range(3):
+            assert not q.try_push(1)
+        assert q.push_fail_count == 1 + 3  # saturating probe + 3 explicit
+        for _ in range(cap):
+            assert q.try_pop()[0]
+        for _ in range(5):
+            assert not q.try_pop()[0]
+        assert q.pop_fail_count == 5
+        # Successful operations never bump the failure counters.
+        assert q.try_push(7) and q.try_pop() == (True, 7)
+        assert q.push_fail_count == 4 and q.pop_fail_count == 5
+
+    def test_registry_counters_are_shared_source_of_truth(self, queue_cls):
+        """Queues wired to registry counters report stalls there, and the
+        legacy ``*_fail_count`` attributes read through to the same values."""
+        reg = MetricsRegistry()
+        q = queue_cls(
+            2,
+            push_stalls=reg.counter("queue.push_stalls", worker=0),
+            pop_stalls=reg.counter("queue.pop_stalls", worker=0),
+        )
+        while q.try_push(0):
+            pass
+        assert not q.try_push(1)
+        while q.try_pop()[0]:
+            pass
+        assert q.push_fail_count == reg.counter("queue.push_stalls", worker=0).value
+        assert q.pop_fail_count == reg.counter("queue.pop_stalls", worker=0).value
+        assert q.push_fail_count == 2 and q.pop_fail_count == 1
 
 
 class TestSpscSpecific:
