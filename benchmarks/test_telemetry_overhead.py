@@ -11,7 +11,7 @@ fixture — the telemetry trail a benchmark run is expected to leave.
 import time
 
 from repro.common.config import ProfilerConfig
-from repro.obs import MetricsRegistry, read_jsonl
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer, read_jsonl
 from repro.parallel import ParallelProfiler
 from repro.report import ascii_table
 from repro.workloads import get_trace
@@ -49,6 +49,49 @@ def test_telemetry_overhead(benchmark, emit, metrics_registry, results_dir):
             title="Telemetry overhead (kmeans analog, 4 workers)",
         ),
     )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_tracing_overhead_guard(benchmark, emit, results_dir):
+    """The null-tracer contract, measured: an untraced pipeline run never
+    reaches a tracer record method (the NullTracer call counter stays
+    flat), and a fully traced run stays within a small multiple of the
+    untraced time."""
+    batch = get_trace("kmeans")
+    _timed_run(batch)  # warm caches and code paths
+
+    calls_before = NULL_TRACER.record_calls
+    t_plain, r_plain = _timed_run(batch)
+    t_null_reg, r_null_reg = _timed_run(batch, MetricsRegistry())
+    assert NULL_TRACER.record_calls == calls_before, (
+        "untraced hot path called a tracer record method"
+    )
+
+    tracer = Tracer()
+    t_traced, r_traced = _timed_run(batch, MetricsRegistry(tracer=tracer))
+    assert tracer.n_events > 0
+    assert r_traced.store == r_plain.store == r_null_reg.store
+
+    baseline = min(t_plain, t_null_reg)
+    ratio = t_traced / baseline
+    emit(
+        "tracing_overhead.txt",
+        ascii_table(
+            ["configuration", "seconds", "vs untraced"],
+            [
+                ["untraced", baseline, 1.0],
+                ["traced", t_traced, ratio],
+            ],
+            title=f"Tracing overhead (kmeans analog, {tracer.n_events} events)",
+        ),
+    )
+    from repro.obs import validate_chrome_trace_file, write_chrome_trace
+
+    trace_path = results_dir / "tracing_overhead.trace.json"
+    write_chrome_trace(trace_path, tracer, meta={"workload": "kmeans"})
+    assert validate_chrome_trace_file(trace_path) == []
+    # Generous CI budget: timeline recording is a list append per event.
+    assert ratio < 2.5, f"tracing overhead {ratio:.2f}x exceeds budget"
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

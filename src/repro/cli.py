@@ -11,10 +11,19 @@ Subcommands::
     ddprof tree <workload> [...]           dynamic execution tree
     ddprof sections <workload> [...]       region-level dependence summary
     ddprof stats <workload> [...]          telemetry run-report of a pipeline run
+    ddprof trace <workload> [...]          pipeline timeline as Chrome trace JSON
 
 Every profiling subcommand accepts ``--metrics-out FILE`` (write the
-telemetry event stream as JSONL) and ``--json`` (append/print the
-machine-readable run report; schema in docs/observability.md).
+telemetry event stream as JSONL), ``--trace-out FILE`` (record the pipeline
+execution timeline and export Chrome ``trace_event`` JSON — load it in
+Perfetto / ``chrome://tracing``), ``--provenance`` (annotate every reported
+dependence with the workers/chunks/timestamps that produced it and a
+``suspect_fp`` hash-collision flag), and ``--json`` (append/print the
+machine-readable run report; schemas in docs/observability.md).
+
+``--trace-out`` and ``--provenance`` are pipeline-level features, so either
+flag routes the run through the parallel pipeline (deterministic mode —
+results are identical to the sequential engines) with ``--workers`` workers.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ import sys
 from repro.common.config import ProfilerConfig
 from repro.core import format_dependences, profile_trace
 from repro.minivm import ScheduleConfig, run_program
-from repro.obs import JsonlSink, MetricsRegistry, RunReport
+from repro.obs import JsonlSink, MetricsRegistry, RunReport, Tracer, write_chrome_trace
 
 
 def _profiler_args(p: argparse.ArgumentParser) -> None:
@@ -42,8 +51,22 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
         "--engine", choices=["vectorized", "reference"], default="vectorized"
     )
     p.add_argument(
+        "--workers", type=int, default=4,
+        help="pipeline worker count (stats/trace, and any --trace-out/"
+        "--provenance run)",
+    )
+    p.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write the telemetry event stream (JSONL) to FILE",
+    )
+    p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="record the execution timeline and write Chrome trace JSON to FILE",
+    )
+    p.add_argument(
+        "--provenance", action="store_true",
+        help="attribute every dependence to its workers/chunks/timestamps "
+        "(adds an oracle false-positive cross-check when --slots is given)",
     )
     p.add_argument(
         "--json", action="store_true",
@@ -60,9 +83,10 @@ def _config_from(args: argparse.Namespace) -> ProfilerConfig:
 
 
 def _registry_from(args: argparse.Namespace) -> MetricsRegistry:
-    """Telemetry registry for one CLI run (JSONL sink when requested)."""
+    """Telemetry registry for one CLI run (JSONL sink / tracer on request)."""
     sink = JsonlSink(args.metrics_out) if args.metrics_out else None
-    return MetricsRegistry(sink)
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    return MetricsRegistry(sink, tracer=tracer)
 
 
 def _report_from(
@@ -89,9 +113,79 @@ def _finish_telemetry(
     args: argparse.Namespace, reg: MetricsRegistry, result=None, info=None
 ) -> None:
     """Shared tail of every profiling subcommand."""
-    report = _report_from(args, reg, result, info)
+    report = _report_from(
+        args, reg, result, info, engine="pipeline" if info is not None else None
+    )
+    _write_trace(args, reg)
     if args.json:
         print(report.to_json())
+
+
+def _write_trace(args: argparse.Namespace, reg: MetricsRegistry) -> None:
+    """Export the recorded timeline when the run asked for one."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and reg.tracer.enabled:
+        write_chrome_trace(
+            trace_out,
+            reg.tracer,
+            meta={"workload": args.workload, "variant": args.variant},
+        )
+
+
+def _pipeline_run(args: argparse.Namespace, reg: MetricsRegistry, batch):
+    """One parallel-pipeline run honouring the telemetry flags."""
+    from repro.parallel import ParallelProfiler
+
+    cfg = _config_from(args).with_(workers=args.workers)
+    wants_prov = getattr(args, "provenance", False)
+    res, info = ParallelProfiler(
+        cfg, registry=reg, provenance=wants_prov
+    ).profile(batch)
+    if wants_prov and res.provenance is not None and args.slots is not None:
+        from repro.obs import oracle_cross_check
+
+        # Lossy signature in play: settle the suspect_fp flags against a
+        # perfect-signature rerun.
+        oracle_cross_check(res.provenance, batch, _config_from(args))
+    return res, info
+
+
+def _profile_for(args: argparse.Namespace, reg: MetricsRegistry, batch):
+    """Profile ``batch`` the way the flags ask: the sequential engine by
+    default, the parallel pipeline when a timeline or provenance was
+    requested (they are pipeline-level features).  Returns
+    ``(result, info-or-None)``."""
+    if getattr(args, "trace_out", None) or getattr(args, "provenance", False):
+        return _pipeline_run(args, reg, batch)
+    return profile_trace(batch, _config_from(args), args.engine, registry=reg), None
+
+
+def _print_provenance(res) -> None:
+    """Text rendering of the provenance annotations (non-JSON output)."""
+    prov = res.provenance
+    if prov is None:
+        return
+    n_spurious = prov.n_oracle_spurious
+    oracle = (
+        f", {n_spurious} oracle-confirmed spurious"
+        if any(r.oracle_spurious is not None for _, r in prov)
+        else ""
+    )
+    print(
+        f"\n# provenance: {len(prov)} records, "
+        f"{prov.n_suspect} suspect false positives{oracle}"
+    )
+    for row in prov.to_list():
+        p = row["provenance"]
+        flags = " [suspect-fp]" if p["suspect_fp"] else ""
+        if p["oracle_spurious"]:
+            flags += " [oracle-spurious]"
+        print(
+            f"#   {row['type']:<4} {row['source_loc']}->{row['sink_loc']} "
+            f"var {row['var']}: workers {p['workers']} "
+            f"chunks {p['chunks'][0]}..{p['chunks'][1]} "
+            f"ts {p['ts'][0]}..{p['ts'][1]} x{p['count']}{flags}"
+        )
 
 
 def _trace_from(args: argparse.Namespace, reg: MetricsRegistry | None = None):
@@ -124,7 +218,7 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
-    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
+    res, info = _profile_for(args, reg, batch)
     sys.stdout.write(format_dependences(res, verbose=args.verbose))
     if not args.json:
         s = res.stats
@@ -135,19 +229,18 @@ def cmd_profile(args: argparse.Namespace) -> int:
             f"{res.merge_reduction_factor:.0f}x merge), "
             f"{s.races_flagged} potential races"
         )
-    _finish_telemetry(args, reg, res)
+        _print_provenance(res)
+    _finish_telemetry(args, reg, res, info)
     return 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run the full parallel pipeline and print its telemetry run-report."""
-    from repro.parallel import ParallelProfiler
-
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
-    cfg = _config_from(args).with_(workers=args.workers)
-    res, info = ParallelProfiler(cfg, registry=reg).profile(batch)
+    res, info = _pipeline_run(args, reg, batch)
     report = _report_from(args, reg, res, info, engine="pipeline")
+    _write_trace(args, reg)
     if args.json:
         print(report.to_json())
     else:
@@ -167,7 +260,7 @@ def cmd_loops(args: argparse.Namespace) -> int:
 
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
-    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
+    res, info = _profile_for(args, reg, batch)
     rows = [
         (r.site, r.end, r.executions, r.total_iterations, r.parallelizable, r.note)
         for r in loop_table(res)
@@ -179,7 +272,7 @@ def cmd_loops(args: argparse.Namespace) -> int:
             title=f"Loops of {args.workload} ({args.variant})",
         )
     )
-    _finish_telemetry(args, reg, res)
+    _finish_telemetry(args, reg, res, info)
     return 0
 
 
@@ -189,10 +282,10 @@ def cmd_comm(args: argparse.Namespace) -> int:
     args.variant = "par"
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
-    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
+    res, info = _profile_for(args, reg, batch)
     m = communication_matrix(res, n_threads=args.threads + 1)
     sys.stdout.write(render_matrix(m[1:, 1:]))
-    _finish_telemetry(args, reg, res)
+    _finish_telemetry(args, reg, res, info)
     return 0
 
 
@@ -211,17 +304,24 @@ def cmd_races(args: argparse.Namespace) -> int:
                 policy="roundrobin", seed=args.seed, delay_probability=args.delay
             ),
         )
-    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
-    _finish_telemetry(args, reg, res)
+    res, info = _profile_for(args, reg, batch)
+    _finish_telemetry(args, reg, res, info)
     races = res.store.races()
     if not races:
         print("no potential data races flagged")
         return 0
+    prov = res.provenance
     for d in races:
+        where = ""
+        if prov is not None and (rec := prov.get(d)) is not None:
+            where = (
+                f"  [workers {sorted(rec.workers)}, "
+                f"ts {rec.first_ts}..{rec.last_ts}]"
+            )
         print(
             f"potential race: {d.dep_type.name} on {res.var_name(d.var)} — "
             f"{format_location(d.source_loc)}|{d.source_tid} vs "
-            f"{format_location(d.sink_loc)}|{d.sink_tid}"
+            f"{format_location(d.sink_loc)}|{d.sink_tid}{where}"
         )
     return 1
 
@@ -231,11 +331,10 @@ def cmd_distances(args: argparse.Namespace) -> int:
 
     from repro.analyses import dependence_distances
     from repro.common.sourceloc import format_location
-    from repro.core import profile_trace as _pt
 
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
-    res = _pt(batch, _config_from(args), args.engine, registry=reg)
+    res, info = _profile_for(args, reg, batch)
     for site in sorted(res.loops):
         d = dependence_distances(batch, site)
         degree = d.doacross_degree
@@ -253,7 +352,7 @@ def cmd_distances(args: argparse.Namespace) -> int:
                 f"{format_location(key.sink_loc)} on "
                 f"{res.var_name(key.var)}: distance {dist}"
             )
-    _finish_telemetry(args, reg, res)
+    _finish_telemetry(args, reg, res, info)
     return 0
 
 
@@ -298,14 +397,46 @@ def cmd_sections(args: argparse.Namespace) -> int:
 
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
-    res = profile_trace(batch, _config_from(args), args.engine, registry=reg)
+    res, info = _profile_for(args, reg, batch)
     deps = section_dependences(res)
-    _finish_telemetry(args, reg, res)
+    _finish_telemetry(args, reg, res, info)
     if not deps:
         print("no cross-region dependences")
         return 0
     for d in deps:
         print(d.describe())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run the pipeline purely to record its execution timeline."""
+    args.trace_out = args.out or f"{args.workload}.trace.json"
+    reg = _registry_from(args)
+    batch = _trace_from(args, reg)
+    res, info = _pipeline_run(args, reg, batch)
+    report = _report_from(args, reg, res, info, engine="pipeline")
+    summary = reg.tracer.summary()
+    _write_trace(args, reg)
+    if args.json:
+        print(report.to_json())
+        return 0
+    print(
+        f"wrote {args.trace_out}: {summary['n_events']} events over "
+        f"{summary['wall_seconds'] * 1e3:.1f} ms on "
+        f"{len(summary['tracks'])} tracks "
+        f"(load in Perfetto or chrome://tracing)"
+    )
+    for name, t in summary["tracks"].items():
+        print(
+            f"  {name:<10} busy {t['busy_frac'] * 100:5.1f}%  "
+            f"stall {t['stall_frac'] * 100:5.1f}%  "
+            f"idle {t['idle_frac'] * 100:5.1f}%  ({t['events']} events)"
+        )
+    if res.provenance is not None:
+        print(
+            f"provenance: {len(res.provenance)} records, "
+            f"{res.provenance.n_suspect} suspect false positives"
+        )
     return 0
 
 
@@ -350,13 +481,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     _profiler_args(p)
     p.add_argument(
-        "--workers", type=int, default=4, help="pipeline worker count"
-    )
-    p.add_argument(
         "--prometheus-out", metavar="FILE", default=None,
         help="also write a Prometheus text exposition of the final metrics",
     )
     p.set_defaults(fn=cmd_stats)
+    p = sub.add_parser(
+        "trace", help="record a pipeline timeline as Chrome trace JSON"
+    )
+    _profiler_args(p)
+    p.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="trace output path (default: <workload>.trace.json)",
+    )
+    p.set_defaults(fn=cmd_trace)
     p = sub.add_parser(
         "diff", help="compare two saved dependence listings record by record"
     )

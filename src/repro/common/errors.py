@@ -30,3 +30,7 @@ class WorkloadError(ReproError):
 
 class QueueClosedError(ReproError):
     """Push attempted on a queue whose producer side has been closed."""
+
+
+class ObsError(ReproError):
+    """Telemetry misuse: e.g. emitting to a sink that was already closed."""

@@ -79,6 +79,19 @@ class Dependence:
             t += (self.carried,)
         return t
 
+    def to_dict(self) -> dict:
+        """JSON-ready view of the record (provenance rows, run reports)."""
+        return {
+            "type": self.dep_type.name,
+            "sink_loc": self.sink_loc,
+            "sink_tid": self.sink_tid,
+            "source_loc": self.source_loc,
+            "source_tid": self.source_tid,
+            "var": self.var,
+            "carried": sorted(self.carried),
+            "race": self.race,
+        }
+
 
 class DependenceStore:
     """Deduplicating container of :class:`Dependence` records.

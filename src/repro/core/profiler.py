@@ -23,6 +23,7 @@ from repro.core.reference import ReferenceEngine
 from repro.core.result import ProfileResult
 from repro.core.vectorized import VectorizedEngine
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import ProvenanceCollector
 from repro.sigmem import ArraySignature, PerfectSignature
 from repro.sigmem.signature import AccessTracker
 from repro.trace import TraceBatch
@@ -31,12 +32,16 @@ ENGINES = ("vectorized", "reference")
 
 
 def make_trackers(
-    config: ProfilerConfig, registry: MetricsRegistry | None = None
+    config: ProfilerConfig,
+    registry: MetricsRegistry | None = None,
+    track_conflicts: bool = False,
 ) -> tuple[AccessTracker, AccessTracker]:
     """Build the (read, write) tracker pair a configuration calls for.
 
     With a registry, array signatures count hash-conflict evictions into
-    ``sigmem.evictions{kind=...}`` counters.
+    ``sigmem.evictions{kind=...}`` counters.  ``track_conflicts`` turns on
+    the owner-address plane that :meth:`ArraySignature.suspect_source`
+    needs — provenance collection asks for it even without a registry.
     """
     if config.perfect_signature:
         return PerfectSignature(), PerfectSignature()
@@ -46,16 +51,22 @@ def make_trackers(
                 config.signature_slots,
                 config.hash_salt,
                 eviction_counter=registry.counter("sigmem.evictions", kind="read"),
+                track_conflicts=track_conflicts,
             ),
             ArraySignature(
                 config.signature_slots,
                 config.hash_salt,
                 eviction_counter=registry.counter("sigmem.evictions", kind="write"),
+                track_conflicts=track_conflicts,
             ),
         )
     return (
-        ArraySignature(config.signature_slots, config.hash_salt),
-        ArraySignature(config.signature_slots, config.hash_salt),
+        ArraySignature(
+            config.signature_slots, config.hash_salt, track_conflicts=track_conflicts
+        ),
+        ArraySignature(
+            config.signature_slots, config.hash_salt, track_conflicts=track_conflicts
+        ),
     )
 
 
@@ -67,32 +78,42 @@ class DependenceProfiler:
         config: ProfilerConfig | None = None,
         engine: str = "vectorized",
         registry: MetricsRegistry | None = None,
+        provenance: ProvenanceCollector | None = None,
     ) -> None:
         if engine not in ENGINES:
             raise ProfilerError(f"unknown engine {engine!r}; pick from {ENGINES}")
         self.config = config if config is not None else ProfilerConfig()
-        self.engine_name = engine
+        # Per-dependence attribution needs the event-at-a-time engine (the
+        # vectorized engine never materialises individual instances), so a
+        # collector silently selects "reference".
+        self.engine_name = "reference" if provenance is not None else engine
         self.registry = registry
+        self.provenance = provenance
 
     def profile(self, batch: TraceBatch) -> ProfileResult:
         """Run the configured engine over ``batch`` and return the result."""
         reg = self.registry
+        prov = self.provenance
         if reg is None:
             # Uninstrumented fast path — identical to the seed behaviour.
             if self.engine_name == "vectorized":
                 return VectorizedEngine(self.config).run(batch)
-            read_tracker, write_tracker = make_trackers(self.config)
+            read_tracker, write_tracker = make_trackers(
+                self.config, track_conflicts=prov is not None
+            )
             return ReferenceEngine(
-                self.config, read_tracker, write_tracker
+                self.config, read_tracker, write_tracker, provenance=prov
             ).run(batch)
 
         with reg.span("engine", engine=self.engine_name):
             if self.engine_name == "vectorized":
                 result = VectorizedEngine(self.config).run(batch)
             else:
-                read_tracker, write_tracker = make_trackers(self.config, reg)
+                read_tracker, write_tracker = make_trackers(
+                    self.config, reg, track_conflicts=prov is not None
+                )
                 result = ReferenceEngine(
-                    self.config, read_tracker, write_tracker
+                    self.config, read_tracker, write_tracker, provenance=prov
                 ).run(batch)
                 reg.gauge_fn("sigmem.occupied", read_tracker.occupied, kind="read")
                 reg.gauge_fn(
@@ -118,6 +139,7 @@ def profile_trace(
     config: ProfilerConfig | None = None,
     engine: str = "vectorized",
     registry: MetricsRegistry | None = None,
+    provenance: ProvenanceCollector | None = None,
 ) -> ProfileResult:
     """Convenience one-shot profiling call."""
-    return DependenceProfiler(config, engine, registry).profile(batch)
+    return DependenceProfiler(config, engine, registry, provenance).profile(batch)

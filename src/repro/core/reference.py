@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.common.config import ProfilerConfig
 from repro.core.controlflow import extract_loop_info
+from repro.obs.provenance import ProvenanceCollector
 from repro.core.deps import DepType, Dependence, DependenceStore
 from repro.core.result import ProfileResult, ProfileStats
 from repro.sigmem.signature import AccessRecord, AccessTracker
@@ -68,12 +69,17 @@ class ReferenceEngine:
         read_tracker: AccessTracker,
         write_tracker: AccessTracker,
         store: DependenceStore | None = None,
+        provenance: "ProvenanceCollector | None" = None,
     ) -> None:
         self.config = config
         self.read_tracker = read_tracker
         self.write_tracker = write_tracker
         self.store = store if store is not None else DependenceStore()
         self.stats = ProfileStats()
+        #: Optional per-dependence attribution collector; when set, every
+        #: ``store.add`` is mirrored by a ``provenance.note`` carrying the
+        #: sink timestamp and the source tracker's slot-conflict verdict.
+        self.provenance = provenance
         self._frames: dict[int, list[_LoopFrame]] = {}
 
     def run(self, batch: TraceBatch) -> ProfileResult:
@@ -87,6 +93,7 @@ class ReferenceEngine:
             var_names=batch.var_names,
             file_names=batch.file_names,
             multithreaded=batch.n_threads > 1 or self.config.multithreaded_target,
+            provenance=self.provenance,
         )
 
     def process(self, batch: TraceBatch) -> None:
@@ -96,6 +103,7 @@ class ReferenceEngine:
         stats = self.stats
         stats.n_events += len(batch)
         frames = self._frames
+        prov = self.provenance
 
         kind_col = batch.kind
         tid_col = batch.tid
@@ -130,37 +138,41 @@ class ReferenceEngine:
                         race = rrec.ts > ts
                         if race:
                             stats.races_flagged += 1
-                        store.add(
-                            Dependence(
-                                DepType.RAR,
-                                sink_loc=loc,
-                                sink_tid=tid,
-                                source_loc=rrec.loc,
-                                source_tid=rrec.tid,
-                                var=rrec.var,
-                                carried=carried_sites(tid, rrec.ts),
-                                race=race,
-                            )
+                        dep = Dependence(
+                            DepType.RAR,
+                            sink_loc=loc,
+                            sink_tid=tid,
+                            source_loc=rrec.loc,
+                            source_tid=rrec.tid,
+                            var=rrec.var,
+                            carried=carried_sites(tid, rrec.ts),
+                            race=race,
                         )
+                        store.add(dep)
                         stats.dep_instances[DepType.RAR] += 1
+                        if prov is not None:
+                            prov.note(
+                                dep, ts, self.read_tracker.suspect_source(addr)
+                            )
                 wrec = self.write_tracker.lookup(addr)
                 if wrec is not None:
                     race = wrec.ts > ts
                     if race:
                         stats.races_flagged += 1
-                    store.add(
-                        Dependence(
-                            DepType.RAW,
-                            sink_loc=loc,
-                            sink_tid=tid,
-                            source_loc=wrec.loc,
-                            source_tid=wrec.tid,
-                            var=wrec.var,
-                            carried=carried_sites(tid, wrec.ts),
-                            race=race,
-                        )
+                    dep = Dependence(
+                        DepType.RAW,
+                        sink_loc=loc,
+                        sink_tid=tid,
+                        source_loc=wrec.loc,
+                        source_tid=wrec.tid,
+                        var=wrec.var,
+                        carried=carried_sites(tid, wrec.ts),
+                        race=race,
                     )
+                    store.add(dep)
                     stats.dep_instances[DepType.RAW] += 1
+                    if prov is not None:
+                        prov.note(dep, ts, self.write_tracker.suspect_source(addr))
                 self.read_tracker.insert(
                     addr, AccessRecord(loc, int(var_col[i]), tid, ts)
                 )
@@ -173,52 +185,57 @@ class ReferenceEngine:
                 wrec = self.write_tracker.lookup(addr)
                 if wrec is None:
                     # First write observed at this address: initialization.
-                    store.add(
-                        Dependence(
-                            DepType.INIT,
-                            sink_loc=loc,
-                            sink_tid=tid,
-                            source_loc=-1,
-                            source_tid=-1,
-                            var=-1,
-                        )
+                    dep = Dependence(
+                        DepType.INIT,
+                        sink_loc=loc,
+                        sink_tid=tid,
+                        source_loc=-1,
+                        source_tid=-1,
+                        var=-1,
                     )
+                    store.add(dep)
                     stats.dep_instances[DepType.INIT] += 1
+                    if prov is not None:
+                        prov.note(dep, ts)
                 else:
                     rrec = self.read_tracker.lookup(addr)
                     if rrec is not None:
                         race = rrec.ts > ts
                         if race:
                             stats.races_flagged += 1
-                        store.add(
-                            Dependence(
-                                DepType.WAR,
-                                sink_loc=loc,
-                                sink_tid=tid,
-                                source_loc=rrec.loc,
-                                source_tid=rrec.tid,
-                                var=rrec.var,
-                                carried=carried_sites(tid, rrec.ts),
-                                race=race,
-                            )
+                        dep = Dependence(
+                            DepType.WAR,
+                            sink_loc=loc,
+                            sink_tid=tid,
+                            source_loc=rrec.loc,
+                            source_tid=rrec.tid,
+                            var=rrec.var,
+                            carried=carried_sites(tid, rrec.ts),
+                            race=race,
                         )
+                        store.add(dep)
                         stats.dep_instances[DepType.WAR] += 1
+                        if prov is not None:
+                            prov.note(
+                                dep, ts, self.read_tracker.suspect_source(addr)
+                            )
                     race = wrec.ts > ts
                     if race:
                         stats.races_flagged += 1
-                    store.add(
-                        Dependence(
-                            DepType.WAW,
-                            sink_loc=loc,
-                            sink_tid=tid,
-                            source_loc=wrec.loc,
-                            source_tid=wrec.tid,
-                            var=wrec.var,
-                            carried=carried_sites(tid, wrec.ts),
-                            race=race,
-                        )
+                    dep = Dependence(
+                        DepType.WAW,
+                        sink_loc=loc,
+                        sink_tid=tid,
+                        source_loc=wrec.loc,
+                        source_tid=wrec.tid,
+                        var=wrec.var,
+                        carried=carried_sites(tid, wrec.ts),
+                        race=race,
                     )
+                    store.add(dep)
                     stats.dep_instances[DepType.WAW] += 1
+                    if prov is not None:
+                        prov.note(dep, ts, self.write_tracker.suspect_source(addr))
                 self.write_tracker.insert(
                     addr, AccessRecord(loc, int(var_col[i]), tid, ts)
                 )

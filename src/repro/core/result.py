@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.core.controlflow import LoopInfo
 from repro.core.deps import DepType, DependenceStore
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import ProvenanceCollector
 
 
 @dataclass
@@ -90,6 +91,9 @@ class ProfileResult:
     var_names: tuple[str, ...] = ()
     file_names: tuple[str, ...] = ()
     multithreaded: bool = False
+    #: Per-dependence attribution (worker/chunk/timestamp window and the
+    #: ``suspect_fp`` collision flag) when the run collected provenance.
+    provenance: ProvenanceCollector | None = None
 
     @property
     def merge_reduction_factor(self) -> float:

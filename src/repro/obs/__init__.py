@@ -10,14 +10,26 @@ depend on it without cycles:
 * :class:`Sampler` — periodic gauge sampling into time-series events;
 * sinks — :class:`NullSink` (default, zero overhead), :class:`MemorySink`,
   :class:`JsonlSink`, :class:`TeeSink`;
+* :class:`Tracer` / :class:`NullTracer` — the execution-timeline plane
+  (``tracing``), exportable as Chrome ``trace_event`` JSON
+  (``chrometrace``);
+* :class:`ProvenanceCollector` — per-dependence attribution records
+  (``provenance``), including the ``suspect_fp`` collision flag;
 * :func:`prometheus_text` / :func:`parse_prometheus` — text exposition;
 * :class:`RunReport` — the structured per-run JSON report.
 
 Hot-path contract: plain counters are always live (an ``inc()`` is one
-integer add), while *event* construction is guarded by ``sink.enabled`` so
-a run without a configured sink does no extra allocation.
+integer add), while *event* construction is guarded by ``sink.enabled``
+and timeline recording by ``tracer.enabled``, so a run without a
+configured sink or tracer does no extra allocation.
 """
 
+from repro.obs.chrometrace import (
+    chrome_trace_dict,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+)
 from repro.obs.export import parse_prometheus, prometheus_text
 from repro.obs.metrics import (
     Counter,
@@ -26,6 +38,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     SpanRecord,
     format_name,
+)
+from repro.obs.provenance import (
+    ProvenanceCollector,
+    ProvenanceRecord,
+    oracle_cross_check,
 )
 from repro.obs.report import RunReport
 from repro.obs.sampler import Sampler
@@ -37,22 +54,43 @@ from repro.obs.sinks import (
     TeeSink,
     read_jsonl,
 )
+from repro.obs.tracing import (
+    MAIN_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    worker_track,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSink",
+    "MAIN_TRACK",
     "MemorySink",
     "MetricsRegistry",
+    "NULL_TRACER",
     "NullSink",
+    "NullTracer",
+    "ProvenanceCollector",
+    "ProvenanceRecord",
     "RunReport",
     "Sampler",
     "Sink",
     "SpanRecord",
     "TeeSink",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace_dict",
     "format_name",
+    "oracle_cross_check",
     "parse_prometheus",
     "prometheus_text",
     "read_jsonl",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "worker_track",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,127 @@
+"""Chrome ``trace_event`` export of a recorded :class:`~repro.obs.tracing.Tracer`.
+
+Produces the JSON object format understood by Perfetto
+(https://ui.perfetto.dev) and the legacy ``chrome://tracing`` viewer: a
+``traceEvents`` array of phase-coded events — ``"M"`` metadata rows naming
+each track, ``"X"`` complete slices with microsecond ``ts``/``dur``, and
+``"i"`` instants — all under one process, one ``tid`` per pipeline track
+(main thread + one per worker).
+
+``validate_chrome_trace`` checks the shape without a browser, so tests and
+the CI smoke step can assert a written file is loadable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracing import NullTracer, Tracer
+
+#: Single synthetic process id for the whole pipeline.
+PID = 1
+
+_US = 1e6  # seconds -> microseconds
+
+
+def chrome_trace_dict(
+    tracer: Tracer | NullTracer, meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """Convert a tracer's timeline into a Chrome trace_event JSON object."""
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": PID,
+            "tid": track,
+            "ts": 0,
+            "name": "thread_name",
+            "args": {"name": name},
+        }
+        for track, name in sorted(tracer.track_names.items())
+    ]
+    for ev in tracer.events:
+        base: dict[str, Any] = {
+            "name": ev.name,
+            "cat": "pipeline",
+            "pid": PID,
+            "tid": ev.track,
+            "ts": round(ev.ts * _US, 3),
+        }
+        if ev.args:
+            base["args"] = ev.args
+        if ev.dur is not None:
+            base["ph"] = "X"
+            base["dur"] = round(ev.dur * _US, 3)
+        else:
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+        events.append(base)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(meta or {}),
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    tracer: Tracer | NullTracer,
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write the trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_dict(tracer, meta)), encoding="utf-8")
+    return path
+
+
+#: Phases that carry a payload and therefore require a name.
+_NAMED_PHASES = {"X", "B", "E", "i", "M", "C"}
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Shape-check a trace_event document; returns a list of problems.
+
+    An empty list means the document is loadable by Perfetto /
+    ``chrome://tracing``.  Checks the JSON-object container, per-event
+    required keys, numeric timestamps, and non-negative durations.
+    """
+    errors: list[str] = []
+    if not isinstance(obj, dict):
+        return [f"top level must be an object, got {type(obj).__name__}"]
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array 'traceEvents'"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing 'ph'")
+            continue
+        if ph in _NAMED_PHASES and not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: phase {ph!r} requires a string 'name'")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                errors.append(f"{where}: missing integer {key!r}")
+        if ph != "M":
+            if not isinstance(ev.get("ts"), (int, float)):
+                errors.append(f"{where}: missing numeric 'ts'")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs non-negative 'dur'")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def validate_chrome_trace_file(path: str | Path) -> list[str]:
+    """Validate a trace file on disk (parse errors become one problem)."""
+    try:
+        obj = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"unreadable trace file: {exc}"]
+    return validate_chrome_trace(obj)

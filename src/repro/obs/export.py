@@ -19,9 +19,12 @@ from typing import Any
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+# The label section may contain '}' and ',' inside quoted values, so it is
+# matched as a sequence of non-quote/non-brace runs and full quoted strings
+# (with backslash escapes) rather than a naive [^}]*.
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[^\s]+)$"
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?\s+(?P<value>[^\s]+)$'
 )
 
 PREFIX = "ddprof_"
@@ -31,8 +34,15 @@ def _prom_name(name: str) -> str:
     return PREFIX + _NAME_RE.sub("_", name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-exposition spec:
+    backslash, double-quote, and line-feed become ``\\\\``, ``\\"``,
+    ``\\n``."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _labels_text(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels]
+    parts = [f'{k}="{escape_label_value(v)}"' for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""

@@ -28,6 +28,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
 from repro.obs.sinks import NULL_SINK, Sink
+from repro.obs.tracing import MAIN_TRACK, NULL_TRACER, NullTracer, Tracer
 
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -170,8 +171,15 @@ class MetricsRegistry:
     run report, and ``emit()`` forwards structured events to the sink.
     """
 
-    def __init__(self, sink: Sink | None = None) -> None:
+    def __init__(
+        self,
+        sink: Sink | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
         self.sink = sink if sink is not None else NULL_SINK
+        #: Timeline tracer; the shared ``NULL_TRACER`` by default, so the
+        #: untraced hot path is one ``enabled`` check away from free.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._metrics: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
         self.spans: list[SpanRecord] = []
 
@@ -268,6 +276,8 @@ class MetricsRegistry:
             dt = time.perf_counter() - t0
             self.spans.append(SpanRecord(name, dt, attrs))
             self.histogram("span.seconds", phase=name).observe(dt)
+            if self.tracer.enabled:
+                self.tracer.complete(name, MAIN_TRACK, t0, t0 + dt, **attrs)
             if self.sink.enabled:
                 self.emit({"type": "span", "phase": name, "seconds": dt, **attrs})
 

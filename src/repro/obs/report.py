@@ -89,6 +89,11 @@ class RunReport:
     histograms: dict[str, Any] = field(default_factory=dict)
     profile: dict[str, Any] = field(default_factory=dict)
     parallel: dict[str, Any] | None = None
+    #: Timeline summary (per-track busy/stall/idle fractions) when the
+    #: run's registry carried an enabled tracer; ``None`` otherwise.
+    trace: dict[str, Any] | None = None
+    #: Per-dependence provenance rows when the run collected them.
+    provenance: list[dict[str, Any]] | None = None
 
     @classmethod
     def build(
@@ -103,6 +108,7 @@ class RunReport:
             {"phase": name, "seconds": agg["seconds"], "count": int(agg["count"])}
             for name, agg in registry.phase_totals().items()
         ]
+        prov = getattr(result, "provenance", None)
         return cls(
             meta=dict(meta),
             phases=phases,
@@ -111,6 +117,8 @@ class RunReport:
             histograms=snap["histograms"],
             profile=_profile_section(result) if result is not None else {},
             parallel=_parallel_section(info) if info is not None else None,
+            trace=registry.tracer.summary() if registry.tracer.enabled else None,
+            provenance=prov.to_list() if prov is not None else None,
         )
 
     # -- serialization --------------------------------------------------------
@@ -124,6 +132,8 @@ class RunReport:
             "histograms": self.histograms,
             "profile": self.profile,
             "parallel": self.parallel,
+            "trace": self.trace,
+            "provenance": self.provenance,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -169,6 +179,25 @@ class RunReport:
                 f"stalls push={pa['push_stalls']} pop={pa['pop_stalls']}, "
                 f"rebalances {pa['rebalance_rounds']} "
                 f"({pa['addresses_migrated']} addresses moved)"
+            )
+        if self.trace:
+            tr = self.trace
+            lines.append(
+                f"  trace: {tr['n_events']} events over "
+                f"{tr['wall_seconds'] * 1e3:.3f} ms wall"
+            )
+            for name, t in tr["tracks"].items():
+                lines.append(
+                    f"    {name:<10s} busy {t['busy_frac'] * 100:5.1f}%  "
+                    f"stall {t['stall_frac'] * 100:5.1f}%  "
+                    f"idle {t['idle_frac'] * 100:5.1f}%  "
+                    f"({t['events']} events)"
+                )
+        if self.provenance is not None:
+            n_suspect = sum(1 for r in self.provenance if r["provenance"]["suspect_fp"])
+            lines.append(
+                f"  provenance: {len(self.provenance)} dependences attributed, "
+                f"{n_suspect} suspect false positives"
             )
         if self.counters:
             lines.append("  counters:")

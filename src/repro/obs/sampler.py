@@ -80,9 +80,20 @@ class Sampler:
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the thread (if any) and take one final sample."""
-        if self._thread is not None:
-            self._stop.set()
-            self._thread.join(timeout=5)
-            self._thread = None
+        """Stop the thread and take exactly one final sample.
+
+        Idempotent: a second ``stop()`` (or a ``stop()`` without a prior
+        ``start()``) is a no-op, so an abort path that stops the sampler in
+        a ``finally`` block never double-records the final sample.
+        """
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._thread = None
         self.poll(force=True)
+
+    @property
+    def running(self) -> bool:
+        """True while the daemon sampling thread is alive."""
+        return self._thread is not None and self._thread.is_alive()

@@ -21,6 +21,8 @@ import json
 from pathlib import Path
 from typing import Any, IO
 
+from repro.common.errors import ObsError
+
 
 class Sink:
     """Base sink: interface + the ``enabled`` fast-path flag."""
@@ -76,11 +78,20 @@ class JsonlSink(Sink):
     The file opens lazily on the first event and is created empty on
     ``close()`` if nothing was ever emitted — callers can rely on the file
     existing after a run.
+
+    ``close()`` is idempotent; emitting after close raises
+    :class:`~repro.common.errors.ObsError` instead of a bare I/O error.
+    ``flush_every=N`` flushes to disk every ``N`` events so long runs do
+    not sit on an unbounded OS buffer (0/None = flush only on demand).
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, flush_every: int | None = None) -> None:
+        if flush_every is not None and flush_every < 0:
+            raise ValueError("flush_every must be non-negative")
         self.path = Path(path)
+        self.flush_every = flush_every or 0
         self._fh: IO[str] | None = None
+        self._closed = False
         self.n_events = 0
 
     def _file(self) -> IO[str]:
@@ -89,23 +100,30 @@ class JsonlSink(Sink):
         return self._fh
 
     def emit(self, event: dict[str, Any]) -> None:
+        if self._closed:
+            raise ObsError(f"emit() on closed JsonlSink({self.path})")
         self._file().write(
             json.dumps(event, sort_keys=True, separators=(",", ":"), default=str)
             + "\n"
         )
         self.n_events += 1
+        if self.flush_every and self.n_events % self.flush_every == 0:
+            self._fh.flush()  # type: ignore[union-attr]
 
     def flush(self) -> None:
         if self._fh is not None:
             self._fh.flush()
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         if self._fh is None:
             # Guarantee the file exists even for an event-free run.
             self.path.touch()
         else:
-            self._fh.close()
-            self._fh = None
+            fh, self._fh = self._fh, None
+            fh.close()
 
 
 class TeeSink(Sink):
@@ -114,8 +132,11 @@ class TeeSink(Sink):
     def __init__(self, *sinks: Sink) -> None:
         self.sinks = [s for s in sinks if s.enabled]
         self.enabled = bool(self.sinks)
+        self._closed = False
 
     def emit(self, event: dict[str, Any]) -> None:
+        if self._closed:
+            raise ObsError("emit() on closed TeeSink")
         for s in self.sinks:
             s.emit(event)
 
@@ -124,8 +145,19 @@ class TeeSink(Sink):
             s.flush()
 
     def close(self) -> None:
+        """Close every member even if one raises (first error re-raised)."""
+        if self._closed:
+            return
+        self._closed = True
+        first: Exception | None = None
         for s in self.sinks:
-            s.close()
+            try:
+                s.close()
+            except Exception as exc:  # noqa: BLE001 - collect, close the rest
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
 
 
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:

@@ -133,4 +133,14 @@ class Rebalancer:
                     "imbalance": self.imbalance(stats),
                 }
             )
+            tracer = self.registry.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    "rebalance",
+                    round=self.rounds,
+                    moves=decision.n_moves,
+                    # Cap the per-event payload; a pathological round could
+                    # migrate thousands of addresses.
+                    migrated=[a for a, _, _ in decision.moves[:32]],
+                )
         return decision

@@ -48,7 +48,9 @@ from repro.core.controlflow import extract_loop_info
 from repro.core.deps import DependenceStore
 from repro.core.result import ProfileResult, ProfileStats
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import ProvenanceCollector
 from repro.obs.sampler import Sampler
+from repro.obs.tracing import MAIN_TRACK, worker_track
 from repro.parallel.address_map import AddressMap
 from repro.parallel.balance import AccessStats, Rebalancer
 from repro.parallel.chunks import Chunk, ChunkPool
@@ -145,6 +147,7 @@ class ParallelProfiler:
         rebalance_threshold: float = 1.25,
         window: int = 1 << 15,
         registry: MetricsRegistry | None = None,
+        provenance: bool = False,
     ) -> None:
         if mode not in MODES:
             raise ProfilerError(f"unknown mode {mode!r}; pick from {MODES}")
@@ -155,6 +158,10 @@ class ParallelProfiler:
         #: Telemetry registry; ``None`` means each run builds a private
         #: sinkless one (counters still work, no event stream).
         self.registry = registry
+        #: When True, every worker keeps a :class:`ProvenanceCollector`
+        #: (attributing each dependence to worker/chunk/timestamps) and the
+        #: merge phase folds them into ``result.provenance``.
+        self.provenance = provenance
 
     # ------------------------------------------------------------------
     def profile(self, batch: TraceBatch) -> tuple[ProfileResult, ParallelRunInfo]:
@@ -162,7 +169,20 @@ class ParallelProfiler:
         # One registry per run: counters are monotonic, so a shared
         # externally-supplied registry must not be reused across runs.
         reg = self.registry if self.registry is not None else MetricsRegistry()
-        workers = [Worker(w, cfg, reg) for w in range(cfg.workers)]
+        tracer = reg.tracer
+        if tracer.enabled:
+            tracer.set_track(MAIN_TRACK, "main")
+            for w in range(cfg.workers):
+                tracer.set_track(worker_track(w), f"worker {w}")
+        provs: list[ProvenanceCollector] | None = (
+            [ProvenanceCollector(worker=w) for w in range(cfg.workers)]
+            if self.provenance
+            else None
+        )
+        workers = [
+            Worker(w, cfg, reg, provenance=provs[w] if provs is not None else None)
+            for w in range(cfg.workers)
+        ]
         if cfg.lock_free_queues:
             queues: list[SpscRingQueue | LockedQueue] = [
                 SpscRingQueue(
@@ -211,9 +231,12 @@ class ParallelProfiler:
         sampler.add("chunkpool.memory_bytes", lambda: pool.memory_bytes)
 
         threads: list[threading.Thread] = []
+        worker_errors: list[BaseException] = []
         if self.mode == "threads":
 
             def consume(w: int) -> None:
+                track = worker_track(w)
+                stall_t0 = -1.0  # perf_counter at the start of an empty streak
                 while True:
                     # busy is raised BEFORE the pop: once quiesce() observes
                     # this queue empty, either the pop never happened or busy
@@ -221,13 +244,26 @@ class ParallelProfiler:
                     busy[w] = True
                     ok, chunk = queues[w].try_pop()
                     if ok:
-                        workers[w].process_chunk(batch, chunk)
+                        if stall_t0 >= 0.0:
+                            if tracer.enabled:
+                                tracer.complete("queue.pop_stall", track, stall_t0)
+                            stall_t0 = -1.0
+                        # After any worker fails, the rest of the stream is
+                        # drained unprocessed so the producer's push loop can
+                        # never spin forever on a full queue.
+                        if not worker_errors:
+                            try:
+                                workers[w].process_chunk(batch, chunk)
+                            except BaseException as exc:  # noqa: BLE001
+                                worker_errors.append(exc)
                         busy[w] = False
                         pool.release(chunk)
                     else:
                         busy[w] = False
                         if queues[w].drained:
                             return
+                        if tracer.enabled and stall_t0 < 0.0:
+                            stall_t0 = time.perf_counter()
                         time.sleep(0)
 
             threads = [
@@ -254,11 +290,21 @@ class ParallelProfiler:
             if chunk.count == 0:
                 return
             chunk.seq = chunk_counter.value
-            while not queues[w].try_push(chunk):
-                if self.mode == "deterministic":
-                    drain_inline(w, limit=1)
-                else:
-                    time.sleep(0)
+            if not queues[w].try_push(chunk):
+                stall_t0 = time.perf_counter() if tracer.enabled else 0.0
+                while True:
+                    if self.mode == "deterministic":
+                        drain_inline(w, limit=1)
+                    else:
+                        time.sleep(0)
+                    if queues[w].try_push(chunk):
+                        break
+                if tracer.enabled:
+                    tracer.complete("queue.push_stall", MAIN_TRACK, stall_t0, worker=w)
+            if tracer.enabled:
+                tracer.instant(
+                    "chunk.push", MAIN_TRACK, worker=w, seq=chunk.seq, rows=chunk.count
+                )
             chunk_counter.inc()
             reg.counter("worker.chunks", worker=w).inc()
             chunk_log.append((w, chunk.count))
@@ -277,12 +323,15 @@ class ParallelProfiler:
 
         def quiesce() -> None:
             """Wait until every queue is empty and every worker idle."""
+            t0 = time.perf_counter() if tracer.enabled else 0.0
             if self.mode == "deterministic":
                 for w in range(cfg.workers):
                     drain_inline(w)
             else:
                 while any(len(q) for q in queues) or any(busy):
                     time.sleep(0)
+            if tracer.enabled:
+                tracer.complete("pipeline.quiesce", MAIN_TRACK, t0)
 
         # Hysteresis: remember the hot-load ratio right after the previous
         # redistribution.  If the current ratio is no worse, the previous
@@ -329,46 +378,60 @@ class ParallelProfiler:
         accesses_at_last_check = 0
         accesses_routed = 0
         n = len(batch)
-        for s in range(0, n, self.window):
-            e = min(s + self.window, n)
-            with reg.span("route", window_start=s):
-                rows = np.arange(s, e, dtype=np.int64)
-                acc = is_access[s:e]
-                bcast = is_bcast[s:e]
-                acc_rows = rows[acc]
-                if len(acc_rows):
-                    stats.record_many(addr[acc_rows])
-                    accesses_routed += len(acc_rows)
-                assign = amap.workers_of(addr[s:e])
-            with reg.span("push", window_start=s):
-                for w in range(cfg.workers):
-                    wrows = rows[(acc & (assign == w)) | bcast]
-                    if len(wrows):
-                        bulk_append(w, wrows)
-            if self.mode == "deterministic":
-                sampler.poll()
-            if accesses_routed - accesses_at_last_check >= rebalance_every:
-                accesses_at_last_check = accesses_routed
-                maybe_rebalance()
+        try:
+            for s in range(0, n, self.window):
+                e = min(s + self.window, n)
+                with reg.span("route", window_start=s):
+                    rows = np.arange(s, e, dtype=np.int64)
+                    acc = is_access[s:e]
+                    bcast = is_bcast[s:e]
+                    acc_rows = rows[acc]
+                    if len(acc_rows):
+                        stats.record_many(addr[acc_rows])
+                        accesses_routed += len(acc_rows)
+                    assign = amap.workers_of(addr[s:e])
+                with reg.span("push", window_start=s):
+                    for w in range(cfg.workers):
+                        wrows = rows[(acc & (assign == w)) | bcast]
+                        if len(wrows):
+                            bulk_append(w, wrows)
+                if self.mode == "deterministic":
+                    sampler.poll()
+                if accesses_routed - accesses_at_last_check >= rebalance_every:
+                    accesses_at_last_check = accesses_routed
+                    maybe_rebalance()
 
-        # ---- flush + drain + merge --------------------------------------
-        with reg.span("drain"):
-            for w in range(cfg.workers):
-                push_chunk(w)
-                queues[w].close()
-            if self.mode == "deterministic":
+            # ---- flush + drain ------------------------------------------
+            with reg.span("drain"):
                 for w in range(cfg.workers):
-                    drain_inline(w)
+                    push_chunk(w)
+                    queues[w].close()
+                if self.mode == "deterministic":
+                    for w in range(cfg.workers):
+                        drain_inline(w)
+                else:
+                    for t in threads:
+                        t.join()
+        finally:
+            # Whatever aborted the pipeline, the sampler thread must not
+            # outlive the run (stop() is idempotent and takes one final
+            # forced sample).
+            if self.mode == "threads":
+                sampler.stop()
             else:
-                for t in threads:
-                    t.join()
-        if self.mode == "threads":
-            sampler.stop()
-        else:
-            sampler.poll(force=True)  # final post-drain sample
+                sampler.poll(force=True)  # final post-drain sample
+        if worker_errors:
+            # Consumers drained the remaining stream without processing;
+            # surface the first failure on the caller's thread.
+            raise worker_errors[0]
 
         with reg.span("merge"):
             store = DependenceStore()
+            prov: ProvenanceCollector | None = None
+            if provs is not None:
+                prov = ProvenanceCollector()
+                for p in provs:
+                    prov.merge(p)
             for w, worker in enumerate(workers):
                 store.merge(worker.store)
                 worker.engine.stats.publish(reg, worker=w)
@@ -379,6 +442,9 @@ class ParallelProfiler:
                 # count even for workers that never processed a chunk.
                 reg.gauge("engine.tracker_memory_bytes", worker=w).set(
                     worker.memory_bytes
+                )
+                reg.gauge("queue.high_water", worker=w).set(
+                    queues[w].high_water
                 )
             # The aggregate statistics are a *view* of the registry: each
             # worker published its engine totals above, and the producer-side
@@ -397,5 +463,6 @@ class ParallelProfiler:
             var_names=batch.var_names,
             file_names=batch.file_names,
             multithreaded=batch.n_threads > 1 or cfg.multithreaded_target,
+            provenance=prov,
         )
         return result, info

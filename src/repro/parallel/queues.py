@@ -55,6 +55,13 @@ class SpscRingQueue:
         # Monotonic counters for contention accounting (cost model input).
         self.push_stalls = push_stalls or Counter("queue.push_stalls")
         self.pop_stalls = pop_stalls or Counter("queue.pop_stalls")
+        #: Exact peak occupancy ever reached (the sampler only sees periodic
+        #: snapshots; timeline analysis wants the true high-water mark).
+        self.high_water = 0
+
+    @property
+    def occupancy_high_water(self) -> int:
+        return self.high_water
 
     @property
     def push_fail_count(self) -> int:
@@ -83,6 +90,9 @@ class SpscRingQueue:
         # Publishing order matters: the slot write above must precede the
         # tail bump that makes it visible to the consumer.
         self._tail = tail + 1
+        depth = self._tail - self._head
+        if depth > self.high_water:
+            self.high_water = depth
         return True
 
     def try_pop(self) -> tuple[bool, Any]:
@@ -130,6 +140,12 @@ class LockedQueue:
         self.pop_stalls = pop_stalls or Counter("queue.pop_stalls")
         # Lock acquisitions are what the cost model charges for.
         self._lock_ops = lock_ops_counter or Counter("queue.lock_ops")
+        #: Exact peak occupancy ever reached (see :class:`SpscRingQueue`).
+        self.high_water = 0
+
+    @property
+    def occupancy_high_water(self) -> int:
+        return self.high_water
 
     @property
     def push_fail_count(self) -> int:
@@ -160,6 +176,8 @@ class LockedQueue:
                 self.push_stalls.inc()
                 return False
             self._items.append(item)
+            if len(self._items) > self.high_water:
+                self.high_water = len(self._items)
             return True
 
     def try_pop(self) -> tuple[bool, Any]:

@@ -8,6 +8,8 @@ from repro.common.config import ProfilerConfig
 from repro.core.deps import DependenceStore
 from repro.core.reference import ReferenceEngine
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import ProvenanceCollector
+from repro.obs.tracing import NULL_TRACER, worker_track
 from repro.parallel.chunks import Chunk
 from repro.sigmem import ArraySignature, PerfectSignature
 from repro.sigmem.signature import AccessRecord
@@ -33,9 +35,11 @@ class Worker:
         wid: int,
         config: ProfilerConfig,
         registry: MetricsRegistry | None = None,
+        provenance: ProvenanceCollector | None = None,
     ) -> None:
         self.wid = wid
         self.config = config
+        track_conflicts = provenance is not None
         if config.perfect_signature:
             read_t: PerfectSignature | ArraySignature = PerfectSignature()
             write_t: PerfectSignature | ArraySignature = PerfectSignature()
@@ -46,6 +50,7 @@ class Worker:
                 eviction_counter=registry.counter(
                     "sigmem.evictions", worker=wid, kind="read"
                 ),
+                track_conflicts=track_conflicts,
             )
             write_t = ArraySignature(
                 config.slots_per_worker,
@@ -53,11 +58,21 @@ class Worker:
                 eviction_counter=registry.counter(
                     "sigmem.evictions", worker=wid, kind="write"
                 ),
+                track_conflicts=track_conflicts,
             )
         else:
-            read_t = ArraySignature(config.slots_per_worker, config.hash_salt)
-            write_t = ArraySignature(config.slots_per_worker, config.hash_salt)
-        self.engine = ReferenceEngine(config, read_t, write_t)
+            read_t = ArraySignature(
+                config.slots_per_worker,
+                config.hash_salt,
+                track_conflicts=track_conflicts,
+            )
+            write_t = ArraySignature(
+                config.slots_per_worker,
+                config.hash_salt,
+                track_conflicts=track_conflicts,
+            )
+        self.engine = ReferenceEngine(config, read_t, write_t, provenance=provenance)
+        self.provenance = provenance
         self.accesses_processed = 0
         self.chunks_processed = 0
         self._chunk_hist = (
@@ -65,6 +80,7 @@ class Worker:
             if registry is not None
             else None
         )
+        self._tracer = registry.tracer if registry is not None else NULL_TRACER
 
     @property
     def store(self) -> DependenceStore:
@@ -72,7 +88,11 @@ class Worker:
 
     def process_chunk(self, batch: TraceBatch, chunk: Chunk) -> None:
         hist = self._chunk_hist
-        t0 = time.perf_counter() if hist is not None else 0.0
+        tracer = self._tracer
+        need_t = hist is not None or tracer.enabled
+        t0 = time.perf_counter() if need_t else 0.0
+        if self.provenance is not None:
+            self.provenance.chunk = chunk.seq
         sub = batch.select(chunk.view())
         before = self.engine.stats.n_accesses
         self.engine.process(sub)
@@ -82,8 +102,19 @@ class Worker:
         )
         self.accesses_processed += self.engine.stats.n_accesses - before
         self.chunks_processed += 1
-        if hist is not None:
-            hist.observe(time.perf_counter() - t0)
+        if need_t:
+            t1 = time.perf_counter()
+            if hist is not None:
+                hist.observe(t1 - t0)
+            if tracer.enabled:
+                tracer.complete(
+                    "chunk.process",
+                    worker_track(self.wid),
+                    t0,
+                    t1,
+                    seq=chunk.seq,
+                    rows=chunk.count,
+                )
 
     # -- signature-state migration (redistribution support) -----------------
     def migrate_out(

@@ -71,6 +71,14 @@ class AccessTracker(abc.ABC):
     def contains(self, addr: int) -> bool:
         return self.lookup(addr) is not None
 
+    def suspect_source(self, addr: int) -> bool:
+        """True when a record looked up for ``addr`` may belong to a
+        *different* address (hash-collision conflation) — the Eq. 2
+        false-positive mechanism.  Exact trackers can never conflate, so
+        the default is ``False``; :class:`ArraySignature` overrides it when
+        conflict tracking is on."""
+        return False
+
 
 #: Accounted bytes per slot: the paper's slots store a packed record (we
 #: account the full loc+var+tid+ts payload: 4+4+4+8).
@@ -97,6 +105,7 @@ class ArraySignature(AccessTracker):
         n_slots: int,
         salt: int = 0,
         eviction_counter: "Counter | None" = None,
+        track_conflicts: bool = False,
     ) -> None:
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
@@ -108,12 +117,15 @@ class ArraySignature(AccessTracker):
         self._filled = 0
         # Optional telemetry: count inserts that *replace a different
         # address* (hash-conflict evictions).  Needs a parallel owner-address
-        # plane, so it is only kept when a counter is supplied — the
-        # uninstrumented hot path stays exactly as before.
+        # plane, so it is only kept when a counter or ``track_conflicts``
+        # (dependence-provenance mode) asks for it — the uninstrumented hot
+        # path stays exactly as before.
         self.eviction_counter = eviction_counter
-        self._slot_addrs: list[int] | None = (
-            [0] * self.n_slots if eviction_counter is not None else None
-        )
+        track = eviction_counter is not None or track_conflicts
+        self._slot_addrs: list[int] | None = [0] * self.n_slots if track else None
+        #: Slots that ever had a colliding overwrite; provenance consults
+        #: this to flag dependences built from a contested slot.
+        self._evicted_slots: set[int] | None = set() if track else None
 
     # -- core ops ---------------------------------------------------------
     def slot_of(self, addr: int) -> int:
@@ -128,7 +140,9 @@ class ArraySignature(AccessTracker):
         if slots[i] is None:
             self._filled += 1
         elif self._slot_addrs is not None and self._slot_addrs[i] != addr:
-            self.eviction_counter.inc()  # type: ignore[union-attr]
+            self._evicted_slots.add(i)  # type: ignore[union-attr]
+            if self.eviction_counter is not None:
+                self.eviction_counter.inc()
         if self._slot_addrs is not None:
             self._slot_addrs[i] = addr
         slots[i] = record
@@ -157,6 +171,23 @@ class ArraySignature(AccessTracker):
         self._filled = 0
         if self._slot_addrs is not None:
             self._slot_addrs = [0] * self.n_slots
+            self._evicted_slots = set()
+
+    def suspect_source(self, addr: int) -> bool:
+        """Is a lookup of ``addr`` possibly answering for another address?
+
+        True when the slot's current owner is a different address (a live
+        collision — the looked-up record definitely belongs to someone
+        else) or when the slot has a recorded eviction (the record lineage
+        passed through a contested slot).  Only meaningful with conflict
+        tracking on; otherwise conservatively ``False``.
+        """
+        if self._slot_addrs is None:
+            return False
+        i = self.slot_of(addr)
+        if self._slots[i] is not None and self._slot_addrs[i] != addr:
+            return True
+        return i in self._evicted_slots  # type: ignore[operator]
 
     # -- slot-level access (used when migrating state between workers) ------
     def get_slot(self, i: int) -> AccessRecord | None:

@@ -1,0 +1,94 @@
+"""Gauge-sampler thread lifecycle, including pipeline abort paths."""
+
+import threading
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.obs import MemorySink, MetricsRegistry, Sampler
+from repro.parallel import ParallelProfiler
+from tests.trace_helpers import seq_trace
+
+
+def sampler_threads():
+    return [t for t in threading.enumerate() if t.name == "obs-sampler"]
+
+
+def make_sampler(sink=None):
+    reg = MetricsRegistry(sink)
+    sampler = Sampler(reg)
+    sampler.add("probe.value", lambda: 42)
+    return reg, sampler
+
+
+class TestThreadLifecycle:
+    def test_stop_joins_thread_and_samples_exactly_once_more(self):
+        _, sampler = make_sampler(MemorySink())
+        sampler.start(period_s=60)  # period far beyond the test: no timer polls
+        assert sampler.running
+        sampler.stop()
+        assert not sampler.running
+        assert sampler_threads() == []
+        assert sampler.n_samples == 1  # the single forced final sample
+
+    def test_stop_is_idempotent(self):
+        _, sampler = make_sampler(MemorySink())
+        sampler.start(period_s=60)
+        sampler.stop()
+        n = sampler.n_samples
+        sampler.stop()
+        sampler.stop()
+        assert sampler.n_samples == n  # no extra final samples
+
+    def test_stop_without_start_is_a_noop(self):
+        _, sampler = make_sampler()
+        sampler.stop()
+        assert sampler.n_samples == 0
+
+    def test_start_twice_keeps_one_thread(self):
+        _, sampler = make_sampler()
+        sampler.start(period_s=60)
+        t = sampler._thread
+        sampler.start(period_s=60)
+        assert sampler._thread is t
+        sampler.stop()
+
+
+class TestPipelineAbort:
+    def throwing_trace(self):
+        ops = []
+        for i in range(64):
+            a = 0x1000 + 8 * i
+            ops += [("w", a, 1, "x"), ("r", a, 2, "x")]
+        return seq_trace(ops)
+
+    def test_worker_exception_propagates_without_leaking_sampler(self, monkeypatch):
+        """A worker blowing up mid-run must abort the threads-mode pipeline
+        cleanly: the error surfaces on the caller, the queues still drain
+        (no producer deadlock), and no obs-sampler thread is left behind."""
+        from repro.parallel.worker import Worker
+
+        boom = RuntimeError("worker exploded")
+
+        def exploding(self, batch, chunk):
+            raise boom
+
+        monkeypatch.setattr(Worker, "process_chunk", exploding)
+        sink = MemorySink()
+        reg = MetricsRegistry(sink)
+        cfg = ProfilerConfig(perfect_signature=True, workers=2, chunk_size=8)
+        prof = ParallelProfiler(cfg, mode="threads", registry=reg)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            prof.profile(self.throwing_trace())
+        assert sampler_threads() == [], "sampler daemon thread leaked"
+        # The final forced sample still landed in the event stream.
+        assert any(e["type"] == "sample" for e in sink.events)
+
+    def test_clean_threads_run_leaves_no_sampler_thread(self):
+        reg = MetricsRegistry(MemorySink())
+        cfg = ProfilerConfig(perfect_signature=True, workers=2, chunk_size=8)
+        res, _ = ParallelProfiler(cfg, mode="threads", registry=reg).profile(
+            self.throwing_trace()
+        )
+        assert sampler_threads() == []
+        assert res.store.n_entries > 0

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.common.errors import ObsError
 from repro.obs import (
     JsonlSink,
     MemorySink,
@@ -14,6 +15,7 @@ from repro.obs import (
     prometheus_text,
     read_jsonl,
 )
+from repro.obs.export import escape_label_value
 
 
 class TestJsonlSink:
@@ -119,3 +121,88 @@ class TestPrometheusExport:
     def test_parse_rejects_garbage(self):
         with pytest.raises(ValueError):
             parse_prometheus("!!! not a sample")
+
+
+class TestSinkCloseSemantics:
+    def test_jsonl_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        sink.emit({"type": "x"})
+        sink.close()
+        sink.close()  # second close: no error, no re-open
+        assert len(read_jsonl(tmp_path / "m.jsonl")) == 1
+
+    def test_jsonl_emit_after_close_raises_obs_error(self, tmp_path):
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        sink.close()
+        with pytest.raises(ObsError, match="closed JsonlSink"):
+            sink.emit({"type": "x"})
+
+    def test_jsonl_flush_every(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        sink = JsonlSink(path, flush_every=2)
+        sink.emit({"type": "a"})
+        sink.emit({"type": "b"})  # second event triggers a flush
+        assert len(read_jsonl(path)) == 2  # durable without close()
+        with pytest.raises(ValueError):
+            JsonlSink(path, flush_every=-1)
+
+    def test_jsonl_eventless_close_touches_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        JsonlSink(path).close()
+        assert path.exists() and read_jsonl(path) == []
+
+    def test_tee_emit_after_close_raises(self):
+        tee = TeeSink(MemorySink())
+        tee.close()
+        with pytest.raises(ObsError, match="closed TeeSink"):
+            tee.emit({"type": "x"})
+
+    def test_tee_close_is_exception_safe(self):
+        class BrokenSink(MemorySink):
+            def close(self):
+                raise OSError("disk gone")
+
+        good = JsonlSinkSpy()
+        tee = TeeSink(BrokenSink(), good)
+        with pytest.raises(OSError, match="disk gone"):
+            tee.close()
+        assert good.closed  # the failure did not skip the other member
+        tee.close()  # already closed: no second raise
+
+    def test_registry_close_propagates(self, tmp_path):
+        sink = JsonlSink(tmp_path / "m.jsonl")
+        reg = MetricsRegistry(sink)
+        reg.emit({"type": "x"})
+        reg.close()
+        with pytest.raises(ObsError):
+            sink.emit({"type": "y"})
+
+
+class JsonlSinkSpy(MemorySink):
+    def __init__(self):
+        super().__init__()
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestLabelEscaping:
+    def test_escape_rules(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_awkward_values_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("deps.instances", type='say "hi"').inc(1)
+        reg.counter("deps.instances", type="back\\slash").inc(2)
+        reg.counter("deps.instances", type="two\nlines").inc(3)
+        reg.counter("deps.instances", type="closing}brace").inc(4)
+        text = prometheus_text(reg)
+        assert "\n\n" not in text.strip()  # newline in a value stays escaped
+        samples = parse_prometheus(text)
+        assert samples['ddprof_deps_instances{type="say \\"hi\\""}'] == 1.0
+        assert samples['ddprof_deps_instances{type="back\\\\slash"}'] == 2.0
+        assert samples['ddprof_deps_instances{type="two\\nlines"}'] == 3.0
+        assert samples['ddprof_deps_instances{type="closing}brace"}'] == 4.0

@@ -114,3 +114,67 @@ class TestCli:
         out = capsys.readouterr().out
         assert "DOALL" in out and "serial" in out
         assert "distance 1" in out  # the forward-substitution recurrence
+
+
+class TestCliTracing:
+    def test_trace_subcommand_writes_valid_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "ep.trace.json"
+        assert main(["trace", "ep", "--workers", "3", "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "wrote" in printed and "worker 0" in printed
+        obj = json.loads(out_path.read_text())
+        assert validate_chrome_trace(obj) == []
+        # One timeline track per worker plus the main thread.
+        tids = {e["tid"] for e in obj["traceEvents"] if e["ph"] != "M"}
+        assert {0, 1, 2, 3} <= tids
+        names = {
+            e["args"].get("name")
+            for e in obj["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert {"main", "worker 0", "worker 1", "worker 2"} <= names
+
+    def test_profile_trace_out_flag(self, tmp_path, capsys):
+        from repro.obs import validate_chrome_trace_file
+
+        out_path = tmp_path / "p.trace.json"
+        assert main(["profile", "ep", "--trace-out", str(out_path)]) == 0
+        assert "NOM" in capsys.readouterr().out  # dependence output unchanged
+        assert validate_chrome_trace_file(out_path) == []
+
+    def test_profile_provenance_text(self, capsys):
+        assert main(["profile", "ep", "--provenance", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# provenance:" in out
+        assert "workers [" in out and "chunks" in out
+
+    def test_profile_provenance_json_report(self, capsys):
+        import json
+
+        assert main(["profile", "ep", "--provenance", "--json"]) == 0
+        out = capsys.readouterr().out
+        # The report starts on its own line, after the dependence listing
+        # (whose notation also uses braces).
+        report = json.loads(out[out.index("\n{\n") + 1:])
+        rows = report["provenance"]
+        assert rows and all("provenance" in r for r in rows)
+        row = rows[0]["provenance"]
+        assert {"workers", "chunks", "ts", "count", "suspect_fp"} <= set(row)
+
+    def test_trace_json_report_has_track_summary(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "t.trace.json"
+        assert main(
+            ["trace", "ep", "--json", "--workers", "2", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        report = json.loads(out[out.index("{"):])
+        tracks = report["trace"]["tracks"]
+        assert "main" in tracks and "worker 0" in tracks and "worker 1" in tracks
+        for t in tracks.values():
+            assert {"busy_frac", "stall_frac", "idle_frac"} <= set(t)
