@@ -39,16 +39,18 @@ def emit(results_dir):
 
 
 @pytest.fixture
-def metrics_registry(results_dir, request):
-    """A metrics registry whose events land next to the benchmark artifacts.
+def metrics_registry(tmp_path, request):
+    """A metrics registry writing its event stream to a throwaway file.
 
-    Pass it as ``registry=`` to any profiler; span/sample/snapshot events are
-    written to ``benchmarks/results/<test_name>.metrics.jsonl`` so a benchmark
-    run leaves a telemetry trail alongside its ``*.txt`` tables.
+    Pass it as ``registry=`` to any profiler; span/sample/snapshot events
+    are written to ``<tmp_path>/<test_name>.metrics.jsonl``.  Tests that
+    need the stream read it back via ``reg.sink.path``; nothing lands in
+    ``benchmarks/results/`` (checked-in artifacts are the curated ``*.txt``
+    / ``*.csv`` tables only).
     """
     from repro.obs import JsonlSink, MetricsRegistry
 
-    path = results_dir / f"{request.node.name}.metrics.jsonl"
+    path = tmp_path / f"{request.node.name}.metrics.jsonl"
     reg = MetricsRegistry(JsonlSink(path))
     yield reg
     reg.emit({"type": "snapshot", **reg.snapshot()})

@@ -95,13 +95,16 @@ def test_tracing_overhead_guard(benchmark, emit, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def test_metrics_jsonl_lands_in_results(metrics_registry, results_dir, benchmark):
-    """The fixture writes <test name>.metrics.jsonl into benchmarks/results/."""
+def test_metrics_jsonl_event_stream(metrics_registry, results_dir, benchmark):
+    """The fixture captures a readable JSONL event stream — in a temp dir,
+    never under ``benchmarks/results/`` (only curated tables are checked
+    in)."""
     batch = get_trace("ep")
     ParallelProfiler(PERFECT.with_(workers=2), registry=metrics_registry).profile(batch)
     metrics_registry.sink.flush()
-    path = results_dir / "test_metrics_jsonl_lands_in_results.metrics.jsonl"
+    path = metrics_registry.sink.path
     assert path.exists()
+    assert results_dir not in path.parents
     events = read_jsonl(path)
     assert any(e["type"] == "span" for e in events)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

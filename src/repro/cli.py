@@ -56,6 +56,19 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
         "--provenance run)",
     )
     p.add_argument(
+        "--mode", choices=["deterministic", "threads", "processes"],
+        default=None,
+        help="pipeline execution mode; giving it routes the run through the "
+        "parallel pipeline ('processes' = real multi-core over a "
+        "shared-memory trace; see docs/parallel.md)",
+    )
+    p.add_argument(
+        "--worker-engine", choices=["vectorized", "reference"],
+        default="vectorized",
+        help="per-chunk kernel of the pipeline workers (reference = "
+        "event-at-a-time oracle)",
+    )
+    p.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="write the telemetry event stream (JSONL) to FILE",
     )
@@ -79,7 +92,10 @@ def _config_from(args: argparse.Namespace) -> ProfilerConfig:
         cfg = ProfilerConfig(perfect_signature=True)
     else:
         cfg = ProfilerConfig(signature_slots=args.slots)
-    return cfg.with_(multithreaded_target=args.variant == "par")
+    return cfg.with_(
+        multithreaded_target=args.variant == "par",
+        worker_engine=getattr(args, "worker_engine", "vectorized"),
+    )
 
 
 def _registry_from(args: argparse.Namespace) -> MetricsRegistry:
@@ -139,7 +155,10 @@ def _pipeline_run(args: argparse.Namespace, reg: MetricsRegistry, batch):
     cfg = _config_from(args).with_(workers=args.workers)
     wants_prov = getattr(args, "provenance", False)
     res, info = ParallelProfiler(
-        cfg, registry=reg, provenance=wants_prov
+        cfg,
+        mode=getattr(args, "mode", None) or "deterministic",
+        registry=reg,
+        provenance=wants_prov,
     ).profile(batch)
     if wants_prov and res.provenance is not None and args.slots is not None:
         from repro.obs import oracle_cross_check
@@ -155,7 +174,11 @@ def _profile_for(args: argparse.Namespace, reg: MetricsRegistry, batch):
     default, the parallel pipeline when a timeline or provenance was
     requested (they are pipeline-level features).  Returns
     ``(result, info-or-None)``."""
-    if getattr(args, "trace_out", None) or getattr(args, "provenance", False):
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "provenance", False)
+        or getattr(args, "mode", None)
+    ):
         return _pipeline_run(args, reg, batch)
     return profile_trace(batch, _config_from(args), args.engine, registry=reg), None
 

@@ -63,6 +63,12 @@ class ProfilerConfig:
     hash_salt:
         Salt for the signature hash function; lets tests explore collision
         patterns deterministically.
+    worker_engine:
+        Per-chunk engine the pipeline workers run: ``"vectorized"`` (array
+        kernel over signature planes, the fast default) or ``"reference"``
+        (event-at-a-time Algorithm 1 — the differential-test oracle, and
+        required for per-instance telemetry such as provenance or eviction
+        counters).
     """
 
     signature_slots: int = 1_000_000
@@ -77,8 +83,14 @@ class ProfilerConfig:
     multithreaded_target: bool = False
     ignore_rar: bool = True
     hash_salt: int = 0
+    worker_engine: str = "vectorized"
 
     def __post_init__(self) -> None:
+        if self.worker_engine not in ("vectorized", "reference"):
+            raise ProfilerError(
+                f"unknown worker_engine {self.worker_engine!r} "
+                "(vectorized|reference)"
+            )
         if self.signature_slots <= 0:
             raise ProfilerError("signature_slots must be positive")
         if self.workers <= 0:

@@ -13,7 +13,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.common.errors import ProfilerError
 from repro.trace import LOOP_ENTER, LOOP_EXIT, LOOP_ITER, TraceBatch
+
+#: Loop-nest depth cap for the snapshot index (one int64 column per level).
+MAX_SNAPSHOT_DEPTH = 63
 
 
 @dataclass
@@ -135,3 +139,157 @@ class LoopIndex:
         iter_start = its[np.clip(ii, 0, None)]
         out[ok] = (entry_ts[ok] <= source_ts[ok]) & (source_ts[ok] < iter_start[ok])
         return out
+
+
+class _TidLoopStates:
+    """Per-thread loop-frame snapshots, one row per loop event of the thread."""
+
+    __slots__ = ("rows", "depth", "site", "entry", "iterts")
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        depth: np.ndarray,
+        site: np.ndarray,
+        entry: np.ndarray,
+        iterts: np.ndarray,
+    ) -> None:
+        self.rows = rows  # global row index of each loop event (ascending)
+        self.depth = depth  # (n_states,) stack depth after k loop events
+        self.site = site  # (n_states, D) loop site per level, -1 above depth
+        self.entry = entry  # (n_states, D) entry_ts per level
+        self.iterts = iterts  # (n_states, D) iter_start_ts per level
+
+
+class LoopStateIndex:
+    """Loop-frame stack snapshots addressed by *stream position*.
+
+    The reference engine classifies a dependence as loop-carried against the
+    thread's live loop-frame stack at the moment the *sink* event is
+    processed — i.e. the stack produced by all loop events preceding the
+    sink in the event stream.  :class:`LoopIndex` approximates that with
+    access timestamps, which agrees only when pushes preserve per-thread
+    program order.  This index replays the loop events once in global row
+    order, snapshots each thread's stack after every one of its loop events,
+    and answers the carried test for a sink at global row ``i`` with the
+    exact stack the reference engine would have held — which is what the
+    incremental chunk kernel needs to match it bit for bit.
+    """
+
+    def __init__(self, batch: TraceBatch) -> None:
+        kinds = batch.kind
+        loop_rows = np.flatnonzero(
+            (kinds == LOOP_ENTER) | (kinds == LOOP_ITER) | (kinds == LOOP_EXIT)
+        )
+        # Bulk-extract once; per-element fancy indexing in the replay loop
+        # would dominate the build for loop-dense traces.
+        l_kind = kinds[loop_rows].tolist()
+        l_tid = batch.tid[loop_rows].tolist()
+        l_ts = batch.ts[loop_rows].tolist()
+        l_addr = batch.addr[loop_rows].tolist()
+        l_row = loop_rows.tolist()
+        # Per-tid state: the live stack as three parallel scalar lists, plus
+        # append-only snapshot *columns* per stack level.  Appending the
+        # current frame values per event snapshots them without copying the
+        # stack — an O(max depth) bound per event instead of O(depth) list
+        # allocations.
+        stacks: dict[int, tuple[list[int], list[int], list[int]]] = {}
+        per_tid_rows: dict[int, list[int]] = {}
+        per_tid_dep: dict[int, list[int]] = {}
+        # levels[tid][lvl] = (site_col, entry_col, iter_col)
+        levels: dict[int, list[tuple[list[int], list[int], list[int]]]] = {}
+        depth = 0
+        for kind, tid, ts, addr, row in zip(l_kind, l_tid, l_ts, l_addr, l_row):
+            st = stacks.get(tid)
+            if st is None:
+                st = ([], [], [])
+                stacks[tid] = st
+                per_tid_rows[tid] = []
+                per_tid_dep[tid] = []
+                levels[tid] = []
+            s_site, s_entry, s_iter = st
+            if kind == LOOP_ENTER:
+                s_site.append(addr)
+                s_entry.append(ts)
+                s_iter.append(ts)
+                if len(s_site) > depth:
+                    depth = len(s_site)
+                    if depth > MAX_SNAPSHOT_DEPTH:
+                        raise ProfilerError(
+                            f"loop nest depth {depth} exceeds supported "
+                            f"{MAX_SNAPSHOT_DEPTH}"
+                        )
+            elif kind == LOOP_ITER:
+                if s_site:
+                    s_iter[-1] = ts
+            elif s_site:  # LOOP_EXIT
+                s_site.pop()
+                s_entry.pop()
+                s_iter.pop()
+            rows_t = per_tid_rows[tid]
+            rows_t.append(row)
+            d = len(s_site)
+            per_tid_dep[tid].append(d)
+            lvls = levels[tid]
+            while len(lvls) < d:
+                # New deepest level for this tid: back-fill the snapshots
+                # that predate this event (its own values are appended by
+                # the per-level loop below).
+                pad = len(rows_t) - 1
+                lvls.append(
+                    ([-1] * pad, [0] * pad, [0] * pad)
+                )
+            for lvl, (c_site, c_entry, c_iter) in enumerate(lvls):
+                if lvl < d:
+                    c_site.append(s_site[lvl])
+                    c_entry.append(s_entry[lvl])
+                    c_iter.append(s_iter[lvl])
+                else:
+                    c_site.append(-1)
+                    c_entry.append(0)
+                    c_iter.append(0)
+        #: Deepest stack observed across all threads; the carried-site matrix
+        #: returned by :meth:`carried_sites` has this many columns.
+        self.depth = depth
+        self._tids: dict[int, _TidLoopStates] = {}
+        for tid, rows in per_tid_rows.items():
+            n_states = len(rows) + 1  # state 0 = empty stack
+            dep = np.zeros(n_states, dtype=np.int64)
+            dep[1:] = per_tid_dep[tid]
+            site = np.full((n_states, max(depth, 1)), -1, dtype=np.int64)
+            entry = np.zeros((n_states, max(depth, 1)), dtype=np.int64)
+            iterts = np.zeros((n_states, max(depth, 1)), dtype=np.int64)
+            for lvl, (c_site, c_entry, c_iter) in enumerate(levels[tid]):
+                site[1:, lvl] = c_site
+                entry[1:, lvl] = c_entry
+                iterts[1:, lvl] = c_iter
+            self._tids[tid] = _TidLoopStates(
+                np.asarray(rows, dtype=np.int64), dep, site, entry, iterts
+            )
+
+    def carried_sites(
+        self, tid: int, sink_rows: np.ndarray, source_ts: np.ndarray
+    ) -> np.ndarray:
+        """Carried loop sites per (sink row, source ts) pair on one thread.
+
+        Returns an ``(n, depth)`` int64 matrix holding the loop site at each
+        stack level for which ``entry_ts <= source_ts < iter_start_ts`` held
+        in the sink's snapshot, and ``-1`` elsewhere — a fixed-width encoding
+        of the reference engine's ``carried_sites`` frozenset that dedups as
+        plain integer columns.
+        """
+        n = len(sink_rows)
+        if self.depth == 0:
+            return np.full((n, 0), -1, dtype=np.int64)
+        st = self._tids.get(tid)
+        if st is None:
+            return np.full((n, self.depth), -1, dtype=np.int64)
+        k = np.searchsorted(st.rows, sink_rows, side="left")
+        dep = st.depth[k]
+        sites = st.site[k, : self.depth]
+        entry = st.entry[k, : self.depth]
+        iterts = st.iterts[k, : self.depth]
+        lvl = np.arange(self.depth, dtype=np.int64)
+        src = source_ts[:, None]
+        hit = (lvl[None, :] < dep[:, None]) & (entry <= src) & (src < iterts)
+        return np.where(hit, sites, np.int64(-1))

@@ -31,11 +31,12 @@ import numpy as np
 
 from repro.common.config import ProfilerConfig
 from repro.common.errors import ProfilerError
-from repro.core.controlflow import LoopIndex, extract_loop_info
+from repro.core.controlflow import LoopIndex, LoopStateIndex, extract_loop_info
 from repro.core.deps import DepType, Dependence, DependenceStore
 from repro.core.result import ProfileResult, ProfileStats
 from repro.core.reference import ACCESS_GRANULARITY
 from repro.sigmem.hashing import hash_addresses
+from repro.sigmem.planes import DensePlaneTracker
 from repro.trace import FREE, READ, WRITE, TraceBatch
 
 _MAX_LOOP_DEPTH = 32
@@ -349,3 +350,341 @@ class VectorizedEngine:
             return 2 * batch.n_unique_addresses * 88
         # ArraySignature planes: int32 loc + int32 var + int32 tid + int64 ts.
         return 2 * self.config.signature_slots * (4 + 4 + 4 + 8)
+
+
+class ChunkKernel:
+    """Incremental, signature-state-carrying vectorized Algorithm 1.
+
+    The one-shot :class:`VectorizedEngine` needs the whole trace at once; a
+    pipeline worker sees it chunk by chunk.  This kernel keeps the tracker
+    state *between* chunks in a pair of plane trackers
+    (:mod:`repro.sigmem.planes`) and processes each chunk as array
+    operations:
+
+    1. gather the chunk's rows from the full batch (global positions kept),
+    2. derive tracking keys (hash slot or dense address index),
+    3. expand FREE events into per-key kill rows,
+    4. sort by ``(key, position)``, segment at kills, and compute segmented
+       previous-read/previous-write indices,
+    5. splice the *planes' carry-in state* into each key's first segment —
+       the last access before this chunk plays the role of a virtual
+       previous row,
+    6. apply Algorithm 1's branch masks, classify loop-carried sites against
+       push-order loop-frame snapshots (:class:`LoopStateIndex`), dedup, and
+       bulk-merge into the store,
+    7. scatter each key's final state (last read/write after the last kill)
+       back into the planes.
+
+    It reproduces the reference engine bit for bit — same dependences, same
+    instance counts, same race flags, same carried sets — because every one
+    of those steps mirrors a reference-engine rule, including the push-order
+    loop-frame semantics the one-shot engine only approximates.
+
+    The interface matches what :class:`~repro.parallel.worker.Worker` and
+    the pipeline expect of an engine: ``store``, ``stats``,
+    ``read_tracker``/``write_tracker``, plus :meth:`process_rows` in place
+    of the reference engine's ``process``.
+    """
+
+    def __init__(
+        self,
+        config: ProfilerConfig,
+        read_tracker,
+        write_tracker,
+        store: DependenceStore | None = None,
+    ) -> None:
+        if type(read_tracker) is not type(write_tracker):
+            raise ProfilerError("read/write plane trackers must match")
+        self.config = config
+        self.read_tracker = read_tracker
+        self.write_tracker = write_tracker
+        self.store = store if store is not None else DependenceStore()
+        self.stats = ProfileStats()
+        #: Push-order loop-frame snapshots for the batch being profiled.
+        #: The pipeline builds one index per batch and shares it across its
+        #: same-process workers; unset, the kernel builds its own lazily.
+        self.loop_index: "LoopStateIndex | None" = None
+        self._batch_id: int | None = None
+
+    # -- helpers -----------------------------------------------------------
+    def bind_loop_index(self, batch: TraceBatch, index: "LoopStateIndex") -> None:
+        """Adopt a prebuilt snapshot index for ``batch`` (one per pipeline
+        run, shared across this process's workers)."""
+        self.loop_index = index
+        self._batch_id = id(batch)
+
+    def _loop_index_for(self, batch: TraceBatch) -> "LoopStateIndex":
+        if self.loop_index is None or self._batch_id != id(batch):
+            self.loop_index = LoopStateIndex(batch)
+        self._batch_id = id(batch)
+        return self.loop_index
+
+    def _kill_keys(self, base: int, size: int) -> np.ndarray:
+        """Keys removed by one FREE, in this kernel's key space."""
+        if size <= 0:
+            return np.empty(0, dtype=np.int64)
+        tracker = self.read_tracker
+        if isinstance(tracker, DensePlaneTracker):
+            return tracker.space.probe_keys(base, base + size, ACCESS_GRANULARITY)
+        addrs = np.arange(base, base + size, ACCESS_GRANULARITY, dtype=np.int64)
+        return np.unique(tracker.keys_of(addrs))
+
+    # -- the chunk hot path ------------------------------------------------
+    def process_rows(self, batch: TraceBatch, rows: np.ndarray) -> None:
+        """Run Algorithm 1 over ``rows`` (ascending global row indices)."""
+        cfg = self.config
+        stats = self.stats
+        stats.n_events += len(rows)
+        kind = batch.kind[rows]
+        is_read = kind == READ
+        is_write = kind == WRITE
+        acc = is_read | is_write
+        stats.n_reads += int(np.count_nonzero(is_read))
+        stats.n_writes += int(np.count_nonzero(is_write))
+        stats.n_accesses = stats.n_reads + stats.n_writes
+
+        acc_rows = rows[acc].astype(np.int64)
+        free_rows = (
+            rows[kind == FREE].astype(np.int64)
+            if cfg.track_lifetime
+            else np.empty(0, dtype=np.int64)
+        )
+        if len(acc_rows) == 0 and len(free_rows) == 0:
+            self._note_memory()
+            return
+
+        pos = acc_rows
+        key = self.read_tracker.keys_of(batch.addr[acc_rows])
+        cat = np.where(is_write[acc], _WRITE_CAT, _READ_CAT).astype(np.int8)
+        loc = batch.loc[acc_rows].astype(np.int64)
+        var = batch.var[acc_rows].astype(np.int64)
+        tid = batch.tid[acc_rows].astype(np.int64)
+        ts = batch.ts[acc_rows].astype(np.int64)
+
+        if len(free_rows):
+            kp_parts = [pos]
+            kk_parts = [key]
+            for i in free_rows.tolist():
+                keys = self._kill_keys(int(batch.addr[i]), int(batch.aux[i]))
+                if len(keys):
+                    kp_parts.append(np.full(len(keys), i, dtype=np.int64))
+                    kk_parts.append(keys)
+            if len(kp_parts) > 1:
+                n_acc = len(pos)
+                pos = np.concatenate(kp_parts)
+                key = np.concatenate(kk_parts)
+                pad = len(pos) - n_acc
+                fill = np.zeros(pad, dtype=np.int64)
+                cat = np.concatenate([cat, np.full(pad, _KILL_CAT, dtype=np.int8)])
+                loc = np.concatenate([loc, fill - 1])
+                var = np.concatenate([var, fill - 1])
+                tid = np.concatenate([tid, fill])
+                ts = np.concatenate([ts, fill])
+
+        if len(pos) == 0:
+            # Only FREEs over addresses this worker never tracked.
+            self._note_memory()
+            return
+
+        order = np.lexsort((pos, key))
+        key = key[order]
+        cat = cat[order]
+        pos = pos[order]
+        loc = loc[order]
+        var = var[order]
+        tid = tid[order]
+        ts = ts[order]
+        n = len(key)
+
+        # -- segmentation: new key, or kill boundary within a key ----------
+        is_kill = cat == _KILL_CAT
+        kills_before = np.concatenate([[0], np.cumsum(is_kill[:-1], dtype=np.int64)])
+        new_key = np.empty(n, dtype=bool)
+        new_key[0] = True
+        new_key[1:] = key[1:] != key[:-1]
+        seg_boundary = new_key.copy()
+        seg_boundary[1:] |= kills_before[1:] != kills_before[:-1]
+        seg_id = np.cumsum(seg_boundary, dtype=np.int64)
+
+        big = np.int64(n + 2)
+        idx = np.arange(n, dtype=np.int64)
+
+        def prev_of(candidate_mask: np.ndarray) -> np.ndarray:
+            cand = np.where(candidate_mask, idx, np.int64(-1)) + seg_id * big
+            run = np.maximum.accumulate(cand)
+            prev = np.empty(n, dtype=np.int64)
+            prev[0] = -1
+            prev[1:] = run[:-1] - seg_id[1:] * big
+            prev[prev < 0] = -1
+            return prev
+
+        read_rows = cat == _READ_CAT
+        write_rows = cat == _WRITE_CAT
+        prev_w = prev_of(write_rows)
+        prev_r = prev_of(read_rows)
+
+        # -- carry-in: planes act as the virtual row before each key's
+        # first (pre-kill) segment ----------------------------------------
+        starts = np.flatnonzero(new_key)
+        grp = np.cumsum(new_key, dtype=np.int64) - 1
+        first_seg = kills_before == kills_before[starts][grp]
+
+        rp, rp_loc, rp_var, rp_tid, rp_ts = self.read_tracker.gather(key)
+        wp, wp_loc, wp_var, wp_tid, wp_ts = self.write_tracker.gather(key)
+
+        has_w = (prev_w >= 0) | (first_seg & wp)
+        has_r = (prev_r >= 0) | (first_seg & rp)
+        safe_w = np.maximum(prev_w, 0)
+        safe_r = np.maximum(prev_r, 0)
+        in_w = prev_w >= 0
+        in_r = prev_r >= 0
+        src_w_loc = np.where(in_w, loc[safe_w], wp_loc)
+        src_w_var = np.where(in_w, var[safe_w], wp_var)
+        src_w_tid = np.where(in_w, tid[safe_w], wp_tid)
+        src_w_ts = np.where(in_w, ts[safe_w], wp_ts)
+        src_r_loc = np.where(in_r, loc[safe_r], rp_loc)
+        src_r_var = np.where(in_r, var[safe_r], rp_var)
+        src_r_tid = np.where(in_r, tid[safe_r], rp_tid)
+        src_r_ts = np.where(in_r, ts[safe_r], rp_ts)
+
+        # -- Algorithm 1 branch table --------------------------------------
+        raw_mask = read_rows & has_w
+        init_mask = write_rows & ~has_w
+        waw_mask = write_rows & has_w
+        war_mask = waw_mask & has_r
+
+        loop_index = self._loop_index_for(batch)
+        emit_plan = [
+            (DepType.RAW, raw_mask, src_w_loc, src_w_var, src_w_tid, src_w_ts),
+            (DepType.WAR, war_mask, src_r_loc, src_r_var, src_r_tid, src_r_ts),
+            (DepType.WAW, waw_mask, src_w_loc, src_w_var, src_w_tid, src_w_ts),
+        ]
+        if not cfg.ignore_rar:
+            emit_plan.append(
+                (
+                    DepType.RAR,
+                    read_rows & has_r,
+                    src_r_loc,
+                    src_r_var,
+                    src_r_tid,
+                    src_r_ts,
+                )
+            )
+        for dep_type, mask, s_loc, s_var, s_tid, s_ts in emit_plan:
+            sel = np.flatnonzero(mask)
+            stats.dep_instances[dep_type] += len(sel)
+            if len(sel) == 0:
+                continue
+            self._emit(
+                dep_type,
+                sink_loc=loc[sel],
+                sink_tid=tid[sel],
+                sink_pos=pos[sel],
+                sink_ts=ts[sel],
+                src_loc=s_loc[sel],
+                src_tid=s_tid[sel],
+                src_var=s_var[sel],
+                src_ts=s_ts[sel],
+                loop_index=loop_index,
+            )
+
+        init_rows = np.flatnonzero(init_mask)
+        stats.dep_instances[DepType.INIT] += len(init_rows)
+        if len(init_rows):
+            (u_loc, u_tid), counts = _unique_rows([loc[init_rows], tid[init_rows]])
+            for s_loc, s_tid, c in zip(u_loc, u_tid, counts):
+                self.store.add_merged(
+                    Dependence(
+                        DepType.INIT,
+                        sink_loc=int(s_loc),
+                        sink_tid=int(s_tid),
+                        source_loc=-1,
+                        source_tid=-1,
+                        var=-1,
+                    ),
+                    count=int(c),
+                )
+
+        # -- carry-out: scatter each key's end-of-chunk state --------------
+        # The surviving record per key is the last read/write *after the
+        # key's last kill* (a kill row itself belongs to the preceding
+        # segment, so segment-local maxima would wrongly resurrect a freed
+        # record when a group ends with its kill).  Run the cummax over
+        # whole key groups and invalidate anything at or before the last
+        # kill.
+        ends = np.append(starts[1:], n) - 1
+        run_r = np.maximum.accumulate(
+            np.where(read_rows, idx, np.int64(-1)) + grp * big
+        )
+        run_w = np.maximum.accumulate(
+            np.where(write_rows, idx, np.int64(-1)) + grp * big
+        )
+        run_k = np.maximum.accumulate(
+            np.where(is_kill, idx, np.int64(-1)) + grp * big
+        )
+        last_kill = run_k[ends] - grp[ends] * big
+        last_r = run_r[ends] - grp[ends] * big
+        last_w = run_w[ends] - grp[ends] * big
+        last_r = np.where(last_r > last_kill, last_r, np.int64(-1))
+        last_w = np.where(last_w > last_kill, last_w, np.int64(-1))
+        group_killed = last_kill >= 0
+        for tracker, last in (
+            (self.read_tracker, last_r),
+            (self.write_tracker, last_w),
+        ):
+            upd = last >= 0
+            src = last[upd]
+            tracker.set_rows(key[src], loc[src], var[src], tid[src], ts[src])
+            dead = ~upd & group_killed
+            tracker.clear_keys(key[starts[dead]])
+        self._note_memory()
+
+    def _emit(
+        self,
+        dep_type: DepType,
+        sink_loc: np.ndarray,
+        sink_tid: np.ndarray,
+        sink_pos: np.ndarray,
+        sink_ts: np.ndarray,
+        src_loc: np.ndarray,
+        src_tid: np.ndarray,
+        src_var: np.ndarray,
+        src_ts: np.ndarray,
+        loop_index: "LoopStateIndex",
+    ) -> None:
+        """Carried classification + dedup + bulk store merge for one type."""
+        race = src_ts > sink_ts
+        self.stats.races_flagged += int(np.count_nonzero(race))
+        depth = loop_index.depth
+        cols = [sink_loc, sink_tid, src_loc, src_tid, src_var, race.astype(np.int64)]
+        if depth:
+            carried = np.full((len(sink_loc), depth), -1, dtype=np.int64)
+            for t in np.unique(sink_tid):
+                m = sink_tid == t
+                carried[m] = loop_index.carried_sites(
+                    int(t), sink_pos[m], src_ts[m]
+                )
+            cols.extend(carried[:, lvl] for lvl in range(depth))
+        uniq, counts = _unique_rows(cols)
+        store = self.store
+        for row, c in zip(zip(*uniq), counts):
+            s_loc, s_tid, p_loc, p_tid, p_var, is_race = (int(x) for x in row[:6])
+            sites = frozenset(int(s) for s in row[6:] if s >= 0)
+            store.add_merged(
+                Dependence(
+                    dep_type,
+                    sink_loc=s_loc,
+                    sink_tid=s_tid,
+                    source_loc=p_loc,
+                    source_tid=p_tid,
+                    var=p_var,
+                    carried=sites,
+                    race=bool(is_race),
+                ),
+                count=int(c),
+            )
+
+    def _note_memory(self) -> None:
+        self.stats.tracker_memory_bytes = (
+            self.read_tracker.memory_bytes + self.write_tracker.memory_bytes
+        )

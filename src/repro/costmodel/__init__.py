@@ -29,8 +29,10 @@ combining configured signature sizes with measured queue/store volumes.
 from repro.costmodel.costs import CostParams
 from repro.costmodel.pipeline import (
     PipelineEstimate,
+    SpeedupValidation,
     estimate_parallel,
     estimate_serial,
+    validate_speedup,
 )
 from repro.costmodel.memory import MemoryEstimate, estimate_memory
 
@@ -38,7 +40,9 @@ __all__ = [
     "CostParams",
     "MemoryEstimate",
     "PipelineEstimate",
+    "SpeedupValidation",
     "estimate_memory",
     "estimate_parallel",
     "estimate_serial",
+    "validate_speedup",
 ]

@@ -168,3 +168,61 @@ def estimate_parallel(
         rebalance_time=rebalance_time,
         makespan=makespan,
     )
+
+
+@dataclass
+class SpeedupValidation:
+    """Measured multi-core speedup checked against the model's prediction.
+
+    The ``processes`` execution mode turns the cost model's *estimated*
+    Figure 5/6 speedups into wall-clock measurements; this record pairs the
+    two so benchmarks can assert the model stays honest where hardware
+    permits measuring.
+    """
+
+    workers: int
+    measured_speedup: float
+    estimated_speedup: float
+    relative_error: float
+    tolerance: float
+
+    @property
+    def within_tolerance(self) -> bool:
+        return self.relative_error <= self.tolerance
+
+
+def validate_speedup(
+    info_1: ParallelRunInfo,
+    info_n: ParallelRunInfo,
+    n_accesses: int,
+    store_entries: int,
+    measured_seconds_1: float,
+    measured_seconds_n: float,
+    params: CostParams | None = None,
+    queue_depth: int = 32,
+    tolerance: float = 0.5,
+) -> SpeedupValidation:
+    """Compare a measured 1-vs-N-worker speedup with the model's makespans.
+
+    ``info_1``/``info_n`` are the pipeline statistics of the two runs (same
+    trace, 1 and N workers); the estimated speedup is the ratio of the
+    replayed virtual-time makespans, the measured one the ratio of wall
+    clocks.  ``tolerance`` is deliberately loose (default 50% relative):
+    the model predicts trend, not microarchitecture.
+    """
+    est_1 = estimate_parallel(
+        info_1, n_accesses, store_entries, params=params, queue_depth=queue_depth
+    )
+    est_n = estimate_parallel(
+        info_n, n_accesses, store_entries, params=params, queue_depth=queue_depth
+    )
+    estimated = est_1.makespan / max(est_n.makespan, 1e-12)
+    measured = measured_seconds_1 / max(measured_seconds_n, 1e-12)
+    rel_err = abs(measured - estimated) / max(estimated, 1e-12)
+    return SpeedupValidation(
+        workers=max(info_n.n_workers, 1),
+        measured_speedup=measured,
+        estimated_speedup=estimated,
+        relative_error=rel_err,
+        tolerance=tolerance,
+    )

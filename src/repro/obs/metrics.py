@@ -265,6 +265,62 @@ class MetricsRegistry:
         """Total of one counter family across all label sets."""
         return sum(m.value for m in self.counters() if m.name == name)
 
+    # -- cross-process transfer ----------------------------------------------
+    def state(self) -> dict[str, Any]:
+        """Picklable value dump for shipping a child process's registry home.
+
+        Unlike :meth:`snapshot` (display-formatted names), this keeps the
+        structured ``(name, labels)`` identity of every instrument so
+        :meth:`merge_state` can fold it into another registry losslessly.
+        Callback gauges are evaluated at dump time and travel as plain
+        values.
+        """
+        counters: list[tuple[str, LabelKey, int]] = []
+        gauges: list[tuple[str, LabelKey, float]] = []
+        histograms: list[tuple[str, LabelKey, tuple[float, ...], list[int], float, int]] = []
+        for m in self:
+            if isinstance(m, Counter):
+                counters.append((m.name, m.labels, m.value))
+            elif isinstance(m, Gauge):
+                gauges.append((m.name, m.labels, m.value))
+            else:
+                histograms.append(
+                    (m.name, m.labels, m.buckets, list(m.counts), m.sum, m.count)
+                )
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "spans": [(s.name, s.seconds, s.attrs) for s in self.spans],
+        }
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a child registry's :meth:`state` into this registry.
+
+        Counters add, gauges overwrite (last child wins — they are
+        point-in-time values), histograms merge bucket-wise (bucket layouts
+        must match), and spans are appended *without* re-feeding the
+        ``span.seconds`` histogram: the child already recorded its own
+        histogram samples, which arrive via the histogram merge.
+        """
+        for name, labels, value in state["counters"]:
+            self._get(Counter, name, dict(labels)).inc(value)
+        for name, labels, value in state["gauges"]:
+            self._get(Gauge, name, dict(labels)).set(value)
+        for name, labels, buckets, counts, total, count in state["histograms"]:
+            h = self.histogram(name, buckets=buckets, **dict(labels))
+            if h.buckets != tuple(buckets):
+                raise ValueError(
+                    f"histogram {format_name(name, _label_key(dict(labels)))}: "
+                    "bucket layout mismatch on merge"
+                )
+            for i, c in enumerate(counts):
+                h.counts[i] += c
+            h.sum += total
+            h.count += count
+        for name, seconds, attrs in state["spans"]:
+            self.spans.append(SpanRecord(name, seconds, dict(attrs)))
+
     # -- spans ----------------------------------------------------------------
     @contextmanager
     def span(self, name: str, **attrs: Any) -> Iterator[None]:

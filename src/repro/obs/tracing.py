@@ -191,6 +191,28 @@ class Tracer:
         finally:
             self.complete(name, track, t0, **args)
 
+    # -- cross-process transfer --------------------------------------------
+    def adopt(
+        self,
+        events: list[TraceEvent],
+        epoch: float,
+        track_names: dict[int, str] | None = None,
+    ) -> None:
+        """Fold events recorded by another tracer into this timeline.
+
+        ``epoch`` is the donor tracer's construction epoch.  On Linux
+        ``time.perf_counter`` is ``CLOCK_MONOTONIC``, which is system-wide,
+        so re-basing by the epoch difference puts a forked child's events on
+        the parent's timeline exactly.  The ``max_events`` cap still
+        applies.
+        """
+        shift = epoch - self.epoch
+        for e in events:
+            self._record(TraceEvent(e.name, e.track, e.ts + shift, e.dur, e.args))
+        if track_names:
+            for track, name in track_names.items():
+                self.track_names.setdefault(track, name)
+
     # -- derived views -----------------------------------------------------
     @property
     def n_events(self) -> int:

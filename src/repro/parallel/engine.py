@@ -10,7 +10,7 @@ incremental Algorithm 1 engine on private trackers; local stores are merged
 at the end ("this step incurs only minor overhead since the local maps are
 free of duplicates").
 
-Two execution modes:
+Three execution modes:
 
 * ``deterministic`` — single-process: the producer inline-drains queues when
   they fill and drains everything at the end.  Fully reproducible; used by
@@ -20,6 +20,14 @@ Two execution modes:
   threads cannot show the paper's wall-clock speedup, which is why speedups
   are *estimated* by :mod:`repro.costmodel` from this pipeline's measured
   statistics.
+* ``processes`` — real ``multiprocessing`` workers with private signatures,
+  reading the trace zero-copy out of one shared-memory block
+  (:mod:`repro.trace.shm`); only window index ranges cross the task queues
+  and routing is recomputed worker-side, so this mode shows *measured*
+  multi-core speedup.  Load rebalancing and the telemetry sampler are
+  producer-side features and are disabled here (static address partition);
+  per-worker stores, metrics, provenance, and trace events are merged when
+  the workers exit.
 
 Telemetry: the run is instrumented through one
 :class:`~repro.obs.metrics.MetricsRegistry` — stall counters live *inside*
@@ -36,6 +44,8 @@ registry has a ``NullSink`` and costs only the plain counters.
 
 from __future__ import annotations
 
+import multiprocessing
+import queue as queue_mod
 import threading
 import time
 from dataclasses import dataclass, field
@@ -44,7 +54,7 @@ import numpy as np
 
 from repro.common.config import ProfilerConfig
 from repro.common.errors import ProfilerError
-from repro.core.controlflow import extract_loop_info
+from repro.core.controlflow import LoopStateIndex, extract_loop_info
 from repro.core.deps import DependenceStore
 from repro.core.result import ProfileResult, ProfileStats
 from repro.obs.metrics import MetricsRegistry
@@ -54,11 +64,13 @@ from repro.obs.tracing import MAIN_TRACK, worker_track
 from repro.parallel.address_map import AddressMap
 from repro.parallel.balance import AccessStats, Rebalancer
 from repro.parallel.chunks import Chunk, ChunkPool
+from repro.parallel.procworker import run_worker
 from repro.parallel.queues import LockedQueue, SpscRingQueue
 from repro.parallel.worker import Worker
 from repro.trace import FREE, LOOP_ENTER, LOOP_EXIT, LOOP_ITER, READ, WRITE, TraceBatch
+from repro.trace.shm import share_batch
 
-MODES = ("deterministic", "threads")
+MODES = ("deterministic", "threads", "processes")
 
 
 @dataclass
@@ -165,6 +177,8 @@ class ParallelProfiler:
 
     # ------------------------------------------------------------------
     def profile(self, batch: TraceBatch) -> tuple[ProfileResult, ParallelRunInfo]:
+        if self.mode == "processes":
+            return self._profile_processes(batch)
         cfg = self.config
         # One registry per run: counters are monotonic, so a shared
         # externally-supplied registry must not be reused across runs.
@@ -183,6 +197,13 @@ class ParallelProfiler:
             Worker(w, cfg, reg, provenance=provs[w] if provs is not None else None)
             for w in range(cfg.workers)
         ]
+        vec_workers = [w for w in workers if w.engine_kind == "vectorized"]
+        if vec_workers:
+            # One push-order loop-snapshot index per run, shared by every
+            # in-process vectorized kernel (it is batch-global, read-only).
+            shared_loops = LoopStateIndex(batch)
+            for w in vec_workers:
+                w.engine.bind_loop_index(batch, shared_loops)
         if cfg.lock_free_queues:
             queues: list[SpscRingQueue | LockedQueue] = [
                 SpscRingQueue(
@@ -456,6 +477,143 @@ class ParallelProfiler:
 
         info = ParallelRunInfo.from_registry(reg, cfg.workers, chunk_log)
 
+        result = ProfileResult(
+            store=store,
+            loops=extract_loop_info(batch),
+            stats=agg,
+            var_names=batch.var_names,
+            file_names=batch.file_names,
+            multithreaded=batch.n_threads > 1 or cfg.multithreaded_target,
+            provenance=prov,
+        )
+        return result, info
+
+    # ------------------------------------------------------------------
+    def _profile_processes(
+        self, batch: TraceBatch
+    ) -> tuple[ProfileResult, ParallelRunInfo]:
+        """Multi-process pipeline over one shared-memory trace block.
+
+        The producer ships only ``(start, end, window_idx)`` index ranges;
+        each worker process recomputes the address routing against the
+        shared columns (see :mod:`repro.parallel.procworker`).  The static
+        address partition makes results independent of scheduling, so this
+        mode is bit-for-bit equivalent to ``deterministic`` minus the
+        load balancer (which needs producer-side signature migration).
+        """
+        cfg = self.config
+        reg = self.registry if self.registry is not None else MetricsRegistry()
+        tracer = reg.tracer
+        if tracer.enabled:
+            tracer.set_track(MAIN_TRACK, "main")
+        methods = multiprocessing.get_all_start_methods()
+        # fork shares the parent's pages (cheap start, no re-import);
+        # required anyway for the monkeypatch-based tests, preferred always.
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        shared = share_batch(batch)
+        task_qs = [ctx.Queue(maxsize=cfg.queue_depth) for _ in range(cfg.workers)]
+        result_q = ctx.Queue()
+        opts = {"provenance": self.provenance, "trace": tracer.enabled}
+        procs = [
+            ctx.Process(
+                target=run_worker,
+                args=(w, cfg, shared.meta, task_qs[w], result_q, opts),
+                daemon=True,
+                name=f"ddprof-worker-{w}",
+            )
+            for w in range(cfg.workers)
+        ]
+
+        def ensure_alive() -> None:
+            dead = [p.name for p in procs if p.exitcode not in (None, 0)]
+            if dead:
+                raise ProfilerError(
+                    f"worker process(es) died without a result: {dead}"
+                )
+
+        def put_blocking(q: "multiprocessing.queues.Queue", item: object) -> None:
+            while True:
+                try:
+                    q.put(item, timeout=1.0)
+                    return
+                except queue_mod.Full:
+                    ensure_alive()
+
+        payloads: list[dict] = []
+        try:
+            for p in procs:
+                p.start()
+            n = len(batch)
+            with reg.span("push"):
+                for widx, s in enumerate(range(0, n, self.window)):
+                    e = min(s + self.window, n)
+                    task = (s, e, widx)
+                    for q in task_qs:
+                        put_blocking(q, task)
+            with reg.span("drain"):
+                for q in task_qs:
+                    put_blocking(q, None)
+                while len(payloads) < cfg.workers:
+                    try:
+                        msg = result_q.get(timeout=1.0)
+                    except queue_mod.Empty:
+                        ensure_alive()
+                        continue
+                    if msg[0] == "error":
+                        _, wid, tb = msg
+                        raise ProfilerError(
+                            f"worker process {wid} failed:\n{tb}"
+                        )
+                    payloads.append(msg[1])
+                for p in procs:
+                    p.join(timeout=30.0)
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            shared.close()
+
+        with reg.span("merge"):
+            payloads.sort(key=lambda d: d["wid"])
+            store = DependenceStore()
+            prov: ProvenanceCollector | None = (
+                ProvenanceCollector() if self.provenance else None
+            )
+            log_entries: list[tuple[int, int, int]] = []
+            for d in payloads:
+                store.merge(d["store"])
+                reg.merge_state(d["metrics"])
+                if prov is not None and d["provenance"] is not None:
+                    prov.merge(d["provenance"])
+                if tracer.enabled and d["tracer"] is not None:
+                    epoch, events, track_names = d["tracer"]
+                    tracer.adopt(events, epoch, track_names)
+                log_entries.extend(
+                    (widx, d["wid"], rows) for widx, rows in d["chunk_log"]
+                )
+            # Producer-order chunk log for the cost model: interleave the
+            # workers' chunks in window order, matching how the in-process
+            # producer would have pushed them.
+            log_entries.sort(key=lambda t: (t[0], t[1]))
+            chunk_log = [(wid, rows) for _, wid, rows in log_entries]
+            reg.counter("pipeline.chunks").inc(len(chunk_log))
+            kind = batch.kind
+            is_bcast = (
+                (kind == FREE)
+                | (kind == LOOP_ENTER)
+                | (kind == LOOP_ITER)
+                | (kind == LOOP_EXIT)
+            )
+            reg.counter("pipeline.broadcast_rows").inc(
+                int(np.count_nonzero(is_bcast))
+            )
+            agg = ProfileStats.from_registry(reg)
+            agg.n_events = len(batch)
+            agg.n_unique_addresses = batch.n_unique_addresses
+
+        info = ParallelRunInfo.from_registry(reg, cfg.workers, chunk_log)
         result = ProfileResult(
             store=store,
             loops=extract_loop_info(batch),

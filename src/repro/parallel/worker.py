@@ -4,15 +4,24 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.common.config import ProfilerConfig
 from repro.core.deps import DependenceStore
 from repro.core.reference import ReferenceEngine
+from repro.core.vectorized import ChunkKernel
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import ProvenanceCollector
 from repro.obs.tracing import NULL_TRACER, worker_track
 from repro.parallel.chunks import Chunk
-from repro.sigmem import ArraySignature, PerfectSignature
-from repro.sigmem.signature import AccessRecord
+from repro.sigmem import (
+    ArraySignature,
+    DenseKeySpace,
+    DensePlaneTracker,
+    PerfectSignature,
+    SlotPlaneTracker,
+)
+from repro.sigmem.signature import AccessRecord, AccessTracker
 from repro.trace import TraceBatch
 
 
@@ -23,11 +32,23 @@ class Worker:
     so its read/write signature pair and its dependence map need no
     synchronization — the core of the paper's parallelization argument.
 
+    Two per-chunk engines are available (``config.worker_engine``):
+
+    * ``"vectorized"`` — the incremental array kernel
+      (:class:`~repro.core.vectorized.ChunkKernel`) over numpy signature
+      planes; the fast default.
+    * ``"reference"`` — the event-at-a-time
+      :class:`~repro.core.reference.ReferenceEngine`; kept as the
+      differential-test oracle, and selected automatically whenever
+      per-instance observation is requested (provenance), since the batch
+      kernel cannot attribute individual instances.
+
     When a :class:`~repro.obs.metrics.MetricsRegistry` is supplied the
     worker instruments itself: per-chunk latency histogram, signature
-    hash-conflict eviction counters, and callback-backed fill gauges that
-    the sampler scrapes from the live trackers.  Without a registry the
-    hot path is exactly the uninstrumented one.
+    hash-conflict eviction counters (reference engine only), and
+    callback-backed fill gauges that the sampler scrapes from the live
+    trackers.  Without a registry the hot path is exactly the
+    uninstrumented one.
     """
 
     def __init__(
@@ -39,39 +60,29 @@ class Worker:
     ) -> None:
         self.wid = wid
         self.config = config
-        track_conflicts = provenance is not None
-        if config.perfect_signature:
-            read_t: PerfectSignature | ArraySignature = PerfectSignature()
-            write_t: PerfectSignature | ArraySignature = PerfectSignature()
-        elif registry is not None:
-            read_t = ArraySignature(
-                config.slots_per_worker,
-                config.hash_salt,
-                eviction_counter=registry.counter(
-                    "sigmem.evictions", worker=wid, kind="read"
-                ),
-                track_conflicts=track_conflicts,
-            )
-            write_t = ArraySignature(
-                config.slots_per_worker,
-                config.hash_salt,
-                eviction_counter=registry.counter(
-                    "sigmem.evictions", worker=wid, kind="write"
-                ),
-                track_conflicts=track_conflicts,
-            )
+        self._registry = registry
+        self._track_conflicts = provenance is not None
+        # Provenance notes every dependence *instance* with its chunk and
+        # suspect-collision verdict — inherently per-event observations, so
+        # it pins the worker to the reference engine (mirroring how the
+        # sequential DependenceProfiler forces the reference engine).
+        self.engine_kind = (
+            "reference" if provenance is not None else config.worker_engine
+        )
+        self._keyspace = (
+            DenseKeySpace()
+            if self.engine_kind == "vectorized" and config.perfect_signature
+            else None
+        )
+        read_t = self._make_tracker("read")
+        write_t = self._make_tracker("write")
+        self.engine: ReferenceEngine | ChunkKernel
+        if self.engine_kind == "vectorized":
+            self.engine = ChunkKernel(config, read_t, write_t)
         else:
-            read_t = ArraySignature(
-                config.slots_per_worker,
-                config.hash_salt,
-                track_conflicts=track_conflicts,
+            self.engine = ReferenceEngine(
+                config, read_t, write_t, provenance=provenance
             )
-            write_t = ArraySignature(
-                config.slots_per_worker,
-                config.hash_salt,
-                track_conflicts=track_conflicts,
-            )
-        self.engine = ReferenceEngine(config, read_t, write_t, provenance=provenance)
         self.provenance = provenance
         self.accesses_processed = 0
         self.chunks_processed = 0
@@ -82,24 +93,56 @@ class Worker:
         )
         self._tracer = registry.tracer if registry is not None else NULL_TRACER
 
+    def _make_tracker(self, kind: str) -> AccessTracker:
+        """Build one read/write tracker for this worker's engine.
+
+        The single construction point for every tracker flavour — the
+        in-process pipeline and the processes-mode worker factory both call
+        it, so slot sizing, salt, and telemetry wiring cannot drift apart.
+        """
+        cfg = self.config
+        if self.engine_kind == "vectorized":
+            if cfg.perfect_signature:
+                assert self._keyspace is not None
+                return DensePlaneTracker(self._keyspace)
+            return SlotPlaneTracker(cfg.slots_per_worker, cfg.hash_salt)
+        if cfg.perfect_signature:
+            return PerfectSignature()
+        eviction = (
+            self._registry.counter("sigmem.evictions", worker=self.wid, kind=kind)
+            if self._registry is not None
+            else None
+        )
+        return ArraySignature(
+            cfg.slots_per_worker,
+            cfg.hash_salt,
+            eviction_counter=eviction,
+            track_conflicts=self._track_conflicts,
+        )
+
     @property
     def store(self) -> DependenceStore:
         return self.engine.store
 
-    def process_chunk(self, batch: TraceBatch, chunk: Chunk) -> None:
+    def process_rows(
+        self, batch: TraceBatch, rows: np.ndarray, seq: int = -1
+    ) -> None:
+        """Run this worker's engine over ``rows`` of ``batch`` (one chunk)."""
         hist = self._chunk_hist
         tracer = self._tracer
         need_t = hist is not None or tracer.enabled
         t0 = time.perf_counter() if need_t else 0.0
         if self.provenance is not None:
-            self.provenance.chunk = chunk.seq
-        sub = batch.select(chunk.view())
+            self.provenance.chunk = seq
         before = self.engine.stats.n_accesses
-        self.engine.process(sub)
-        # process() only totals n_accesses at run() time; track it here.
-        self.engine.stats.n_accesses = (
-            self.engine.stats.n_reads + self.engine.stats.n_writes
-        )
+        if isinstance(self.engine, ChunkKernel):
+            self.engine.process_rows(batch, rows)
+        else:
+            self.engine.process(batch.select(rows))
+            # process() only totals n_accesses at run() time; track it here.
+            self.engine.stats.n_accesses = (
+                self.engine.stats.n_reads + self.engine.stats.n_writes
+            )
         self.accesses_processed += self.engine.stats.n_accesses - before
         self.chunks_processed += 1
         if need_t:
@@ -112,9 +155,12 @@ class Worker:
                     worker_track(self.wid),
                     t0,
                     t1,
-                    seq=chunk.seq,
-                    rows=chunk.count,
+                    seq=seq,
+                    rows=len(rows),
                 )
+
+    def process_chunk(self, batch: TraceBatch, chunk: Chunk) -> None:
+        self.process_rows(batch, chunk.view(), seq=chunk.seq)
 
     # -- signature-state migration (redistribution support) -----------------
     def migrate_out(

@@ -25,6 +25,7 @@ plus the Eq. 2 false-positive model and a signature-sizing helper.
 from repro.sigmem.hashing import hash_address, hash_addresses
 from repro.sigmem.signature import AccessRecord, AccessTracker, ArraySignature
 from repro.sigmem.perfect import PerfectSignature
+from repro.sigmem.planes import DenseKeySpace, DensePlaneTracker, SlotPlaneTracker
 from repro.sigmem.shadow import ShadowMemory
 from repro.sigmem.hashtable import ChainedHashTable
 from repro.sigmem.model import (
@@ -38,8 +39,11 @@ __all__ = [
     "AccessTracker",
     "ArraySignature",
     "ChainedHashTable",
+    "DenseKeySpace",
+    "DensePlaneTracker",
     "PerfectSignature",
     "ShadowMemory",
+    "SlotPlaneTracker",
     "expected_fpr",
     "expected_occupancy",
     "hash_address",

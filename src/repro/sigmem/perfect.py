@@ -33,14 +33,18 @@ class PerfectSignature(AccessTracker):
         if hi <= lo:
             return
         # For small frees, probing the range is cheap; for large frees it is
-        # cheaper to scan the table once.
-        n_range = (hi - lo) // stride
+        # cheaper to scan the table once.  Both paths remove exactly the
+        # stride-aligned addresses of the range, so the choice is purely a
+        # performance one.
+        n_range = -(-(hi - lo) // stride)
         if n_range <= len(self._table):
             for addr in range(lo, hi, stride):
                 self._table.pop(addr, None)
         else:
             self._table = {
-                a: r for a, r in self._table.items() if not (lo <= a < hi)
+                a: r
+                for a, r in self._table.items()
+                if not (lo <= a < hi and (a - lo) % stride == 0)
             }
 
     def clear(self) -> None:

@@ -1,0 +1,319 @@
+"""Column-plane access trackers for the vectorized worker kernel.
+
+The scalar trackers (:class:`~repro.sigmem.ArraySignature`,
+:class:`~repro.sigmem.PerfectSignature`) store one boxed record per entry —
+ideal for the event-at-a-time reference engine, hostile to array code.  The
+incremental chunk kernel instead keeps the *same* state as parallel numpy
+planes (``loc``/``var``/``tid``/``ts`` plus a presence mask) indexed by a
+*tracking key*, so a whole chunk can gather its carry-in state and scatter
+its carry-out state in a handful of array operations.
+
+Two key spaces mirror the two scalar trackers:
+
+* :class:`SlotPlaneTracker` — keys are hash slots of the paper's array
+  signature (same hash, same conflation-on-collision, same removal
+  semantics), so a vectorized worker with ``n`` slots is bit-for-bit
+  equivalent to a reference worker with an ``ArraySignature`` of ``n`` slots.
+* :class:`DensePlaneTracker` — keys are dense indices handed out by a
+  :class:`DenseKeySpace` (one per worker, shared by the worker's read and
+  write planes so both sides agree on every key), equivalent to the
+  collision-free :class:`~repro.sigmem.PerfectSignature`.
+
+Both implement the full :class:`~repro.sigmem.AccessTracker` protocol, so
+signature migration during load balancing and the sampler's occupancy/fill
+gauges work unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sigmem.hashing import hash_address, hash_addresses
+from repro.sigmem.signature import SLOT_BYTES, AccessRecord, AccessTracker
+
+
+class _PlaneStore:
+    """The shared plane mechanics: presence mask + four payload columns."""
+
+    def __init__(self, capacity: int) -> None:
+        self._present = np.zeros(capacity, dtype=bool)
+        self._loc = np.zeros(capacity, dtype=np.int64)
+        self._var = np.zeros(capacity, dtype=np.int64)
+        self._tid = np.zeros(capacity, dtype=np.int64)
+        self._ts = np.zeros(capacity, dtype=np.int64)
+        self._filled = 0
+
+    # -- batch ops (the kernel's hot path) --------------------------------
+    def gather(
+        self, keys: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Presence + payload columns for ``keys`` (payload is garbage where
+        not present; callers mask)."""
+        return (
+            self._present[keys],
+            self._loc[keys],
+            self._var[keys],
+            self._tid[keys],
+            self._ts[keys],
+        )
+
+    def set_rows(
+        self,
+        keys: np.ndarray,
+        loc: np.ndarray,
+        var: np.ndarray,
+        tid: np.ndarray,
+        ts: np.ndarray,
+    ) -> None:
+        """Scatter records at unique ``keys`` (last-access payload)."""
+        if len(keys) == 0:
+            return
+        self._filled += int(np.count_nonzero(~self._present[keys]))
+        self._present[keys] = True
+        self._loc[keys] = loc
+        self._var[keys] = var
+        self._tid[keys] = tid
+        self._ts[keys] = ts
+
+    def clear_keys(self, keys: np.ndarray) -> None:
+        """Remove records at unique ``keys`` (variable-lifetime kills)."""
+        if len(keys) == 0:
+            return
+        self._filled -= int(np.count_nonzero(self._present[keys]))
+        self._present[keys] = False
+
+    # -- scalar ops (migration / lifetime support) ------------------------
+    def get(self, key: int) -> AccessRecord | None:
+        if not self._present[key]:
+            return None
+        return AccessRecord(
+            int(self._loc[key]),
+            int(self._var[key]),
+            int(self._tid[key]),
+            int(self._ts[key]),
+        )
+
+    def put(self, key: int, record: AccessRecord) -> None:
+        if not self._present[key]:
+            self._filled += 1
+            self._present[key] = True
+        self._loc[key] = record.loc
+        self._var[key] = record.var
+        self._tid[key] = record.tid
+        self._ts[key] = record.ts
+
+    def drop(self, key: int) -> None:
+        if self._present[key]:
+            self._filled -= 1
+            self._present[key] = False
+
+    def wipe(self) -> None:
+        self._present[:] = False
+        self._filled = 0
+
+    def grow_to(self, capacity: int) -> None:
+        old = len(self._present)
+        if capacity <= old:
+            return
+        cap = max(old * 2, capacity, 16)
+        for name in ("_present", "_loc", "_var", "_tid", "_ts"):
+            arr = getattr(self, name)
+            new = np.zeros(cap, dtype=arr.dtype)
+            new[:old] = arr
+            setattr(self, name, new)
+
+
+class SlotPlaneTracker(AccessTracker):
+    """Array-signature state as numpy planes (key = hash slot).
+
+    Identical observable behaviour to :class:`~repro.sigmem.ArraySignature`:
+    colliding addresses overwrite one another, ``remove`` clears the slot
+    regardless of owner, and ``remove_range`` clears the slots of every
+    stride-aligned address in the range.  Eviction telemetry
+    (``sigmem.evictions`` / conflict tracking) is not maintained — that is a
+    per-insert observation the batch kernel cannot afford; runs that need it
+    use the reference worker engine.
+    """
+
+    def __init__(self, n_slots: int, salt: int = 0) -> None:
+        if n_slots <= 0:
+            raise ValueError("n_slots must be positive")
+        self.n_slots = int(n_slots)
+        self.salt = int(salt)
+        self._store = _PlaneStore(self.n_slots)
+
+    # -- key derivation ----------------------------------------------------
+    def key_of(self, addr: int) -> int:
+        return hash_address(addr, self.n_slots, self.salt)
+
+    def keys_of(self, addrs: np.ndarray) -> np.ndarray:
+        return hash_addresses(addrs, self.n_slots, self.salt)
+
+    # -- batch ops ---------------------------------------------------------
+    def gather(self, keys: np.ndarray):
+        return self._store.gather(keys)
+
+    def set_rows(self, keys, loc, var, tid, ts) -> None:
+        self._store.set_rows(keys, loc, var, tid, ts)
+
+    def clear_keys(self, keys: np.ndarray) -> None:
+        self._store.clear_keys(keys)
+
+    # -- AccessTracker protocol --------------------------------------------
+    def insert(self, addr: int, record: AccessRecord) -> None:
+        self._store.put(self.key_of(addr), record)
+
+    def lookup(self, addr: int) -> AccessRecord | None:
+        return self._store.get(self.key_of(addr))
+
+    def remove(self, addr: int) -> None:
+        self._store.drop(self.key_of(addr))
+
+    def remove_range(self, lo: int, hi: int, stride: int = 8) -> None:
+        if hi <= lo:
+            return
+        addrs = np.arange(lo, hi, stride, dtype=np.int64)
+        self._store.clear_keys(np.unique(self.keys_of(addrs)))
+
+    def clear(self) -> None:
+        self._store.wipe()
+
+    def occupied(self) -> int:
+        return self._store._filled
+
+    def fill_ratio(self) -> float:
+        return self._store._filled / self.n_slots
+
+    @property
+    def memory_bytes(self) -> int:
+        # Same accounting as ArraySignature: the configured slot count is the
+        # committed footprint whether or not the planes are resident.
+        return self.n_slots * SLOT_BYTES
+
+
+class DenseKeySpace:
+    """Address -> dense-key mapping shared by one worker's plane pair.
+
+    Keys are handed out on first sight and never recycled: a freed address
+    keeps its key so later reuse of the address maps to the same plane row
+    (whose presence bit the kill cleared) — matching dict-of-address
+    semantics without per-event dict churn in the kernel.
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def get(self, addr: int) -> int | None:
+        return self._index.get(addr)
+
+    def key_for(self, addr: int) -> int:
+        k = self._index.get(addr)
+        if k is None:
+            k = len(self._index)
+            self._index[addr] = k
+        return k
+
+    def keys_for(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`key_for`: one dict probe per *unique* address."""
+        uniq, inv = np.unique(addrs, return_inverse=True)
+        index = self._index
+        keys = np.empty(len(uniq), dtype=np.int64)
+        for j, a in enumerate(uniq.tolist()):
+            k = index.get(a)
+            if k is None:
+                k = len(index)
+                index[a] = k
+            keys[j] = k
+        return keys[inv]
+
+    def probe_keys(self, lo: int, hi: int, stride: int) -> np.ndarray:
+        """Keys of known stride-aligned addresses in ``[lo, hi)``.
+
+        Mirrors ``PerfectSignature.remove_range``: probe the range when it is
+        small, scan the index when the range dwarfs it — either way only
+        addresses aligned to ``lo`` modulo ``stride`` are affected.
+        """
+        if hi <= lo:
+            return np.empty(0, dtype=np.int64)
+        index = self._index
+        n_range = -(-(hi - lo) // stride)
+        if n_range <= len(index):
+            keys = [
+                k
+                for addr in range(lo, hi, stride)
+                if (k := index.get(addr)) is not None
+            ]
+        else:
+            keys = [
+                k
+                for addr, k in index.items()
+                if lo <= addr < hi and (addr - lo) % stride == 0
+            ]
+        return np.asarray(keys, dtype=np.int64)
+
+
+class DensePlaneTracker(AccessTracker):
+    """Collision-free tracking as numpy planes (key = dense address index).
+
+    Equivalent to :class:`~repro.sigmem.PerfectSignature`; memory accounting
+    follows the same ~88-bytes-per-live-entry model so cost/memory reports
+    stay comparable across worker engines.
+    """
+
+    def __init__(self, space: DenseKeySpace) -> None:
+        self.space = space
+        self._store = _PlaneStore(16)
+
+    # -- batch ops ---------------------------------------------------------
+    def keys_of(self, addrs: np.ndarray) -> np.ndarray:
+        keys = self.space.keys_for(addrs)
+        self._store.grow_to(len(self.space))
+        return keys
+
+    def gather(self, keys: np.ndarray):
+        self._store.grow_to(len(self.space))
+        return self._store.gather(keys)
+
+    def set_rows(self, keys, loc, var, tid, ts) -> None:
+        self._store.grow_to(len(self.space))
+        self._store.set_rows(keys, loc, var, tid, ts)
+
+    def clear_keys(self, keys: np.ndarray) -> None:
+        self._store.grow_to(len(self.space))
+        self._store.clear_keys(keys)
+
+    # -- AccessTracker protocol --------------------------------------------
+    def insert(self, addr: int, record: AccessRecord) -> None:
+        key = self.space.key_for(addr)
+        self._store.grow_to(len(self.space))
+        self._store.put(key, record)
+
+    def lookup(self, addr: int) -> AccessRecord | None:
+        key = self.space.get(addr)
+        if key is None or key >= len(self._store._present):
+            return None
+        return self._store.get(key)
+
+    def remove(self, addr: int) -> None:
+        key = self.space.get(addr)
+        if key is not None and key < len(self._store._present):
+            self._store.drop(key)
+
+    def remove_range(self, lo: int, hi: int, stride: int = 8) -> None:
+        keys = self.space.probe_keys(lo, hi, stride)
+        if len(keys):
+            self._store.grow_to(len(self.space))
+            self._store.clear_keys(keys)
+
+    def clear(self) -> None:
+        self._store.wipe()
+
+    def occupied(self) -> int:
+        return self._store._filled
+
+    @property
+    def memory_bytes(self) -> int:
+        return 64 + self._store._filled * 88

@@ -37,6 +37,12 @@ from repro.trace.events import (
 from repro.trace.batch import TraceBatch, TraceBuilder
 from repro.trace.recorder import TraceRecorder
 from repro.trace.serialize import load_trace, save_trace
+from repro.trace.shm import (
+    SharedBatch,
+    SharedBatchMeta,
+    attach_batch,
+    share_batch,
+)
 
 __all__ = [
     "ALLOC",
@@ -54,9 +60,13 @@ __all__ = [
     "THREAD_START",
     "WRITE",
     "Event",
+    "SharedBatch",
+    "SharedBatchMeta",
     "TraceBatch",
     "TraceBuilder",
     "TraceRecorder",
+    "attach_batch",
     "load_trace",
     "save_trace",
+    "share_batch",
 ]

@@ -181,3 +181,58 @@ class TestSpscSpecific:
         for t in threads:
             t.join(timeout=60)
         assert received == list(range(n_items))
+
+
+class TestPipelineDrainPaths:
+    """Whole-pipeline runs sized so the rings wrap around many times and hit
+    full-ring backpressure, under each consumer drain path."""
+
+    def _batch(self):
+        from repro.workloads import get_trace
+
+        return get_trace("ep")
+
+    def _tiny_cfg(self):
+        from repro.common.config import ProfilerConfig
+
+        # 22k events / (chunk_size 64 * depth 2) -> hundreds of wraps per ring.
+        return ProfilerConfig(
+            perfect_signature=True, workers=2, chunk_size=64, queue_depth=2
+        )
+
+    def test_threads_mode_wraparound_and_backpressure(self):
+        from repro.core import profile_trace
+        from repro.parallel import ParallelProfiler
+
+        batch = self._batch()
+        cfg = self._tiny_cfg()
+        reg = MetricsRegistry()
+        par, info = ParallelProfiler(cfg, mode="threads", registry=reg).profile(batch)
+        seq = profile_trace(batch, cfg.with_(workers=1), "reference")
+        assert par.store == seq.store
+        # The ring held at most queue_depth chunks but carried hundreds.
+        assert info.n_chunks > 10 * cfg.queue_depth * cfg.workers
+
+    def test_deterministic_inline_drain_same_counters(self):
+        from repro.parallel import ParallelProfiler
+
+        batch = self._batch()
+        cfg = self._tiny_cfg()
+        det, di = ParallelProfiler(cfg, mode="deterministic").profile(batch)
+        thr, ti = ParallelProfiler(cfg, mode="threads").profile(batch)
+        assert det.store == thr.store
+        assert di.n_chunks == ti.n_chunks
+        assert di.per_worker_accesses == ti.per_worker_accesses
+        # Inline drain means the full producer stream hit backpressure at
+        # least once with a 2-deep ring.
+        assert di.push_stalls > 0
+
+    def test_processes_mode_drain_same_result(self):
+        from repro.parallel import ParallelProfiler
+
+        batch = self._batch()
+        cfg = self._tiny_cfg()
+        det, di = ParallelProfiler(cfg, mode="deterministic").profile(batch)
+        prc, pi = ParallelProfiler(cfg, mode="processes", window=1 << 11).profile(batch)
+        assert prc.store == det.store
+        assert pi.per_worker_accesses == di.per_worker_accesses

@@ -1,0 +1,81 @@
+"""Differential test: vectorized vs reference worker kernels.
+
+The pipeline's default per-chunk engine is the incremental array kernel
+(:class:`~repro.core.vectorized.ChunkKernel`); the event-at-a-time
+:class:`~repro.core.reference.ReferenceEngine` is kept as the oracle.  The
+two must produce byte-identical dependence stores — merged entries *and*
+per-type instance counts — on every MiniVM example program, for both the
+perfect and the lossy array signature.
+"""
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.common.errors import ProfilerError
+from repro.parallel import ParallelProfiler
+from repro.workloads import get_trace, get_workload, workload_names
+
+ALL_WORKLOADS = [
+    name
+    for suite in ("nas", "starbench", "splash2x")
+    for name in workload_names(suite)
+]
+
+PERFECT = ProfilerConfig(perfect_signature=True, workers=2, chunk_size=2048)
+
+
+def _run(batch, cfg):
+    result, _ = ParallelProfiler(cfg).profile(batch)
+    return result
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+def test_vectorized_matches_reference_all_programs(name):
+    batch = get_trace(name, scale=1)
+    vec = _run(batch, PERFECT.with_(worker_engine="vectorized"))
+    ref = _run(batch, PERFECT.with_(worker_engine="reference"))
+    assert vec.store == ref.store
+    assert vec.stats.dep_instances == ref.stats.dep_instances
+    assert vec.stats.n_accesses == ref.stats.n_accesses
+
+
+@pytest.mark.parametrize("name", ["ep", "kmeans", "md5"])
+def test_vectorized_matches_reference_array_signature(name):
+    """Same equivalence with the conflating fixed-size signature: the slot
+    planes must reproduce the array signature's collisions exactly."""
+    batch = get_trace(name, scale=1)
+    cfg = ProfilerConfig(signature_slots=1 << 12, workers=2, chunk_size=1024)
+    vec = _run(batch, cfg.with_(worker_engine="vectorized"))
+    ref = _run(batch, cfg.with_(worker_engine="reference"))
+    assert vec.store == ref.store
+    assert vec.stats.dep_instances == ref.stats.dep_instances
+
+
+@pytest.mark.parametrize("name", ["md5", "rgbyuv"])
+def test_vectorized_matches_reference_parallel_variant(name):
+    """Multi-threaded target traces: thread ids and race flags must agree."""
+    assert get_workload(name).has_parallel_variant
+    batch = get_trace(name, variant="par", scale=1, threads=3)
+    cfg = PERFECT.with_(multithreaded_target=True)
+    vec = _run(batch, cfg.with_(worker_engine="vectorized"))
+    ref = _run(batch, cfg.with_(worker_engine="reference"))
+    assert vec.store == ref.store
+    assert vec.stats.dep_instances == ref.stats.dep_instances
+
+
+def test_unknown_worker_engine_rejected():
+    with pytest.raises(ProfilerError):
+        ProfilerConfig(worker_engine="quantum")
+
+
+def test_provenance_pins_reference_engine():
+    """Per-instance provenance cannot be attributed by the batch kernel, so
+    requesting it silently selects the reference engine."""
+    from repro.obs.provenance import ProvenanceCollector
+    from repro.parallel.worker import Worker
+
+    cfg = PERFECT.with_(worker_engine="vectorized")
+    w = Worker(0, cfg, provenance=ProvenanceCollector(worker=0))
+    assert w.engine_kind == "reference"
+    w2 = Worker(0, cfg)
+    assert w2.engine_kind == "vectorized"
