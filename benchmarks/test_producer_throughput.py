@@ -1,0 +1,91 @@
+"""Throughput of the trace producer's affine fast path (not a paper artifact).
+
+The producer fast path executes classified affine MiniVM loops as whole
+iteration-space array operations and bulk-emits their trace rows.  This
+bench records producer throughput with the fast path on and off so
+regressions in either path are visible, and guards the speedup that keeps
+whole-suite experiments producer-bound no longer (see EXPERIMENTS.md's
+Fig. 5/6 discussion).
+"""
+
+import time
+
+import numpy as np
+
+from repro.minivm import ProgramBuilder, run_program
+from repro.workloads import get_workload
+
+N = 20000
+
+
+def affine_dominated_program():
+    """Three streaming affine loops over int arrays — the shape the fast
+    path is built for (fill, map, elementwise combine)."""
+    pb = ProgramBuilder("affine-bench")
+    a = pb.global_array("a", N)
+    b = pb.global_array("b", N)
+    c = pb.global_array("c", N)
+    with pb.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, N):
+            f.store(a, i, i * 3)
+        with f.for_loop(i, 0, N):
+            f.store(b, i, f.load(a, i) + 7)
+        with f.for_loop(i, 0, N):
+            f.store(c, i, f.load(a, i) * f.load(b, i))
+    return pb.build()
+
+
+def producer_eps(build, fastpath):
+    program = build()
+    t0 = time.perf_counter()
+    batch = run_program(program, fastpath=fastpath)
+    return len(batch) / (time.perf_counter() - t0), batch
+
+
+def test_affine_fastpath_speedup(benchmark, emit):
+    """The fast path must beat the tree-walking producer by >=5x on an
+    affine-dominated workload, while producing a bit-identical trace."""
+    interp_eps, interp_batch = producer_eps(affine_dominated_program, False)
+    best_fast, fast_batch = 0.0, None
+    for _ in range(2):  # best-of-2 to shake off interpreter warm-up noise
+        fast_eps, fast_batch = producer_eps(affine_dominated_program, True)
+        best_fast = max(best_fast, fast_eps)
+    for col in ("kind", "tid", "loc", "addr", "aux", "var", "ts", "ctx"):
+        assert np.array_equal(
+            getattr(fast_batch, col), getattr(interp_batch, col)
+        ), col
+    speedup = best_fast / interp_eps
+    emit(
+        "producer_throughput.txt",
+        f"interpreted producer: {interp_eps:12.0f} events/s\n"
+        f"fast-path producer  : {best_fast:12.0f} events/s\n"
+        f"speedup             : {speedup:12.1f}x  ({len(fast_batch)} events)\n",
+    )
+    assert speedup >= 5.0, (
+        f"affine fast path only {speedup:.1f}x over the interpreter "
+        f"(needs >=5x on affine-dominated loops)"
+    )
+    benchmark.pedantic(
+        lambda: producer_eps(affine_dominated_program, True),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bundled_workload_coverage(emit):
+    """Record (without a hard speedup floor — coverage varies) what the
+    fast path buys on a real bundled workload with partial affine
+    coverage."""
+    wl = get_workload("rgbyuv")
+    build = lambda: wl.build_seq(wl.default_scale)[0]  # noqa: E731
+    interp_eps, _ = producer_eps(build, False)
+    fast_eps, batch = producer_eps(build, True)
+    emit(
+        "producer_throughput_rgbyuv.txt",
+        f"interpreted producer: {interp_eps:12.0f} events/s\n"
+        f"fast-path producer  : {fast_eps:12.0f} events/s\n"
+        f"speedup             : {fast_eps / interp_eps:12.1f}x"
+        f"  ({len(batch)} events)\n",
+    )
+    assert fast_eps > 0.8 * interp_eps  # must never cost throughput

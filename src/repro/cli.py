@@ -85,6 +85,16 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
         "--json", action="store_true",
         help="emit the machine-readable run report as JSON",
     )
+    p.add_argument(
+        "--trace-cache", metavar="DIR", default=None,
+        help="on-disk trace cache directory: reuse a previously serialized "
+        "workload trace instead of re-running the target program",
+    )
+    p.add_argument(
+        "--no-fastpath", action="store_true",
+        help="disable the affine-loop producer fast path (traces are "
+        "bit-identical either way; this is the interpreted oracle)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ProfilerConfig:
@@ -223,6 +233,9 @@ def _trace_from(args: argparse.Namespace, reg: MetricsRegistry | None = None):
             scale=args.scale,
             threads=args.threads,
             seed=args.seed,
+            cache_dir=getattr(args, "trace_cache", None),
+            registry=reg,
+            fastpath=not getattr(args, "no_fastpath", False),
         )
 
 

@@ -16,6 +16,12 @@ interleaving, lock blocking, and optional delayed pushes model Section V of
 the paper.
 """
 
+from repro.minivm.affine import (
+    AffineTemplate,
+    FastPathStats,
+    classify_loop,
+    program_has_spawn,
+)
 from repro.minivm.astnodes import (
     BinOp,
     Const,
@@ -33,8 +39,12 @@ from repro.minivm.run import run_program
 from repro.minivm.listing import listing_loc, source_listing
 
 __all__ = [
+    "AffineTemplate",
     "BinOp",
     "Const",
+    "FastPathStats",
+    "classify_loop",
+    "program_has_spawn",
     "Expr",
     "Function",
     "FunctionBuilder",

@@ -1,0 +1,819 @@
+"""Affine-loop fast path: the producer-side "tracing JIT" of the MiniVM.
+
+The tree-walking interpreter costs ~10 Python-level calls per loop iteration
+(register update, loop_iter marker, per-access address eval + emit + memory
+touch), which makes trace *production* the serial bottleneck of the whole
+pipeline.  This module removes that bottleneck for the loops that dominate
+real traces: innermost counted loops whose bodies are **affine** —
+
+* body statements are only ``SetReg`` and ``Store`` (no nested control flow,
+  calls, spawns, locks, allocation),
+* every load/store address is ``base + stride * i`` in the induction
+  register (index expressions are degree-<=1 polynomials in ``i`` whose other
+  subtrees are loop-invariant),
+* value expressions use only numpy-expressible operators over loads,
+  registers, and constants (``sin``/``cos`` are rejected: libm results are
+  not guaranteed bit-identical to numpy's), and
+* no loop-carried dependence: registers are never read before they are
+  assigned in the same iteration, stored progressions are pairwise disjoint,
+  and a load may overlap a store only when both walk the *same* progression
+  with the load textually at-or-before the store (gather-before-scatter then
+  reads pre-loop values, exactly like the interpreter would).
+
+Classification is static and cached per loop AST node.  Execution is
+two-phase so a bailout is always safe:
+
+* **prepare** (pure): resolve bindings, strides and trip count, bounds-check
+  every index, check aliasing, gather memory operands, and evaluate every
+  body expression as whole-iteration-space numpy arrays.  Interval analysis
+  rides along: any intermediate whose int64 bounds could overflow, or whose
+  int->float conversion could lose bits (|v| >= 2**53), raises a
+  :class:`Bailout` before anything was mutated.
+* **commit**: scatter final memory values, finalize registers, and
+  bulk-append the event rows — LOOP_ITER markers plus every access of every
+  iteration, in exactly the interpreter's order — through
+  ``TraceBuilder.append_rows``.
+
+The contract (enforced by the differential-oracle tests) is *bit-for-bit*
+trace equality with the interpreted path and value-identical memory, so any
+loop the analysis cannot prove safe simply bails out to the interpreter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from repro.minivm import astnodes as ast
+from repro.minivm.memory import ELEM_SIZE, Memory
+from repro.trace.events import LOOP_ITER, READ, WRITE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.minivm.program import Program
+    from repro.obs.metrics import MetricsRegistry
+
+#: Loops with fewer iterations than this run interpreted: numpy setup cost
+#: is not amortized, and tiny loops dominate unit-test programs.
+MIN_TRIP = 8
+
+_INT63 = 1 << 63
+_INT62 = 1 << 62
+_EXACT_FLOAT = 1 << 53  # ints below this round-trip through float64
+
+#: Unary operators with numpy equivalents proven bit-identical to the
+#: interpreter's scalar semantics.  ``sin``/``cos`` are deliberately absent.
+_ALLOWED_UNOPS = frozenset({"-", "not", "int", "abs", "sqrt"})
+
+
+class Bailout(Exception):
+    """Raised during the pure prepare phase; the loop runs interpreted."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Vectorized values with interval bounds
+# ---------------------------------------------------------------------------
+
+
+class _VecVal:
+    """A per-iteration value: numpy array or exact Python scalar, plus
+    interval bounds and a uniform element kind ('i' int / 'f' float)."""
+
+    __slots__ = ("val", "lo", "hi", "kind")
+
+    def __init__(self, val: Any, lo: Any, hi: Any, kind: str) -> None:
+        self.val = val
+        self.lo = lo
+        self.hi = hi
+        self.kind = kind
+
+
+def _is_scalar(v: Any) -> bool:
+    return not isinstance(v, np.ndarray)
+
+
+def _scalar_val(v: Any) -> _VecVal:
+    t = type(v)
+    if t is float:
+        return _VecVal(v, v, v, "f")
+    if t is int or t is bool:
+        return _VecVal(v, v, v, "i")
+    raise Bailout("value_type")
+
+
+def _check_int_bounds(lo: int, hi: int) -> None:
+    if lo < -_INT63 or hi >= _INT63:
+        raise Bailout("overflow_risk")
+
+
+def _check_exact(v: _VecVal) -> None:
+    """An int operand about to mix with floats must convert losslessly."""
+    if v.kind == "i" and max(abs(v.lo), abs(v.hi)) >= _EXACT_FLOAT:
+        raise Bailout("precision_risk")
+
+
+_NP_BINOPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "&": np.bitwise_and,
+    "|": np.bitwise_or,
+    "^": np.bitwise_xor,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def _vec_binop(op: str, a: _VecVal, b: _VecVal) -> _VecVal:
+    if _is_scalar(a.val) and _is_scalar(b.val):
+        # Scalar fold with the interpreter's own operator table: exact.
+        return _scalar_val(ast._BINOPS[op](a.val, b.val))
+    av, bv = a.val, b.val
+    if op in ("+", "-", "*"):
+        if a.kind == "f" or b.kind == "f":
+            _check_exact(a)
+            _check_exact(b)
+            kind = "f"
+        else:
+            kind = "i"
+        if op == "+":
+            lo, hi = a.lo + b.lo, a.hi + b.hi
+        elif op == "-":
+            lo, hi = a.lo - b.hi, a.hi - b.lo
+        else:
+            corners = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+            lo, hi = min(corners), max(corners)
+        if kind == "i":
+            _check_int_bounds(lo, hi)
+        return _VecVal(_NP_BINOPS[op](av, bv), lo, hi, kind)
+    if op == "/":
+        # The interpreter's guard returns float 0.0 on a zero divisor, so a
+        # masked division reproduces it exactly; int operands must be small
+        # enough that the implicit int->float conversion is lossless.
+        _check_exact(a)
+        _check_exact(b)
+        if _is_scalar(bv):
+            if bv == 0:
+                return _scalar_val(0.0)
+            v = np.true_divide(av, bv)
+        else:
+            mask = bv != 0
+            if mask.all():
+                v = np.true_divide(av, bv)
+            else:
+                v = np.where(mask, np.true_divide(av, np.where(mask, bv, 1)), 0.0)
+        return _VecVal(v, -math.inf, math.inf, "f")
+    if op in ("//", "%"):
+        # Python's floored semantics match numpy only for ints; the guard
+        # value (int 0) would also break per-element type uniformity on
+        # float inputs.
+        if a.kind != "i" or b.kind != "i":
+            raise Bailout("float_intdiv")
+        if op == "//":
+            m = max(abs(a.lo), abs(a.hi))
+            lo, hi = -m - 1, m
+        else:
+            m = max(abs(b.lo), abs(b.hi))
+            lo, hi = -m, m
+        fn = np.floor_divide if op == "//" else np.remainder
+        if _is_scalar(bv):
+            if bv == 0:
+                return _scalar_val(0)
+            v = fn(av, bv)
+        else:
+            mask = bv != 0
+            if mask.all():
+                v = fn(av, bv)
+            else:
+                v = np.where(mask, fn(av, np.where(mask, bv, 1)), 0)
+        return _VecVal(v, lo, hi, "i")
+    if op in ("<<", ">>"):
+        if a.kind != "i" or b.kind != "i":
+            raise Bailout("float_shift")
+        if b.lo < 0:
+            raise Bailout("negative_shift")
+        m = max(abs(a.lo), abs(a.hi))
+        if op == "<<":
+            if b.hi > 62:
+                raise Bailout("overflow_risk")
+            lo, hi = -(m << b.hi), m << b.hi
+            _check_int_bounds(lo, hi)
+            return _VecVal(np.left_shift(av, bv), lo, hi, "i")
+        return _VecVal(np.right_shift(av, bv), -m - 1, m, "i")
+    if op in ("&", "|", "^"):
+        if a.kind != "i" or b.kind != "i":
+            raise Bailout("float_bitop")
+        # int64 two's complement equals Python's infinite two's complement
+        # only when both operands (and hence the result) are in range.
+        _check_int_bounds(a.lo, a.hi)
+        _check_int_bounds(b.lo, b.hi)
+        if a.lo >= 0 and b.lo >= 0:
+            if op == "&":
+                lo, hi = 0, min(a.hi, b.hi)
+            else:
+                lo, hi = 0, (1 << int(max(a.hi, b.hi)).bit_length()) - 1
+        else:
+            lo, hi = -_INT63, _INT63 - 1
+        return _VecVal(_NP_BINOPS[op](av, bv), lo, hi, "i")
+    if op in ("<", "<=", ">", ">=", "==", "!="):
+        if a.kind != b.kind:
+            _check_exact(a)
+            _check_exact(b)
+        else:
+            if a.kind == "i":
+                _check_int_bounds(a.lo, a.hi)
+                _check_int_bounds(b.lo, b.hi)
+        v = _NP_BINOPS[op](av, bv).astype(np.int64)
+        return _VecVal(v, 0, 1, "i")
+    if op in ("min", "max"):
+        if a.kind != b.kind:
+            raise Bailout("mixed_minmax")
+        if a.kind == "f":
+            for x in (av, bv):
+                if isinstance(x, np.ndarray):
+                    if np.isnan(x).any():
+                        raise Bailout("nan_minmax")
+                elif x != x:
+                    raise Bailout("nan_minmax")
+        else:
+            _check_int_bounds(a.lo, a.hi)
+            _check_int_bounds(b.lo, b.hi)
+        fn = np.minimum if op == "min" else np.maximum
+        pick = min if op == "min" else max
+        return _VecVal(fn(av, bv), pick(a.lo, b.lo), pick(a.hi, b.hi), a.kind)
+    raise Bailout(f"binop:{op}")
+
+
+def _vec_unop(op: str, a: _VecVal) -> _VecVal:
+    if _is_scalar(a.val):
+        return _scalar_val(ast._UNOPS[op](a.val))
+    av = a.val
+    if op == "-":
+        lo, hi = -a.hi, -a.lo
+        if a.kind == "i":
+            _check_int_bounds(lo, hi)
+        return _VecVal(np.negative(av), lo, hi, a.kind)
+    if op == "not":
+        return _VecVal(np.equal(av, 0).astype(np.int64), 0, 1, "i")
+    if op == "abs":
+        lo = 0 if a.lo <= 0 <= a.hi else min(abs(a.lo), abs(a.hi))
+        hi = max(abs(a.lo), abs(a.hi))
+        if a.kind == "i":
+            _check_int_bounds(lo, hi)
+        return _VecVal(np.abs(av), lo, hi, a.kind)
+    if op == "int":
+        if a.kind == "i":
+            return a
+        if not (math.isfinite(a.lo) and math.isfinite(a.hi)):
+            raise Bailout("unbounded_trunc")
+        lo, hi = math.trunc(a.lo), math.trunc(a.hi)
+        if lo < -_INT62 or hi > _INT62:
+            raise Bailout("overflow_risk")
+        return _VecVal(np.trunc(av).astype(np.int64), lo, hi, "i")
+    if op == "sqrt":
+        # Interpreter guard: sqrt(a) if a >= 0 else 0.0.  int64->float64
+        # conversion and IEEE sqrt are both identical to the scalar path.
+        v = np.where(av >= 0, np.sqrt(np.where(av >= 0, av, 0)), 0.0)
+        if a.hi != a.hi:  # NaN bound propagates
+            hi = a.hi
+        elif a.hi > 0:
+            hi = math.sqrt(a.hi)
+        else:
+            hi = 0.0
+        return _VecVal(v, 0.0, hi, "f")
+    raise Bailout(f"unop:{op}")
+
+
+# ---------------------------------------------------------------------------
+# Static classification
+# ---------------------------------------------------------------------------
+
+
+class _Access:
+    """One trace-event-emitting memory access per iteration (a slot)."""
+
+    __slots__ = ("kind", "var", "index", "line", "stmt_idx")
+
+    def __init__(
+        self,
+        kind: int,
+        var: ast.Variable,
+        index: ast.Expr | None,
+        line: int,
+        stmt_idx: int,
+    ) -> None:
+        self.kind = kind
+        self.var = var
+        self.index = index
+        self.line = line
+        self.stmt_idx = stmt_idx
+
+
+class _StmtPlan:
+    """A classified body statement: SetReg (target_reg) or Store (store)."""
+
+    __slots__ = ("target_reg", "store", "expr", "loads")
+
+    def __init__(
+        self,
+        target_reg: str | None,
+        store: _Access | None,
+        expr: ast.Expr,
+        loads: list[_Access],
+    ) -> None:
+        self.target_reg = target_reg
+        self.store = store
+        self.expr = expr
+        self.loads = loads
+
+
+def _degree(e: ast.Expr, ind: str, body_regs: set[str]) -> int | None:
+    """Polynomial degree of ``e`` in the induction register (0 or 1), or
+    ``None`` where linearity cannot be proven statically."""
+    if isinstance(e, ast.Const):
+        return 0
+    if isinstance(e, ast.Reg):
+        if e.name == ind:
+            return 1
+        return None if e.name in body_regs else 0
+    if isinstance(e, ast.Load):
+        return None
+    if isinstance(e, ast.BinOp):
+        dl = _degree(e.lhs, ind, body_regs)
+        dr = _degree(e.rhs, ind, body_regs)
+        if dl is None or dr is None:
+            return None
+        if e.op in ("+", "-"):
+            return max(dl, dr)
+        if e.op == "*":
+            return dl + dr if dl + dr <= 1 else None
+        return 0 if dl == dr == 0 else None
+    if isinstance(e, ast.UnOp):
+        d = _degree(e.operand, ind, body_regs)
+        if d is None:
+            return None
+        if e.op == "-":
+            return d
+        return 0 if d == 0 else None
+    return None
+
+
+def _contains_load(e: ast.Expr) -> bool:
+    if isinstance(e, ast.Load):
+        return True
+    if isinstance(e, ast.BinOp):
+        return _contains_load(e.lhs) or _contains_load(e.rhs)
+    if isinstance(e, ast.UnOp):
+        return _contains_load(e.operand)
+    return False
+
+
+def _scan_index(
+    idx: ast.Expr | None, ind: str, body_regs: set[str]
+) -> str | None:
+    if idx is None:
+        return None
+    if _degree(idx, ind, body_regs) is None:
+        return "indirect_index" if _contains_load(idx) else "nonaffine_index"
+    return None
+
+
+def _scan_value(
+    e: ast.Expr,
+    ind: str,
+    body_regs: set[str],
+    defined: set[str],
+    loads: list[_Access],
+    stmt_idx: int,
+    line: int,
+) -> str | None:
+    """Depth-first value-expression check, recording loads in the exact
+    traversal (= event emission) order of the interpreter."""
+    if isinstance(e, ast.Const):
+        return None if isinstance(e.value, (int, float)) else "const_type"
+    if isinstance(e, ast.Reg):
+        if e.name != ind and e.name in body_regs and e.name not in defined:
+            return "carried_register"
+        return None
+    if isinstance(e, ast.Load):
+        r = _scan_index(e.index, ind, body_regs)
+        if r:
+            return r
+        loads.append(_Access(READ, e.var, e.index, line, stmt_idx))
+        return None
+    if isinstance(e, ast.BinOp):
+        return _scan_value(
+            e.lhs, ind, body_regs, defined, loads, stmt_idx, line
+        ) or _scan_value(e.rhs, ind, body_regs, defined, loads, stmt_idx, line)
+    if isinstance(e, ast.UnOp):
+        if e.op not in _ALLOWED_UNOPS:
+            return "libm_op"
+        return _scan_value(e.operand, ind, body_regs, defined, loads, stmt_idx, line)
+    return "expr_type"
+
+
+def classify_loop(loop: ast.For) -> "tuple[AffineTemplate | None, str | None]":
+    """Statically classify ``loop``; returns (template, None) on success or
+    (None, reject_reason) when the loop can never take the fast path."""
+    ind = loop.reg.name
+    body_regs = {s.reg.name for s in loop.body if isinstance(s, ast.SetReg)}
+    if ind in body_regs:
+        return None, "induction_reassigned"
+    defined: set[str] = set()
+    stmts: list[_StmtPlan] = []
+    accesses: list[_Access] = []
+    for si, s in enumerate(loop.body):
+        if isinstance(s, ast.SetReg):
+            loads: list[_Access] = []
+            reason = _scan_value(s.expr, ind, body_regs, defined, loads, si, s.line)
+            if reason:
+                return None, reason
+            stmts.append(_StmtPlan(s.reg.name, None, s.expr, loads))
+            accesses.extend(loads)
+            defined.add(s.reg.name)
+        elif isinstance(s, ast.Store):
+            loads = []
+            reason = _scan_value(s.expr, ind, body_regs, defined, loads, si, s.line)
+            if reason:
+                return None, reason
+            reason = _scan_index(s.index, ind, body_regs)
+            if reason:
+                return None, reason
+            w = _Access(WRITE, s.var, s.index, s.line, si)
+            stmts.append(_StmtPlan(None, w, s.expr, loads))
+            accesses.extend(loads)
+            accesses.append(w)
+        else:
+            return None, f"stmt:{type(s).__name__.lower()}"
+    return AffineTemplate(loop, ind, stmts, accesses), None
+
+
+def program_has_spawn(program: "Program") -> bool:
+    """Whether any function of ``program`` can spawn a thread (conservative:
+    scans every function, reachable or not)."""
+
+    def scan(body: list[ast.Stmt]) -> bool:
+        for s in body:
+            if isinstance(s, ast.Spawn):
+                return True
+            for attr in ("body", "then_body", "else_body"):
+                sub = getattr(s, attr, None)
+                if sub and scan(sub):
+                    return True
+        return False
+
+    return any(scan(fn.body) for fn in program.functions.values())
+
+
+# ---------------------------------------------------------------------------
+# Runtime execution
+# ---------------------------------------------------------------------------
+
+
+class _Resolved:
+    """Per-execution resolution of one access: concrete progression."""
+
+    __slots__ = ("addr0", "astride", "gathered")
+
+    def __init__(self, addr0: int, astride: int) -> None:
+        self.addr0 = addr0
+        self.astride = astride
+        self.gathered: _VecVal | None = None
+
+    def span(self, n_iters: int) -> tuple[int, int]:
+        last = self.addr0 + self.astride * (n_iters - 1)
+        return (min(self.addr0, last), max(self.addr0, last))
+
+
+class _Plan:
+    """Everything the pure prepare phase computed, ready to commit."""
+
+    __slots__ = ("n_iters", "k", "start", "step", "res", "env", "store_vals")
+
+    def __init__(self, n_iters, k, start, step, res, env, store_vals) -> None:
+        self.n_iters = n_iters
+        self.k = k
+        self.start = start
+        self.step = step
+        self.res = res
+        self.env = env
+        self.store_vals = store_vals
+
+
+def _gather(mem: Memory, r: _Resolved, n_iters: int) -> _VecVal:
+    if r.astride == 0:
+        v = mem.read(r.addr0)
+        return _scalar_val(v)
+    addrs = range(r.addr0, r.addr0 + r.astride * n_iters, r.astride)
+    vals = mem.read_block(addrs)
+    kinds = set(map(type, vals))
+    if kinds == {int}:
+        try:
+            arr = np.array(vals, dtype=np.int64)
+        except OverflowError:
+            raise Bailout("overflow_risk") from None
+        return _VecVal(arr, int(arr.min()), int(arr.max()), "i")
+    if kinds == {float}:
+        arr = np.array(vals, dtype=np.float64)
+        return _VecVal(arr, float(arr.min()), float(arr.max()), "f")
+    raise Bailout("mixed_types")
+
+
+def _pure_eval(expr: ast.Expr, regs: dict) -> Any:
+    """Event-free scalar evaluation (index expressions are load-free)."""
+    if isinstance(expr, ast.Const):
+        return expr.value
+    if isinstance(expr, ast.Reg):
+        return regs[expr.name]
+    if isinstance(expr, ast.BinOp):
+        return expr.apply(_pure_eval(expr.lhs, regs), _pure_eval(expr.rhs, regs))
+    if isinstance(expr, ast.UnOp):
+        return expr.apply(_pure_eval(expr.operand, regs))
+    raise Bailout("index_expr")
+
+
+class AffineTemplate:
+    """A compiled affine loop: executes the whole iteration space at once."""
+
+    __slots__ = ("loop", "ind", "stmts", "accesses")
+
+    def __init__(
+        self,
+        loop: ast.For,
+        ind: str,
+        stmts: list[_StmtPlan],
+        accesses: list[_Access],
+    ) -> None:
+        self.loop = loop
+        self.ind = ind
+        self.stmts = stmts
+        self.accesses = accesses
+
+    @property
+    def events_per_iteration(self) -> int:
+        return 1 + len(self.accesses)  # LOOP_ITER + every access
+
+    # -- phase A: pure -----------------------------------------------------
+    def _prepare(self, interp, act, start: int, end: int, step: int) -> _Plan:
+        for v in (start, end, step):
+            if not isinstance(v, int):
+                raise Bailout("nonint_bounds")
+        if step > 0:
+            n_iters = (end - start + step - 1) // step if end > start else 0
+        else:
+            n_iters = (start - end - step - 1) // (-step) if start > end else 0
+        if n_iters < MIN_TRIP:
+            raise Bailout("short_trip")
+        last = start + step * (n_iters - 1)
+        if max(abs(start), abs(last)) >= _INT62:
+            raise Bailout("overflow_risk")
+        k = np.arange(n_iters, dtype=np.int64)
+        ind_val = _VecVal(start + step * k, min(start, last), max(start, last), "i")
+
+        # Resolve every access to a concrete (addr0, stride) progression and
+        # bounds-check the whole iteration space.
+        regs0 = dict(act.regs)
+        regs0[self.ind] = start
+        regs1 = dict(act.regs)
+        regs1[self.ind] = start + step
+        res: dict[int, _Resolved] = {}
+        for acc in self.accesses:
+            base, size = interp._binding(act, acc.var)
+            if acc.index is None:
+                e0 = stride = 0
+            else:
+                e0 = _pure_eval(acc.index, regs0)
+                e1 = _pure_eval(acc.index, regs1)
+                if not isinstance(e0, int) or not isinstance(e1, int):
+                    raise Bailout("nonint_index")
+                stride = e1 - e0
+                e_last = e0 + stride * (n_iters - 1)
+                if not (0 <= e0 < size and 0 <= e_last < size):
+                    raise Bailout("oob_index")
+            res[id(acc)] = _Resolved(base + ELEM_SIZE * e0, ELEM_SIZE * stride)
+
+        # Dependence checks: stores pairwise disjoint; a load may overlap a
+        # store only on the identical moving progression, gather-first.
+        writes = [a for a in self.accesses if a.kind == WRITE]
+        reads = [a for a in self.accesses if a.kind == READ]
+        spans = {i: r.span(n_iters) for i, r in res.items()}
+
+        def overlaps(a: _Access, b: _Access) -> bool:
+            (alo, ahi), (blo, bhi) = spans[id(a)], spans[id(b)]
+            return alo <= bhi and blo <= ahi
+
+        for i, w1 in enumerate(writes):
+            for w2 in writes[i + 1 :]:
+                if overlaps(w1, w2):
+                    raise Bailout("store_overlap")
+        for rd in reads:
+            rr = res[id(rd)]
+            for w in writes:
+                if not overlaps(rd, w):
+                    continue
+                rw = res[id(w)]
+                same = (
+                    rr.addr0 == rw.addr0
+                    and rr.astride == rw.astride
+                    and rr.astride != 0
+                )
+                if not (same and rd.stmt_idx <= w.stmt_idx):
+                    raise Bailout("loop_carried_alias")
+
+        # Vector-evaluate the body in statement order (gathers read pre-loop
+        # memory, which the alias checks above proved is what the
+        # interpreter's per-iteration reads would observe).
+        env: dict[str, _VecVal] = {}
+        store_vals: list[_VecVal | None] = [None] * len(self.stmts)
+        for si, sp in enumerate(self.stmts):
+            load_iter = iter(sp.loads)
+            val = self._veval(sp.expr, interp, act, env, ind_val, res, load_iter)
+            if sp.target_reg is not None:
+                env[sp.target_reg] = val
+            else:
+                store_vals[si] = val
+        return _Plan(n_iters, k, start, step, res, env, store_vals)
+
+    def _veval(
+        self,
+        e: ast.Expr,
+        interp,
+        act,
+        env: dict[str, _VecVal],
+        ind_val: _VecVal,
+        res: dict[int, _Resolved],
+        load_iter: Iterator[_Access],
+    ) -> _VecVal:
+        if isinstance(e, ast.Const):
+            return _scalar_val(e.value)
+        if isinstance(e, ast.Reg):
+            if e.name == self.ind:
+                return ind_val
+            v = env.get(e.name)
+            if v is not None:
+                return v
+            # Loop-invariant register: an unset one bails so the interpreter
+            # can raise its own error at the right event position.
+            return _scalar_val(act.regs[e.name])
+        if isinstance(e, ast.Load):
+            acc = next(load_iter)
+            r = res[id(acc)]
+            if r.gathered is None:
+                r.gathered = _gather(interp.mem, r, len(ind_val.val))
+            return r.gathered
+        if isinstance(e, ast.BinOp):
+            lhs = self._veval(e.lhs, interp, act, env, ind_val, res, load_iter)
+            rhs = self._veval(e.rhs, interp, act, env, ind_val, res, load_iter)
+            return _vec_binop(e.op, lhs, rhs)
+        if isinstance(e, ast.UnOp):
+            return _vec_unop(
+                e.op, self._veval(e.operand, interp, act, env, ind_val, res, load_iter)
+            )
+        raise Bailout("expr_type")
+
+    # -- phase B: commit ---------------------------------------------------
+    def _commit(self, interp, act, tid: int, site: int, plan: _Plan) -> None:
+        mem = interp.mem
+        n_iters, k = plan.n_iters, plan.k
+
+        # Scatter stores (progressions are pairwise disjoint; a stride-0
+        # store keeps only its last value, like the interpreter would).
+        for sp, val in zip(self.stmts, plan.store_vals):
+            if sp.store is None:
+                continue
+            r = plan.res[id(sp.store)]
+            v = val.val
+            if r.astride == 0:
+                mem.write(r.addr0, v if _is_scalar(v) else v[-1].item())
+            else:
+                addrs = range(r.addr0, r.addr0 + r.astride * n_iters, r.astride)
+                if _is_scalar(v):
+                    mem.write_block(addrs, itertools.repeat(v, n_iters))
+                else:
+                    mem.write_block(addrs, v.tolist())
+
+        # Registers end exactly as after the last interpreted iteration.
+        act.regs[self.ind] = plan.start + plan.step * (n_iters - 1)
+        for name, val in plan.env.items():
+            v = val.val
+            act.regs[name] = v if _is_scalar(v) else v[-1].item()
+
+        # Synthesize the event block: iteration-major tiling of the per-
+        # iteration slot pattern [LOOP_ITER, access, access, ...].  Variable
+        # names intern in slot order = the interpreter's first-iteration
+        # emission order, keeping the intern tables bit-identical too.
+        n_slots = self.events_per_iteration
+        kind_pat = np.empty(n_slots, dtype=np.uint8)
+        loc_pat = np.empty(n_slots, dtype=np.int32)
+        var_pat = np.empty(n_slots, dtype=np.int32)
+        addr = np.empty((n_iters, n_slots), dtype=np.int64)
+        aux = np.zeros((n_iters, n_slots), dtype=np.int64)
+        kind_pat[0] = LOOP_ITER
+        loc_pat[0] = site
+        var_pat[0] = -1
+        addr[:, 0] = site
+        aux[:, 0] = k
+        for j, acc in enumerate(self.accesses, start=1):
+            r = plan.res[id(acc)]
+            kind_pat[j] = acc.kind
+            loc_pat[j] = interp.loc(acc.line)
+            var_pat[j] = interp._var_id(acc.var.name)
+            addr[:, j] = r.addr0 + r.astride * k
+        interp.gate.emit_block(
+            tid,
+            site,
+            n_iters,
+            kind=np.tile(kind_pat, n_iters),
+            loc=np.tile(loc_pat, n_iters),
+            addr=addr.reshape(-1),
+            aux=aux.reshape(-1),
+            var=np.tile(var_pat, n_iters),
+        )
+
+    def execute(
+        self,
+        interp,
+        act,
+        tid: int,
+        start: Any,
+        end: Any,
+        step: Any,
+        site: int,
+        stats: "FastPathStats",
+    ) -> bool:
+        """Try to run the whole loop vectorized; ``False`` means nothing was
+        mutated and the caller must interpret the loop normally."""
+        try:
+            plan = self._prepare(interp, act, start, end, step)
+        except Bailout as b:
+            stats.bailout(b.reason)
+            return False
+        except Exception as exc:  # interpreter reproduces the error in place
+            stats.bailout(f"error:{type(exc).__name__}")
+            return False
+        self._commit(interp, act, tid, site, plan)
+        stats.hit(plan.n_iters, plan.n_iters * self.events_per_iteration)
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+class FastPathStats:
+    """Producer-side fast-path accounting for one interpreter instance."""
+
+    __slots__ = (
+        "loops",
+        "iterations",
+        "events",
+        "templates",
+        "rejects",
+        "bailouts",
+    )
+
+    def __init__(self) -> None:
+        self.loops = 0  # loop executions taken by the fast path
+        self.iterations = 0
+        self.events = 0  # trace rows synthesized in bulk
+        self.templates = 0  # loops that classified as affine
+        self.rejects: dict[str, int] = {}  # static, once per loop site
+        self.bailouts: dict[str, int] = {}  # dynamic, once per execution
+
+    def hit(self, n_iters: int, n_rows: int) -> None:
+        self.loops += 1
+        self.iterations += n_iters
+        self.events += n_rows
+
+    def compiled(self) -> None:
+        self.templates += 1
+
+    def reject(self, reason: str) -> None:
+        self.rejects[reason] = self.rejects.get(reason, 0) + 1
+
+    def bailout(self, reason: str) -> None:
+        self.bailouts[reason] = self.bailouts.get(reason, 0) + 1
+
+    def publish(self, registry: "MetricsRegistry", total_events: int) -> None:
+        """Fold into ``producer.*`` counters (RunReport / ddprof stats)."""
+        c = registry.counter
+        c("producer.events_fastpath").inc(self.events)
+        c("producer.events_interpreted").inc(max(0, total_events - self.events))
+        c("producer.fastpath_loops").inc(self.loops)
+        c("producer.fastpath_iterations").inc(self.iterations)
+        c("producer.templates_compiled").inc(self.templates)
+        for reason, n in sorted(self.rejects.items()):
+            c("producer.template_rejects", reason=reason).inc(n)
+        for reason, n in sorted(self.bailouts.items()):
+            c("producer.fastpath_bailouts", reason=reason).inc(n)

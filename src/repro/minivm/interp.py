@@ -28,6 +28,7 @@ from typing import Any, Iterator, Protocol
 
 from repro.common.errors import MiniVmError
 from repro.common.sourceloc import encode_location
+from repro.minivm import affine
 from repro.minivm import astnodes as ast
 from repro.minivm.memory import ELEM_SIZE, Memory
 from repro.minivm.program import Function, Program
@@ -46,6 +47,8 @@ class EmitGate(Protocol):
     def emit_loop_exit(self, tid: int, site: int, end_loc: int) -> None: ...
     def emit_func_enter(self, tid: int, func_id: int, loc: int) -> None: ...
     def emit_func_exit(self, tid: int, func_id: int, loc: int) -> None: ...
+    def fastpath_allowed(self, tid: int) -> bool: ...
+    def emit_block(self, tid: int, site: int, n_iters: int, **cols: Any) -> None: ...
 
 
 class _Activation:
@@ -61,10 +64,20 @@ class _Activation:
 class Interp:
     """Executes one :class:`Program` against a memory and an emit gate."""
 
-    def __init__(self, program: Program, memory: Memory, gate: EmitGate) -> None:
+    def __init__(
+        self,
+        program: Program,
+        memory: Memory,
+        gate: EmitGate,
+        fastpath: bool = True,
+    ) -> None:
         self.prog = program
         self.mem = memory
         self.gate = gate
+        self.fastpath = fastpath
+        self.fastpath_stats = affine.FastPathStats()
+        # Loop AST node id -> AffineTemplate, or False for rejected loops.
+        self._affine_cache: dict[int, "affine.AffineTemplate | bool"] = {}
         self._var_ids: dict[str, int] = {}
         self._global_bases: dict[str, tuple[int, int]] = {}
         for var in program.globals_:
@@ -125,6 +138,22 @@ class Interp:
             return expr.apply(self._eval(expr.operand, act, tid, line))
         raise MiniVmError(f"cannot evaluate {expr!r}")
 
+    # -- affine fast path ------------------------------------------------------
+    def _affine_template(self, s: ast.For) -> "affine.AffineTemplate | None":
+        """Cached static classification of a For node (id-keyed: AST nodes
+        are unique and live as long as the program)."""
+        cached = self._affine_cache.get(id(s))
+        if cached is None:
+            tmpl, reason = affine.classify_loop(s)
+            if tmpl is None:
+                self.fastpath_stats.reject(reason)
+                cached = False
+            else:
+                self.fastpath_stats.compiled()
+                cached = tmpl
+            self._affine_cache[id(s)] = cached
+        return cached or None
+
     # -- execution ---------------------------------------------------------------
     def thread_gen(self, tid: int, func_name: str, argvals: tuple) -> Iterator:
         """Generator executing ``func_name(*argvals)`` on thread ``tid``."""
@@ -178,13 +207,21 @@ class Interp:
                 raise MiniVmError(f"for-loop step 0 at line {line}")
             site = self.loc(line)
             self.gate.emit_loop_enter(tid, site)
-            v = start
-            while (v < end) if step > 0 else (v > end):
-                act.regs[s.reg.name] = v
-                self.gate.emit_loop_iter(tid, site)
-                yield ("step",)
-                yield from self._exec_block(tid, act, s.body)
-                v = v + step
+            done = False
+            if self.fastpath and self.gate.fastpath_allowed(tid):
+                tmpl = self._affine_template(s)
+                if tmpl is not None:
+                    done = tmpl.execute(
+                        self, act, tid, start, end, step, site, self.fastpath_stats
+                    )
+            if not done:
+                v = start
+                while (v < end) if step > 0 else (v > end):
+                    act.regs[s.reg.name] = v
+                    self.gate.emit_loop_iter(tid, site)
+                    yield ("step",)
+                    yield from self._exec_block(tid, act, s.body)
+                    v = v + step
             self.gate.emit_loop_exit(tid, site, self.loc(s.end_line or line))
             yield ("step",)
         elif isinstance(s, ast.While):

@@ -95,6 +95,18 @@ class Memory:
     def write(self, addr: int, value: float | int) -> None:
         self._values[addr] = value
 
+    def read_block(self, addrs) -> list[float | int]:
+        """Read many addresses at once (affine fast path gather)."""
+        get = self._values.get
+        return [get(a, 0) for a in addrs]
+
+    def write_block(self, addrs, values) -> None:
+        """Write many address/value pairs at once (affine fast path scatter).
+
+        Later pairs win on duplicate addresses, matching a sequential run.
+        """
+        self._values.update(zip(addrs, values))
+
     # -- introspection --------------------------------------------------------------
     @property
     def n_live_heap_blocks(self) -> int:

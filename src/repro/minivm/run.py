@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.minivm.program import Program
 from repro.minivm.scheduler import ScheduleConfig, Scheduler
 from repro.trace import TraceBatch, TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 def run_program(
@@ -12,6 +17,8 @@ def run_program(
     args: tuple = (),
     schedule: ScheduleConfig | None = None,
     recorder: TraceRecorder | None = None,
+    fastpath: bool = True,
+    registry: "MetricsRegistry | None" = None,
 ) -> TraceBatch:
     """Execute ``program.main(*args)`` under instrumentation.
 
@@ -19,5 +26,15 @@ def run_program(
     :func:`repro.core.profile_trace`.  ``schedule`` controls thread
     interleaving and the delayed-push (race) model; the default is a
     deterministic round-robin with immediate pushes.
+
+    ``fastpath`` toggles the affine-loop producer fast path (see
+    :mod:`repro.minivm.affine`); traces are bit-identical either way, so
+    disabling it is only useful as the differential oracle or for timing
+    the interpreter.  When a ``registry`` is given, producer fast-path
+    counters (``producer.*``) are published into it.
     """
-    return Scheduler(program, recorder=recorder, schedule=schedule).run(args)
+    sched = Scheduler(program, recorder=recorder, schedule=schedule, fastpath=fastpath)
+    batch = sched.run(args)
+    if registry is not None:
+        sched.interp.fastpath_stats.publish(registry, total_events=len(batch))
+    return batch

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import MiniVmError
 from repro.common.rng import make_rng
+from repro.minivm.affine import program_has_spawn
 from repro.minivm.interp import Interp
 from repro.minivm.memory import Memory
 from repro.minivm.program import Program
@@ -70,12 +71,14 @@ class Scheduler:
         program: Program,
         recorder: TraceRecorder | None = None,
         schedule: ScheduleConfig | None = None,
+        fastpath: bool = True,
     ) -> None:
         self.cfg = schedule if schedule is not None else ScheduleConfig()
         self.recorder = recorder if recorder is not None else TraceRecorder()
         self.recorder.intern_file(program.name)
         self.memory = Memory()
-        self.interp = Interp(program, self.memory, self)
+        self.interp = Interp(program, self.memory, self, fastpath=fastpath)
+        self._has_spawn: bool | None = None  # lazy program_has_spawn()
         self._threads: dict[int, _Thread] = {}
         self._next_tid = 1
         self._locks: dict[int, int] = {}  # lock_id -> owner tid
@@ -155,6 +158,32 @@ class Scheduler:
 
     def emit_func_exit(self, tid: int, func_id: int, loc: int) -> None:
         self.recorder.func_exit(func_id, loc, tid)
+
+    def fastpath_allowed(self, tid: int) -> bool:
+        """May the interpreter vectorize a whole loop for ``tid`` right now?
+
+        Collapsing per-statement scheduling points must be unobservable in
+        the trace, which requires: no delayed-push model (it draws RNG per
+        access), no queued deferred events, exactly one live thread (so
+        every pick is forced), and — for programs that can spawn — a policy
+        whose later choices cannot depend on how many picks happened while
+        this thread ran alone (``random`` draws RNG per pick, so it is only
+        safe when no second thread can ever appear).
+        """
+        if self.cfg.delay_probability > 0.0 or self._pending:
+            return False
+        live = [t for t in self._threads.values() if t.state != "finished"]
+        if len(live) != 1 or live[0].tid != tid:
+            return False
+        if self.cfg.policy == "random":
+            if self._has_spawn is None:
+                self._has_spawn = program_has_spawn(self.interp.prog)
+            if self._has_spawn:
+                return False
+        return True
+
+    def emit_block(self, tid: int, site: int, n_iters: int, **cols) -> None:
+        self.recorder.emit_block(tid, site, n_iters, **cols)
 
     # ------------------------------------------------------------------
     # Scheduling

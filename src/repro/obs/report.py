@@ -121,6 +121,37 @@ class RunReport:
             provenance=prov.to_list() if prov is not None else None,
         )
 
+    # -- derived sections -----------------------------------------------------
+    def producer_summary(self) -> dict[str, Any] | None:
+        """Roll up the ``producer.*`` counters (affine fast path, trace
+        cache), or ``None`` when the run never built a trace."""
+
+        def family(prefix: str) -> int:
+            return sum(
+                v
+                for k, v in self.counters.items()
+                if k == prefix or k.startswith(prefix + "{")
+            )
+
+        if not any(k.startswith("producer.events_") for k in self.counters):
+            return None
+        fast = family("producer.events_fastpath")
+        interp = family("producer.events_interpreted")
+        total = fast + interp
+        return {
+            "events_total": total,
+            "events_fastpath": fast,
+            "events_interpreted": interp,
+            "fastpath_fraction": fast / total if total else 0.0,
+            "fastpath_loops": family("producer.fastpath_loops"),
+            "fastpath_iterations": family("producer.fastpath_iterations"),
+            "templates_compiled": family("producer.templates_compiled"),
+            "template_rejects": family("producer.template_rejects"),
+            "bailouts": family("producer.fastpath_bailouts"),
+            "trace_cache_hits": family("producer.trace_cache_hits"),
+            "trace_cache_misses": family("producer.trace_cache_misses"),
+        }
+
     # -- serialization --------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -131,6 +162,7 @@ class RunReport:
             "gauges": self.gauges,
             "histograms": self.histograms,
             "profile": self.profile,
+            "producer": self.producer_summary(),
             "parallel": self.parallel,
             "trace": self.trace,
             "provenance": self.provenance,
@@ -193,6 +225,14 @@ class RunReport:
                     f"idle {t['idle_frac'] * 100:5.1f}%  "
                     f"({t['events']} events)"
                 )
+        producer = self.producer_summary()
+        if producer is not None:
+            lines.append(
+                f"  producer: {producer['events_total']} events emitted "
+                f"({producer['fastpath_fraction'] * 100:.1f}% fast path), "
+                f"{producer['fastpath_loops']} affine loop executions vectorized, "
+                f"{producer['bailouts']} bailouts"
+            )
         if self.provenance is not None:
             n_suspect = sum(1 for r in self.provenance if r["provenance"]["suspect_fp"])
             lines.append(

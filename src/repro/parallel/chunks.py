@@ -34,6 +34,18 @@ class Chunk:
         self.rows[self.count] = row
         self.count += 1
 
+    def extend(self, rows: np.ndarray, start: int = 0) -> int:
+        """Block-copy from ``rows[start:]`` into the remaining capacity.
+
+        Returns how many rows were taken; the caller loops over fresh
+        chunks until the block is exhausted.
+        """
+        take = min(len(rows) - start, len(self.rows) - self.count)
+        if take > 0:
+            self.rows[self.count : self.count + take] = rows[start : start + take]
+            self.count += take
+        return take
+
     def view(self) -> np.ndarray:
         """The filled prefix (no copy)."""
         return self.rows[: self.count]

@@ -334,12 +334,8 @@ class ParallelProfiler:
         def bulk_append(w: int, rows: np.ndarray) -> None:
             i, n = 0, len(rows)
             while i < n:
-                chunk = open_chunks[w]
-                take = min(n - i, chunk.capacity - chunk.count)
-                chunk.rows[chunk.count : chunk.count + take] = rows[i : i + take]
-                chunk.count += take
-                i += take
-                if chunk.full:
+                i += open_chunks[w].extend(rows, start=i)
+                if open_chunks[w].full:
                     push_chunk(w)
 
         def quiesce() -> None:

@@ -236,29 +236,52 @@ class TraceBuilder:
         c["ctx"][n] = ctx
         self._n = n + 1
 
+    def append_rows(self, n: int, **cols: "np.ndarray | int") -> None:
+        """Block-append ``n`` rows at once from column arrays or scalars.
+
+        Scalars broadcast over the block (numpy assignment semantics); array
+        columns must have length ``n``.  Missing columns default to ``-1``
+        for ``loc``/``var``/``ctx`` and ``0`` otherwise; ``ts`` defaults to a
+        fresh monotone range.  This is the bulk-emission primitive behind the
+        producer fast path and synthetic trace generators: one call replaces
+        ``n`` per-row :meth:`append` calls.
+        """
+        if n < 0:
+            raise TraceFormatError(f"append_rows of {n} rows")
+        unknown = set(cols) - {name for name, _ in _COLUMNS}
+        if unknown:
+            raise TraceFormatError(f"unknown trace columns: {sorted(unknown)}")
+        for name, v in cols.items():
+            if np.ndim(v) != 0 and len(v) != n:
+                raise TraceFormatError(
+                    f"column {name!r} has length {len(v)}, expected {n}"
+                )
+        if n == 0:
+            return
+        if self._n + n > self._cap:
+            self._grow(self._n + n)
+        start = self._n
+        defaults = {"loc": -1, "var": -1, "ctx": -1}
+        for name, _ in _COLUMNS:
+            dst = self._cols[name][start : start + n]
+            if name in cols:
+                dst[:] = cols[name]
+            elif name == "ts":
+                dst[:] = np.arange(start, start + n, dtype=np.int64)
+            else:
+                dst[:] = defaults.get(name, 0)
+        self._n = start + n
+
     def extend_columns(self, **cols: np.ndarray) -> None:
         """Bulk-append aligned column arrays (synthetic workload fast path).
 
-        Missing columns default to ``-1`` for ``loc``/``var``/``ctx`` and
-        ``0`` otherwise; ``ts`` defaults to a fresh monotone range.
+        Thin wrapper over :meth:`append_rows` that infers the row count from
+        the (required, equal-length) array columns.
         """
         lengths = {len(v) for v in cols.values()}
         if len(lengths) != 1:
             raise TraceFormatError(f"unequal column lengths: {sorted(lengths)}")
-        k = lengths.pop()
-        if self._n + k > self._cap:
-            self._grow(self._n + k)
-        n = self._n
-        defaults = {"loc": -1, "var": -1, "ctx": -1}
-        for name, dt in _COLUMNS:
-            dst = self._cols[name][n : n + k]
-            if name in cols:
-                dst[:] = cols[name]
-            elif name == "ts":
-                dst[:] = np.arange(n, n + k, dtype=np.int64)
-            else:
-                dst[:] = defaults.get(name, 0)
-        self._n = n + k
+        self.append_rows(lengths.pop(), **cols)
 
     def build(self) -> TraceBatch:
         """Freeze into an immutable :class:`TraceBatch` (copies the columns)."""

@@ -21,6 +21,8 @@ decreasing timestamps flags the dependence as a potential data race.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.common.errors import MiniVmError
 from repro.trace.batch import TraceBatch, TraceBuilder
 from repro.trace import events as ev
@@ -149,6 +151,49 @@ class TraceRecorder:
         st.loop_iters[-1] += 1
         self._emit(
             ev.LOOP_ITER, tid, site, site, st.loop_iters[-1], -1, None, st.ctx_id
+        )
+
+    def emit_block(
+        self,
+        tid: int,
+        site: int,
+        n_iters: int,
+        kind: np.ndarray,
+        loc: np.ndarray,
+        addr: np.ndarray,
+        aux: np.ndarray,
+        var: np.ndarray,
+    ) -> None:
+        """Bulk-append ``n_iters`` whole iterations of the innermost loop.
+
+        The caller (the affine fast path) pre-builds the per-row columns for
+        a block of consecutive iterations of the loop at ``site`` — the
+        LOOP_ITER markers and every access of every iteration, in exactly
+        the order the tree-walking interpreter would have pushed them.  This
+        method supplies what the recorder owns: the monotone ``ts`` range,
+        the constant loop context, and the per-thread iteration bookkeeping
+        that :meth:`loop_iter` normally advances one call at a time.
+        """
+        st = self._state(tid)
+        if not st.loop_sites or st.loop_sites[-1] != site:
+            raise MiniVmError(
+                f"emit_block for site {site} but innermost loop is "
+                f"{st.loop_sites[-1] if st.loop_sites else None}"
+            )
+        n_rows = len(kind)
+        ts0 = self._ts
+        self._ts += n_rows
+        st.loop_iters[-1] += n_iters
+        self._builder.append_rows(
+            n_rows,
+            kind=kind,
+            tid=tid,
+            loc=loc,
+            addr=addr,
+            aux=aux,
+            var=var,
+            ts=np.arange(ts0, ts0 + n_rows, dtype=np.int64),
+            ctx=st.ctx_id,
         )
 
     def loop_exit(self, site: int, tid: int = 0, end_loc: int | None = None) -> None:

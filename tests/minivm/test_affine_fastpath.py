@@ -1,0 +1,422 @@
+"""Tests for the affine-loop producer fast path.
+
+The contract under test: with ``fastpath=True`` the interpreter may execute
+whole loops as array operations, but the resulting trace must be
+*bit-for-bit* identical (all eight columns plus the three intern tables) to
+the tree-walking path, and memory/registers must end in value- and
+type-identical states.  Classification and bailout edge cases are pinned
+down by reason string so a regression shows up as the wrong reason, not
+just as "didn't vectorize".
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import MiniVmError
+from repro.minivm import ProgramBuilder, ScheduleConfig, Scheduler, run_program
+from repro.minivm import affine
+from repro.minivm.astnodes import For, UnOp
+
+
+def first_for(program, func="main"):
+    """The first (outermost) For statement of ``func``."""
+    for s in program.function(func).body:
+        if isinstance(s, For):
+            return s
+    raise AssertionError("program has no For loop")
+
+
+def run_both(program, schedule=None, args=()):
+    """Run fast-path and interpreted; return (fast_sched, slow_sched, batches)."""
+    fast = Scheduler(program, schedule=schedule, fastpath=True)
+    fast_batch = fast.run(args)
+    slow = Scheduler(program, schedule=schedule, fastpath=False)
+    slow_batch = slow.run(args)
+    return fast, slow, fast_batch, slow_batch
+
+
+def assert_traces_identical(a, b):
+    for col in ("kind", "tid", "loc", "addr", "aux", "var", "ts", "ctx"):
+        x, y = getattr(a, col), getattr(b, col)
+        assert len(x) == len(y), f"column {col}: {len(x)} vs {len(y)} rows"
+        if not np.array_equal(x, y):
+            i = int(np.argmax(x != y))
+            raise AssertionError(
+                f"column {col} differs first at row {i}: {x[i]} vs {y[i]}"
+            )
+        assert x.dtype == y.dtype, col
+    assert a.var_names == b.var_names
+    assert a.file_names == b.file_names
+    assert a.ctx_stacks == b.ctx_stacks
+
+
+def memory_state(sched):
+    """Type-exact memory snapshot: float 2.0 != int 2."""
+    return {
+        addr: (type(v).__name__, repr(v))
+        for addr, v in sched.memory._values.items()
+    }
+
+
+def assert_equivalent(program, schedule=None, args=()):
+    fast, slow, fb, sb = run_both(program, schedule=schedule, args=args)
+    assert_traces_identical(fb, sb)
+    assert memory_state(fast) == memory_state(slow)
+    return fast.interp.fastpath_stats
+
+
+N = 70  # global array extent used by most programs here
+
+
+def build(body_fn, n=N, trip=16, step=1, start=None):
+    """One-loop program over arrays a,b,c and scalar s; body_fn(f, i, vars)."""
+    b = ProgramBuilder("affine-case")
+    arrs = {name: b.global_array(name, n) for name in ("a", "b", "c")}
+    arrs["s"] = b.global_scalar("s")
+    with b.function("main") as f:
+        i = f.reg("i")
+        j = f.reg("j")
+        # Seed memory with mixed int/float content through an affine prologue.
+        with f.for_loop(j, 0, n):
+            f.store(arrs["a"], j, j * 3 - 5)
+            f.store(arrs["b"], j, j * 0.5)
+        if start is None:
+            start = trip - 1 if step < 0 else 0
+        end = -1 if step < 0 else trip
+        with f.for_loop(i, start, end, step):
+            body_fn(f, i, arrs)
+    return b.build()
+
+
+class TestClassification:
+    """Static accept/reject decisions, pinned by reason."""
+
+    def classify(self, program):
+        # Loops of interest are built second (after the seeding prologue).
+        loops = [s for s in program.function("main").body if isinstance(s, For)]
+        return affine.classify_loop(loops[-1])
+
+    def test_affine_fill_accepted(self):
+        p = build(lambda f, i, v: f.store(v["a"], i, i * 2 + 1))
+        tmpl, reason = self.classify(p)
+        assert reason is None
+        assert tmpl.events_per_iteration == 2  # LOOP_ITER + WRITE
+
+    def test_load_slots_in_emission_order(self):
+        p = build(lambda f, i, v: f.store(v["c"], i, f.load(v["a"], i) + f.load(v["b"], i)))
+        tmpl, _ = self.classify(p)
+        assert [a.var.name for a in tmpl.accesses] == ["a", "b", "c"]
+
+    def test_nested_loop_rejected(self):
+        def body(f, i, v):
+            k = f.reg("k")
+            with f.for_loop(k, 0, 4):
+                f.store(v["a"], i, k)
+
+        tmpl, reason = self.classify(build(body))
+        assert tmpl is None and reason == "stmt:for"
+
+    def test_if_rejected(self):
+        def body(f, i, v):
+            with f.if_((i % 2).eq(0)):
+                f.store(v["a"], i, 1)
+
+        tmpl, reason = self.classify(build(body))
+        assert tmpl is None and reason == "stmt:if"
+
+    def test_induction_reassignment_rejected(self):
+        def body(f, i, v):
+            f.set(i, i + 1)
+
+        tmpl, reason = self.classify(build(body))
+        assert tmpl is None and reason == "induction_reassigned"
+
+    def test_register_reduction_rejected(self):
+        def body(f, i, v):
+            r = f.reg("r")
+            f.set(r, r + f.load(v["a"], i))
+
+        tmpl, reason = self.classify(build(body))
+        assert tmpl is None and reason == "carried_register"
+
+    def test_register_defined_then_used_accepted(self):
+        def body(f, i, v):
+            r = f.reg("r")
+            f.set(r, f.load(v["a"], i) * 2)
+            f.store(v["c"], i, r + 1)
+
+        tmpl, reason = self.classify(build(body))
+        assert reason is None and tmpl is not None
+
+    def test_indirect_index_rejected(self):
+        p = build(lambda f, i, v: f.store(v["c"], f.load(v["a"], i), 1))
+        tmpl, reason = self.classify(p)
+        assert tmpl is None and reason == "indirect_index"
+
+    def test_quadratic_index_rejected(self):
+        p = build(lambda f, i, v: f.store(v["a"], i * i % N, 1))
+        tmpl, reason = self.classify(p)
+        assert tmpl is None and reason == "nonaffine_index"
+
+    def test_libm_value_rejected(self):
+        p = build(lambda f, i, v: f.store(v["a"], i, UnOp("sin", i * 1.0)))
+        tmpl, reason = self.classify(p)
+        assert tmpl is None and reason == "libm_op"
+
+
+class TestOracle:
+    """Differential equivalence, with the expected dynamic outcome pinned."""
+
+    def check(self, body_fn, expect, trip=16, step=1, **kw):
+        stats = assert_equivalent(build(body_fn, trip=trip, step=step, **kw))
+        # The seeding prologue loop always hits, so "hit" means both loops
+        # vectorized while a bailout reason means only the prologue did.
+        if expect == "hit":
+            assert stats.loops == 2, (stats.rejects, stats.bailouts)
+        else:
+            assert stats.loops == 1
+            assert expect in stats.bailouts, (stats.rejects, stats.bailouts)
+        return stats
+
+    def test_fill_hits(self):
+        stats = self.check(lambda f, i, v: f.store(v["a"], i, i * 2), "hit")
+        assert stats.iterations == N + 16  # prologue + target
+        assert stats.events == N * 3 + 16 * 2
+
+    def test_copy_and_axpy_hit(self):
+        def body(f, i, v):
+            f.store(v["c"], i, f.load(v["a"], i) * 2 + f.load(v["b"], i))
+
+        self.check(body, "hit")
+
+    def test_negative_stride_hits(self):
+        self.check(lambda f, i, v: f.store(v["a"], i, i), "hit", step=-1)
+
+    def test_strided_affine_index_hits(self):
+        self.check(lambda f, i, v: f.store(v["a"], 2 * i + 1, i), "hit", trip=30)
+
+    def test_scalar_load_broadcast_hits(self):
+        def body(f, i, v):
+            f.store(v["c"], i, f.load(v["s"]) + i)
+
+        self.check(body, "hit")
+
+    def test_in_place_update_hits(self):
+        # a[i] = a[i] * 2: load and store walk the same progression,
+        # load-before-store, so gather-then-scatter is exact.
+        self.check(lambda f, i, v: f.store(v["a"], i, f.load(v["a"], i) * 2), "hit")
+
+    def test_float_division_hits(self):
+        self.check(lambda f, i, v: f.store(v["c"], i, f.load(v["b"], i) / 3.0), "hit")
+
+    def test_division_by_zero_guard_matches(self):
+        # The interpreter's `/` guard returns 0.0 for zero divisors; the
+        # vectorized masked division must reproduce that bit-for-bit and
+        # leave float-typed zeros in memory.
+        self.check(lambda f, i, v: f.store(v["c"], i, 100.0 / (i % 3)), "hit")
+
+    def test_int_floordiv_and_mod_hit(self):
+        def body(f, i, v):
+            f.store(v["c"], i, f.load(v["a"], i) // 3 + i % 5)
+
+        self.check(body, "hit")
+
+    def test_min_max_comparisons_hit(self):
+        from repro.minivm.astnodes import BinOp, Const
+
+        def body(f, i, v):
+            f.store(v["c"], i, BinOp("min", i * 7 % 13, Const(6)) + i.lt(8))
+
+        self.check(body, "hit")
+
+    def test_sqrt_of_negative_guard_matches(self):
+        def body(f, i, v):
+            f.store(v["c"], i, UnOp("sqrt", f.load(v["a"], i)))
+
+        self.check(body, "hit")  # a[] holds negative ints: guard yields 0.0
+
+    def test_short_trip_bails(self):
+        stats = self.check(
+            lambda f, i, v: f.store(v["a"], i, i), "short_trip",
+            trip=affine.MIN_TRIP - 1,
+        )
+        assert stats.templates == 2  # still classified (prologue + loop)
+
+    def test_shifted_alias_bails(self):
+        # b-like recurrence: reads a[i], writes a[i+1] — loop-carried.
+        self.check(
+            lambda f, i, v: f.store(v["a"], i + 1, f.load(v["a"], i)),
+            "loop_carried_alias",
+        )
+
+    def test_store_store_overlap_bails(self):
+        def body(f, i, v):
+            f.store(v["a"], i, 1)
+            f.store(v["a"], i, 2)
+
+        self.check(body, "store_overlap")
+
+    def test_scalar_accumulation_bails(self):
+        # s = s + a[i] through memory: read and write both stride 0.
+        def body(f, i, v):
+            f.store(v["s"], None, f.load(v["s"]) + f.load(v["a"], i))
+
+        self.check(body, "loop_carried_alias")
+
+    def test_mixed_type_gather_bails(self):
+        # c[] holds uninitialized ints (0) after a[] got floats mid-array.
+        def body(f, i, v):
+            f.store(v["a"], i, f.load(v["c"], i))
+
+        def seed_mixed(f, j, v):
+            pass
+
+        b = ProgramBuilder("mixed")
+        a = b.global_array("a", N)
+        c = b.global_array("c", N)
+        with b.function("main") as f:
+            j = f.reg("j")
+            i = f.reg("i")
+            with f.for_loop(j, 0, 8):
+                f.store(c, 2 * j, j * 0.5)  # floats at even slots only
+            with f.for_loop(i, 0, 16):
+                f.store(a, i, f.load(c, i))
+        stats = assert_equivalent(b.build())
+        assert "mixed_types" in stats.bailouts
+
+    def test_float_intdiv_bails(self):
+        # Python floor-divides floats happily (with an int-0 guard value that
+        # breaks kind uniformity), so the fast path must hand this back.
+        self.check(
+            lambda f, i, v: f.store(v["c"], i, f.load(v["b"], i) // 2),
+            "float_intdiv",
+        )
+
+    def test_out_of_bounds_error_identical(self):
+        p = build(lambda f, i, v: f.store(v["a"], i + N - 4, i))
+        with pytest.raises(MiniVmError):
+            run_program(p, fastpath=True)
+        with pytest.raises(MiniVmError):
+            run_program(p, fastpath=False)
+
+    def test_bailout_mid_program(self):
+        """Affine, then non-affine, then affine again: the fast path must
+        resync memory/ts/loop-stack perfectly across the interpreted gap."""
+        b = ProgramBuilder("mid")
+        a = b.global_array("a", N)
+        c = b.global_array("c", N)
+        with b.function("main") as f:
+            i = f.reg("i")
+            r = f.reg("r")
+            with f.for_loop(i, 0, 32):
+                f.store(a, i, i * 3)
+            f.set(r, 0)
+            with f.for_loop(i, 0, 32):  # reduction: interpreted
+                f.set(r, r + f.load(a, i))
+            f.store(c, 0, r)
+            with f.for_loop(i, 0, 32):  # affine again, reads updated memory
+                f.store(c, i + 1, f.load(a, i) + f.load(c, 0))
+        stats = assert_equivalent(b.build())
+        assert stats.loops == 2
+        assert "carried_register" in stats.rejects
+
+    def test_register_results_feed_later_addresses(self):
+        """Loop-end register values become later indexes: wrong finalization
+        would shift subsequent addresses, not just values."""
+        b = ProgramBuilder("regfinal")
+        a = b.global_array("a", N)
+        with b.function("main") as f:
+            i = f.reg("i")
+            r = f.reg("r")
+            with f.for_loop(i, 0, 20):
+                f.set(r, i % 7)
+                f.store(a, i, r)
+            f.store(a, r + 10, 1)  # index uses final r (and i is 19)
+            f.store(a, i + 30, 2)
+        stats = assert_equivalent(b.build())
+        assert stats.loops == 1
+
+
+class TestSchedulingGates:
+    def test_multithreaded_region_interpreted(self):
+        b = ProgramBuilder("mt")
+        a = b.global_array("a", N)
+        with b.function("worker", params=("base",)) as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 16):
+                f.store(a, f.param("base") + i, i)
+        with b.function("main") as f:
+            i = f.reg("i")
+            f.spawn("worker", 0)
+            f.spawn("worker", 16)
+            f.join_all()
+            with f.for_loop(i, 0, 16):  # main alone again: eligible
+                f.store(a, i + 32, i)
+        p = b.build()
+        sched = ScheduleConfig(policy="roundrobin", seed=3)
+        stats = assert_equivalent(p, schedule=sched)
+        # Worker loops ran interpreted (two live threads); the tail loop of
+        # main ran fast (sole survivor).
+        assert stats.loops == 1
+
+    def test_random_policy_with_spawn_fully_interpreted(self):
+        b = ProgramBuilder("mt-random")
+        a = b.global_array("a", N)
+        with b.function("worker") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 16):
+                f.store(a, i, i)
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 16):
+                f.store(a, i + 20, i)
+            f.spawn("worker")
+            f.join_all()
+        p = b.build()
+        sched = ScheduleConfig(policy="random", seed=11)
+        stats = assert_equivalent(p, schedule=sched)
+        assert stats.loops == 0  # RNG-per-pick makes step counts observable
+
+    def test_delay_model_fully_interpreted(self):
+        p = build(lambda f, i, v: f.store(v["a"], i, i))
+        sched = ScheduleConfig(delay_probability=0.5, seed=7)
+        stats = assert_equivalent(p, schedule=sched)
+        assert stats.loops == 0
+
+
+class TestRandomizedPrograms:
+    """Randomized builder programs: any mix of affine and non-affine loops
+    must produce bit-identical traces and memory."""
+
+    BODIES = [
+        lambda f, i, v: f.store(v["a"], i, i * 3 - 7),
+        lambda f, i, v: f.store(v["b"], i, f.load(v["a"], i)),
+        lambda f, i, v: f.store(v["c"], i, f.load(v["a"], i) * 2 + f.load(v["b"], i)),
+        lambda f, i, v: f.store(v["s"], None, f.load(v["s"]) + f.load(v["a"], i)),
+        lambda f, i, v: f.store(v["a"], 2 * i, i),
+        lambda f, i, v: f.store(v["b"], i + 1, f.load(v["b"], i) + 1),
+        lambda f, i, v: f.store(v["c"], i, f.load(v["b"], i) / 4.0),
+        lambda f, i, v: f.store(v["c"], i, i % 5 + (i // 3)),
+        lambda f, i, v: (f.set(f.reg("t"), f.load(v["a"], i) + 1),
+                         f.store(v["c"], i, f.reg("t") * f.reg("t"))),
+        lambda f, i, v: f.store(v["a"], i, f.load(v["c"], N - 1 - i)),
+    ]
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_program(self, seed):
+        rng = np.random.default_rng(seed)
+        b = ProgramBuilder(f"rand-{seed}")
+        v = {name: b.global_array(name, N) for name in ("a", "b", "c")}
+        v["s"] = b.global_scalar("s")
+        with b.function("main") as f:
+            for k in range(int(rng.integers(2, 6))):
+                i = f.reg(f"i{k}")
+                trip = int(rng.integers(2, 34))
+                body = self.BODIES[int(rng.integers(0, len(self.BODIES)))]
+                if rng.random() < 0.25:
+                    with f.for_loop(i, trip - 1, -1, -1):
+                        body(f, i, v)
+                else:
+                    with f.for_loop(i, 0, trip):
+                        body(f, i, v)
+        assert_equivalent(b.build())

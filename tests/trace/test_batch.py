@@ -89,6 +89,80 @@ class TestBuilder:
         assert batch.kind[0] == WRITE and batch.kind[11] == WRITE
 
 
+class TestAppendRows:
+    def test_scalars_broadcast(self):
+        b = TraceBuilder()
+        b.append_rows(4, kind=READ, tid=2, addr=np.arange(4, dtype=np.int64))
+        batch = b.build()
+        assert batch.kind.tolist() == [READ] * 4
+        assert batch.tid.tolist() == [2] * 4
+        assert batch.addr.tolist() == [0, 1, 2, 3]
+
+    def test_defaults(self):
+        b = TraceBuilder()
+        b.append_rows(3, kind=WRITE)
+        batch = b.build()
+        assert batch.loc.tolist() == [-1, -1, -1]
+        assert batch.var.tolist() == [-1, -1, -1]
+        assert batch.ctx.tolist() == [-1, -1, -1]
+        assert batch.aux.tolist() == [0, 0, 0]
+        assert batch.ts.tolist() == [0, 1, 2]
+
+    def test_default_ts_continues_monotone_after_append(self):
+        b = TraceBuilder()
+        b.append(WRITE, 0, 1, 8, 0, -1, 0, -1)
+        b.append_rows(3, kind=READ)
+        assert b.build().ts.tolist() == [0, 1, 2, 3]
+
+    def test_length_mismatch_rejected(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceFormatError):
+            b.append_rows(3, addr=np.zeros(4, dtype=np.int64))
+
+    def test_unknown_column_rejected(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceFormatError):
+            b.append_rows(2, bogus=np.zeros(2))
+
+    def test_negative_count_rejected(self):
+        b = TraceBuilder()
+        with pytest.raises(TraceFormatError):
+            b.append_rows(-1)
+
+    def test_zero_rows_is_noop(self):
+        b = TraceBuilder()
+        b.append_rows(0, kind=READ)
+        assert len(b.build()) == 0
+
+    def test_grows_capacity(self):
+        b = TraceBuilder(capacity=2)
+        b.append_rows(1000, kind=READ, addr=np.arange(1000, dtype=np.int64) * 8)
+        batch = b.build()
+        assert len(batch) == 1000
+        assert batch.addr[999] == 999 * 8
+
+    def test_matches_per_row_appends(self):
+        rows = [(READ, 0, 10, 8 * i, i, 1, i, 0) for i in range(50)]
+        a = TraceBuilder()
+        for r in rows:
+            a.append(*r)
+        bb = TraceBuilder()
+        bb.append_rows(
+            50,
+            kind=READ,
+            tid=0,
+            loc=10,
+            addr=np.arange(50, dtype=np.int64) * 8,
+            aux=np.arange(50, dtype=np.int64),
+            var=1,
+            ts=np.arange(50, dtype=np.int64),
+            ctx=0,
+        )
+        one, two = a.build(), bb.build()
+        for name in ("kind", "tid", "loc", "addr", "aux", "var", "ts", "ctx"):
+            assert np.array_equal(getattr(one, name), getattr(two, name))
+
+
 class TestBatch:
     def test_mismatched_columns_rejected(self):
         with pytest.raises(TraceFormatError):

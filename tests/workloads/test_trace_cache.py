@@ -1,0 +1,78 @@
+"""Tests for the two-layer (in-memory + on-disk) workload trace cache."""
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads import clear_trace_cache, get_trace
+
+
+def _counter_total(reg, prefix):
+    snap = reg.snapshot()["counters"]
+    return sum(
+        v for k, v in snap.items() if k == prefix or k.startswith(prefix + "{")
+    )
+
+
+class TestDiskCache:
+    def test_miss_writes_file_then_disk_hit(self, tmp_path):
+        clear_trace_cache()
+        reg = MetricsRegistry()
+        batch = get_trace("ep", cache_dir=tmp_path, registry=reg)
+        files = sorted(tmp_path.glob("*.trace.npz"))
+        assert len(files) == 1
+        assert files[0].name == "ep-seq-s1-t4-r0.trace.npz"
+        assert _counter_total(reg, "producer.trace_cache_misses") == 1
+        assert _counter_total(reg, "producer.trace_cache_hits") == 0
+
+        # Fresh in-memory layer (new process analog): loads from disk.
+        clear_trace_cache()
+        reg2 = MetricsRegistry()
+        again = get_trace("ep", cache_dir=tmp_path, registry=reg2)
+        snap = reg2.snapshot()["counters"]
+        assert snap.get('producer.trace_cache_hits{layer="disk"}') == 1
+        assert _counter_total(reg2, "producer.trace_cache_misses") == 0
+        for name in ("kind", "tid", "loc", "addr", "aux", "var", "ts", "ctx"):
+            assert np.array_equal(getattr(batch, name), getattr(again, name))
+        assert again.var_names == batch.var_names
+        clear_trace_cache()
+
+    def test_memory_hit_counted_and_same_object(self, tmp_path):
+        clear_trace_cache()
+        reg = MetricsRegistry()
+        one = get_trace("ep", cache_dir=tmp_path, registry=reg)
+        two = get_trace("ep", cache_dir=tmp_path, registry=reg)
+        assert two is one
+        snap = reg.snapshot()["counters"]
+        assert snap.get('producer.trace_cache_hits{layer="memory"}') == 1
+        clear_trace_cache()
+
+    def test_cache_key_separates_parameters(self, tmp_path):
+        clear_trace_cache()
+        get_trace("ep", cache_dir=tmp_path)
+        get_trace("ep", scale=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.trace.npz"))) == 2
+        clear_trace_cache()
+
+    def test_clear_removes_files_and_reports_count(self, tmp_path):
+        clear_trace_cache()
+        get_trace("ep", cache_dir=tmp_path)
+        get_trace("mg", cache_dir=tmp_path)
+        assert clear_trace_cache(cache_dir=tmp_path) == 2
+        assert list(tmp_path.glob("*.trace.npz")) == []
+        # Idempotent, and a missing directory is fine.
+        assert clear_trace_cache(cache_dir=tmp_path / "nope") == 0
+
+    def test_with_meta_rebuilt_on_disk_hit(self, tmp_path):
+        clear_trace_cache()
+        _, meta = get_trace("ep", with_meta=True, cache_dir=tmp_path)
+        clear_trace_cache()
+        _, meta2 = get_trace("ep", with_meta=True, cache_dir=tmp_path)
+        assert meta2.annotated == meta.annotated
+        assert meta2.expected_identified == meta.expected_identified
+        clear_trace_cache()
+
+    def test_no_cache_dir_keeps_disk_untouched(self, tmp_path):
+        clear_trace_cache()
+        get_trace("ep")
+        assert list(tmp_path.glob("*.trace.npz")) == []
+        clear_trace_cache()
