@@ -1,22 +1,55 @@
 """Shared fixtures for the experiment harness.
 
 Every module regenerates one table or figure of the paper (see DESIGN.md's
-per-experiment index).  Artifacts are written to ``benchmarks/results/`` and
-echoed to stdout; assertions encode the *shape* each paper artifact must
-show (who wins, by roughly what factor, where the outliers sit).
+per-experiment index) and reports its measured numbers into the structured
+benchmark record: the session-scoped :class:`~repro.obs.bench.BenchSession`
+writes one schema-versioned ``BENCH_<suite>.json`` per suite at the repo
+root (gitignored — the committed baselines live in ``benchmarks/baseline/``)
+and appends each run to the ``benchmarks/history.jsonl`` trajectory.  The
+curated ``.txt``/``.csv`` tables under ``benchmarks/results/`` are rendered
+*from* those structured records via :meth:`BenchRecorder.table`, never
+written as a separate source of truth; volatile wall-clock artifacts stay
+out of git entirely (see ``.gitignore``).
 
 Traces are produced once per session through the workload trace cache, so
 the timed portions measure profiling, not target execution — the same
-separation the paper's overhead numbers use.
+separation the paper's overhead numbers use.  All timing goes through
+:func:`repro.obs.bench.repeat_timed` (``time.perf_counter`` + a shared
+warmup/repeat policy) so recorded medians are comparable across modules.
+
+Environment knobs (used by ``ddprof bench run``):
+
+* ``DDPROF_BENCH_OUT`` — directory for the ``BENCH_*.json`` files
+  (default: the repo root);
+* ``DDPROF_BENCH_TS`` — injected ISO timestamp shared by every record of
+  the run (default: sampled once at session start, then injected).
 """
 
 from __future__ import annotations
 
+import datetime
+import os
 from pathlib import Path
 
 import pytest
 
-RESULTS = Path(__file__).parent / "results"
+BENCHMARKS = Path(__file__).parent
+ROOT = BENCHMARKS.parent
+RESULTS = BENCHMARKS / "results"
+
+
+def _suite_of(module_file: str) -> str:
+    """This module's suite, from the same table ``ddprof bench run`` uses."""
+    from repro.cli import BENCH_SUITES
+
+    name = Path(module_file).name
+    for suite, modules in BENCH_SUITES.items():
+        if name in modules:
+            return suite
+    raise LookupError(
+        f"{name} is not assigned to a bench suite — add it to "
+        f"repro.cli.BENCH_SUITES"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -26,16 +59,37 @@ def results_dir() -> Path:
 
 
 @pytest.fixture(scope="session")
-def emit(results_dir):
-    """Write an artifact file and echo it."""
+def bench_session():
+    """One structured benchmark record per suite, flushed at session end."""
+    from repro.obs import BenchSession
 
-    def _emit(name: str, text: str) -> Path:
-        path = results_dir / name
-        path.write_text(text)
-        print(f"\n=== {name} ===\n{text}")
-        return path
+    out_dir = Path(os.environ.get("DDPROF_BENCH_OUT", ROOT))
+    ts = os.environ.get("DDPROF_BENCH_TS") or datetime.datetime.now(
+        datetime.timezone.utc
+    ).isoformat(timespec="seconds")
+    session = BenchSession(
+        out_dir,
+        results_dir=RESULTS,
+        history_path=BENCHMARKS / "history.jsonl",
+        timestamp=ts,
+        echo=True,
+    )
+    yield session
+    for path in session.finish():
+        print(f"\nwrote {path}")
 
-    return _emit
+
+@pytest.fixture
+def bench_record(bench_session, request):
+    """The requesting module's suite recorder.
+
+    ``bench_record.record(id, ...)`` / ``.measure(id, fn, ...)`` add
+    metrics; ``.table(name, headers, rows, csv=True)`` keeps the structured
+    rows *and* renders the curated ``benchmarks/results/<name>.txt``/
+    ``.csv``; ``.text(name, text)`` writes free-form curated artifacts
+    (matrices, bar charts).  Everything is echoed to stdout.
+    """
+    return bench_session.recorder(_suite_of(request.module.__file__))
 
 
 @pytest.fixture

@@ -11,7 +11,6 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.costmodel import CostParams, estimate_parallel
 from repro.parallel import ParallelProfiler
-from repro.report import ascii_table
 from repro.workloads import get_trace
 
 PERFECT = ProfilerConfig(perfect_signature=True)
@@ -35,7 +34,7 @@ def slowdown(batch, params=None, **cfg_kwargs):
     ).slowdown
 
 
-def test_chunk_size_sweep(benchmark, emit):
+def test_chunk_size_sweep(benchmark, bench_record):
     """Tiny chunks pay handoff per few accesses; huge chunks batch well but
     add imbalance at the tail.  The default (4096) sits on the flat part."""
     batch = get_trace("cg")
@@ -43,16 +42,22 @@ def test_chunk_size_sweep(benchmark, emit):
         [size, slowdown(batch, chunk_size=size)]
         for size in (16, 64, 256, 1024, 4096)
     ]
-    emit("ablation_chunk_size.txt",
-         ascii_table(["chunk size", "8T slowdown"], rows, title="Chunk-size sweep (cg)"))
+    bench_record.table(
+        "ablation_chunk_size", ["chunk size", "8T slowdown"], rows,
+        title="Chunk-size sweep (cg)",
+    )
     by_size = dict((int(s), v) for s, v in rows)
+    bench_record.record(
+        "ablation.chunk_handoff_penalty", by_size[16] / by_size[4096],
+        unit="x", direction="lower", tolerance=0.10,
+    )
     # Handoff overhead must be visible at tiny chunks and flat at large.
     assert by_size[16] > by_size[1024]
     assert abs(by_size[1024] - by_size[4096]) / by_size[4096] < 0.10
     benchmark.pedantic(lambda: slowdown(batch, chunk_size=256), rounds=1, iterations=1)
 
 
-def test_queue_depth_backpressure(benchmark, emit):
+def test_queue_depth_backpressure(benchmark, bench_record):
     """Shallow rings throttle the producer onto the slowest worker; deep
     rings decouple them (at the memory cost Figure 7 charges)."""
     batch = get_trace("ep")  # few hot addresses -> imbalanced workers
@@ -64,15 +69,16 @@ def test_queue_depth_backpressure(benchmark, emit):
             queue_depth=depth,
         )
         rows.append([depth, est.slowdown, est.queue_wait_time])
-    emit("ablation_queue_depth.txt",
-         ascii_table(["queue depth", "8T slowdown", "producer wait"], rows,
-                     title="Queue-depth sweep (ep)"))
+    bench_record.table(
+        "ablation_queue_depth", ["queue depth", "8T slowdown", "producer wait"],
+        rows, title="Queue-depth sweep (ep)",
+    )
     assert rows[0][2] >= rows[-1][2]  # wait shrinks with depth
     assert rows[0][1] >= rows[-1][1] * 0.999  # slowdown never helped by depth 1
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def test_overlap_coupling_bounds(benchmark, emit):
+def test_overlap_coupling_bounds(benchmark, bench_record):
     """The overlap parameter brackets reality: 0 = perfectly pipelined
     (optimistic), 1 = producer and critical worker fully serialized (the
     Amdahl fit of the paper's numbers).  Reported slowdowns must sit within
@@ -84,20 +90,21 @@ def test_overlap_coupling_bounds(benchmark, emit):
             overlap,
             slowdown(batch, params=CostParams(overlap=overlap), chunk_size=256),
         ])
-    emit("ablation_overlap.txt",
-         ascii_table(["overlap", "8T slowdown"], rows, title="Coupling sweep (is)"))
+    bench_record.table(
+        "ablation_overlap", ["overlap", "8T slowdown"], rows,
+        title="Coupling sweep (is)",
+    )
     vals = [v for _, v in rows]
     assert vals[0] <= vals[1] <= vals[2]
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def test_generality_costs(benchmark, emit):
+def test_generality_costs(benchmark, bench_record):
     """The paper declines optimizations that would 'decrease the generality
     of the profiler'.  Quantify what generality costs us: RAR recording and
     lifetime analysis each add work but never change the RAW/WAR/WAW sets."""
-    import time
-
     from repro.core import DepType, profile_trace
+    from repro.obs import repeat_timed
 
     batch = get_trace("tinyjpeg")
     variants = {
@@ -108,14 +115,17 @@ def test_generality_costs(benchmark, emit):
     rows = []
     results = {}
     for name, cfg in variants.items():
-        t0 = time.perf_counter()
-        res = profile_trace(batch, cfg)
-        dt = time.perf_counter() - t0
-        results[name] = res
-        rows.append([name, len(res.store), res.store.instances, dt * 1000])
-    emit("ablation_generality.txt",
-         ascii_table(["variant", "merged deps", "instances", "ms"], rows,
-                     title="Generality knobs (tinyjpeg)"))
+        timed = repeat_timed(lambda: profile_trace(batch, cfg), repeats=3, warmup=1)
+        res = results[name] = timed.last
+        rows.append([name, len(res.store), res.store.instances, timed.median * 1000])
+    bench_record.table(
+        "ablation_generality", ["variant", "merged deps", "instances", "ms"],
+        rows, title="Generality knobs (tinyjpeg)",
+    )
+    bench_record.record(
+        "ablation.rar_cost_ratio", rows[1][3] / rows[0][3], unit="ratio",
+        direction="lower",
+    )
     strip = lambda res: {
         d.projected() for d in res.store if d.dep_type is not DepType.RAR
     }

@@ -2,28 +2,33 @@
 
 The reproduction keeps two equivalent engines: the event-at-a-time
 reference (the executable spec, also what pipeline workers run) and the
-vectorized numpy engine.  This bench records their throughput so
-regressions in either path are visible, and checks the vectorized speedup
-that makes whole-suite experiments practical.
+vectorized numpy engine.  This bench records both throughputs — and the
+vectorized/worker-kernel speedups that make whole-suite experiments
+practical — into the ``engine`` suite record, with the >=5x / >=1.5x
+floors declared on the metrics themselves so ``ddprof bench compare``
+enforces them alongside the baseline regression gate.
 """
-
-import time
 
 import pytest
 
 from repro.common.config import ProfilerConfig
 from repro.core import DependenceProfiler
+from repro.obs import repeat_timed
 from repro.workloads import get_trace
 
 PERFECT = ProfilerConfig(perfect_signature=True)
 SIG = ProfilerConfig(signature_slots=1 << 18)
 
 
-def events_per_second(batch, config, engine):
-    prof = DependenceProfiler(config, engine)
-    t0 = time.perf_counter()
-    prof.profile(batch)
-    return len(batch) / (time.perf_counter() - t0)
+def eps_samples(batch, config, engine, repeats=3, warmup=1):
+    """Per-repeat events/s of one engine over ``batch`` (shared
+    warmup/repeat policy)."""
+    timed = repeat_timed(
+        lambda: DependenceProfiler(config, engine).profile(batch),
+        repeats=repeats,
+        warmup=warmup,
+    )
+    return [len(batch) / s for s in timed.seconds]
 
 
 @pytest.fixture(scope="module")
@@ -31,16 +36,23 @@ def big_trace():
     return get_trace("kmeans")  # the largest standard trace (~145k events)
 
 
-def test_vectorized_speedup(benchmark, big_trace, emit):
-    ref = max(events_per_second(big_trace, PERFECT, "reference") for _ in range(2))
-    vec = max(events_per_second(big_trace, PERFECT, "vectorized") for _ in range(2))
-    emit(
-        "engine_throughput.txt",
-        f"reference : {ref:12.0f} events/s\n"
-        f"vectorized: {vec:12.0f} events/s\n"
-        f"speedup   : {vec / ref:12.1f}x\n",
+def test_vectorized_speedup(benchmark, big_trace, bench_record):
+    ref = eps_samples(big_trace, PERFECT, "reference")
+    vec = eps_samples(big_trace, PERFECT, "vectorized")
+    r = bench_record.record(
+        "engine.reference_eps", samples=ref, unit="events/s",
+        direction="higher", warmup=1,
     )
-    assert vec > 1.5 * ref  # the vectorized engine must stay clearly ahead
+    v = bench_record.record(
+        "engine.vectorized_eps", samples=vec, unit="events/s",
+        direction="higher", warmup=1,
+    )
+    speedup = v.value / r.value
+    bench_record.record(
+        "engine.vectorized_speedup", speedup, unit="x", direction="higher",
+        floor=1.5,
+    )
+    assert speedup > 1.5  # the vectorized engine must stay clearly ahead
     benchmark.pedantic(
         lambda: DependenceProfiler(PERFECT, "vectorized").profile(big_trace),
         rounds=3,
@@ -48,12 +60,22 @@ def test_vectorized_speedup(benchmark, big_trace, emit):
     )
 
 
-def test_signature_mode_throughput(benchmark, big_trace):
+def test_signature_mode_throughput(benchmark, big_trace, bench_record):
     """Signature hashing adds little over perfect keys in the vectorized
     engine (keys are hashed columns either way)."""
-    per = events_per_second(big_trace, PERFECT, "vectorized")
-    sig = events_per_second(big_trace, SIG, "vectorized")
-    assert sig > 0.4 * per
+    per = eps_samples(big_trace, PERFECT, "vectorized")
+    sig = eps_samples(big_trace, SIG, "vectorized")
+    s = bench_record.record(
+        "engine.signature_mode_eps", samples=sig, unit="events/s",
+        direction="higher", warmup=1,
+    )
+    p_med = sorted(per)[len(per) // 2]
+    ratio = s.value / p_med
+    bench_record.record(
+        "engine.signature_vs_perfect_ratio", ratio, unit="fraction",
+        direction="higher", floor=0.4,
+    )
+    assert ratio > 0.4
     benchmark.pedantic(
         lambda: DependenceProfiler(SIG, "vectorized").profile(big_trace),
         rounds=3,
@@ -70,9 +92,9 @@ def test_reference_engine_benchmarked(benchmark):
     )
 
 
-def _worker_chunk_throughput(batch, engine, chunk_size):
-    """Events/s of one pipeline Worker fed the whole trace in chunks —
-    the quantity the processes mode actually parallelizes."""
+def _worker_chunk_run(batch, engine, chunk_size):
+    """One pipeline Worker fed the whole trace in chunks — the quantity
+    the processes mode actually parallelizes."""
     import numpy as np
 
     from repro.parallel.worker import Worker
@@ -80,36 +102,44 @@ def _worker_chunk_throughput(batch, engine, chunk_size):
     cfg = PERFECT.with_(workers=1, chunk_size=chunk_size, worker_engine=engine)
     worker = Worker(0, cfg)
     rows = np.arange(len(batch), dtype=np.int64)
-    t0 = time.perf_counter()
     for seq, s in enumerate(range(0, len(rows), chunk_size)):
         worker.process_rows(batch, rows[s : s + chunk_size], seq=seq)
-    return len(batch) / (time.perf_counter() - t0), worker
+    return worker
 
 
-def test_vectorized_worker_kernel_speedup(benchmark, big_trace, emit):
+def test_vectorized_worker_kernel_speedup(benchmark, big_trace, bench_record):
     """The incremental chunk kernel must beat the per-event reference worker
     by >=5x on identical chunk streams — the margin that makes the
     processes-mode fan-out worth its transport overhead."""
     chunk_size = 8192
-    ref_eps, ref_w = _worker_chunk_throughput(big_trace, "reference", chunk_size)
-    best_vec = 0.0
-    for _ in range(2):  # best-of-2 to shake off interpreter warm-up noise
-        vec_eps, vec_w = _worker_chunk_throughput(big_trace, "vectorized", chunk_size)
-        best_vec = max(best_vec, vec_eps)
-    assert vec_w.store == ref_w.store  # same chunks, same dependences
-    speedup = best_vec / ref_eps
-    emit(
-        "worker_kernel_throughput.txt",
-        f"reference worker : {ref_eps:12.0f} events/s\n"
-        f"vectorized worker: {best_vec:12.0f} events/s\n"
-        f"speedup          : {speedup:12.1f}x  (chunk_size={chunk_size})\n",
+    ref = repeat_timed(
+        lambda: _worker_chunk_run(big_trace, "reference", chunk_size),
+        repeats=2, warmup=1,
+    )
+    vec = repeat_timed(
+        lambda: _worker_chunk_run(big_trace, "vectorized", chunk_size),
+        repeats=3, warmup=1,
+    )
+    assert vec.last.store == ref.last.store  # same chunks, same dependences
+    r = bench_record.record(
+        "worker.reference_eps", samples=[len(big_trace) / s for s in ref.seconds],
+        unit="events/s", direction="higher", warmup=1, chunk_size=chunk_size,
+    )
+    v = bench_record.record(
+        "worker.vectorized_eps", samples=[len(big_trace) / s for s in vec.seconds],
+        unit="events/s", direction="higher", warmup=1, chunk_size=chunk_size,
+    )
+    speedup = v.value / r.value
+    bench_record.record(
+        "worker.kernel_speedup", speedup, unit="x", direction="higher",
+        floor=5.0, chunk_size=chunk_size,
     )
     assert speedup >= 5.0, (
         f"vectorized worker kernel only {speedup:.1f}x over reference "
         f"(needs >=5x)"
     )
     benchmark.pedantic(
-        lambda: _worker_chunk_throughput(big_trace, "vectorized", chunk_size),
+        lambda: _worker_chunk_run(big_trace, "vectorized", chunk_size),
         rounds=3,
         iterations=1,
     )

@@ -13,7 +13,6 @@ import numpy as np
 import pytest
 
 from repro.common.rng import make_rng
-from repro.report import ascii_table, csv_lines
 from repro.sigmem import ArraySignature, expected_fpr
 from repro.sigmem.signature import AccessRecord
 
@@ -40,9 +39,14 @@ def sweep():
 HEADERS = ["slots m", "inserts n", "Eq.2 predicted", "measured", "abs err"]
 
 
-def test_eq2_occupancy_matches_model(benchmark, sweep, emit):
-    emit("eq2_fpr_model.txt", ascii_table(HEADERS, sweep, title="Eq. 2 validation"))
-    emit("eq2_fpr_model.csv", csv_lines(HEADERS, sweep))
+def test_eq2_occupancy_matches_model(benchmark, sweep, bench_record):
+    bench_record.table(
+        "eq2_fpr_model", HEADERS, sweep, title="Eq. 2 validation", csv=True
+    )
+    bench_record.record(
+        "eq2.max_abs_model_error", max(r[4] for r in sweep), unit="fraction",
+        direction="lower", ceiling=0.02,
+    )
     for m, n, predicted, measured, err in sweep:
         assert err < 0.02, (m, n, predicted, measured)
     # Monotonicity claims of Section VI-A: P_fp inversely proportional to m,

@@ -17,7 +17,7 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.costmodel import estimate_parallel, estimate_serial
 from repro.parallel import ParallelProfiler
-from repro.report import ascii_table, bar_chart, csv_lines
+from repro.report import bar_chart
 from repro.workloads import get_trace
 
 PERFECT = ProfilerConfig(perfect_signature=True)
@@ -74,7 +74,7 @@ def _avg(rows, col):
     return sum(r[col] for r in rows) / len(rows)
 
 
-def test_fig5_slowdowns(benchmark, fig5, emit, nas_names):
+def test_fig5_slowdowns(benchmark, fig5, bench_record, nas_names):
     rows, imbalance = fig5
     nas_rows = [r for r in rows if r[0] in nas_names]
     sb_rows = [r for r in rows if r[0] not in nas_names]
@@ -82,12 +82,23 @@ def test_fig5_slowdowns(benchmark, fig5, emit, nas_names):
         ["NAS-average", *(_avg(nas_rows, c) for c in range(1, 5))],
         ["Starbench-average", *(_avg(sb_rows, c) for c in range(1, 5))],
     ]
-    emit("fig5_slowdown_sequential.txt", ascii_table(HEADERS, summary, title="Figure 5 analog (x slowdown)"))
-    emit("fig5_slowdown_sequential.csv", csv_lines(HEADERS, summary))
-    emit(
+    bench_record.table(
+        "fig5_slowdown_sequential", HEADERS, summary,
+        title="Figure 5 analog (x slowdown)", csv=True,
+    )
+    bench_record.text(
         "fig5_chart_16T.txt",
         bar_chart([(r[0], r[4]) for r in rows], title="16T lock-free slowdown", unit="x"),
     )
+    for label, rws in (("nas", nas_rows), ("starbench", sb_rows)):
+        bench_record.record(
+            f"fig5.{label}_serial_slowdown", _avg(rws, 1), unit="x",
+            direction="lower", tolerance=0.05,
+        )
+        bench_record.record(
+            f"fig5.{label}_16T_lockfree_slowdown", _avg(rws, 4), unit="x",
+            direction="lower", tolerance=0.05,
+        )
 
     for label, rws in (("NAS", nas_rows), ("Starbench", sb_rows)):
         serial = _avg(rws, 1)
@@ -112,8 +123,14 @@ def test_fig5_slowdowns(benchmark, fig5, emit, nas_names):
     for r in by_slowdown:
         assert r[0] in worst_imb, (r[0], worst_imb)
 
-    # Timed kernel: a real 8-worker pipeline run.
+    # Timed kernel: a real 8-worker pipeline run (also recorded, so the
+    # pipeline's wall-clock cost has a trajectory of its own).
     batch = get_trace("mg")
+    bench_record.measure(
+        "fig5.mg_pipeline_8T_seconds",
+        lambda: pipeline_slowdown(batch, workers=8),
+        repeats=3, warmup=1,
+    )
     benchmark.pedantic(
         lambda: pipeline_slowdown(batch, workers=8), rounds=3, iterations=1
     )

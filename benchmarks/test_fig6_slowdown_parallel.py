@@ -14,7 +14,6 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.costmodel import estimate_parallel
 from repro.parallel import ParallelProfiler
-from repro.report import ascii_table, csv_lines
 from repro.workloads import get_trace
 
 PERFECT_MT = ProfilerConfig(perfect_signature=True, multithreaded_target=True)
@@ -56,10 +55,20 @@ def fig6(starbench_names):
 HEADERS = ["program", "8T,4Tn", "16T,4Tn"]
 
 
-def test_fig6_mt_target_slowdowns(benchmark, fig6, emit):
-    emit("fig6_slowdown_parallel.txt", ascii_table(HEADERS, fig6, title="Figure 6 analog (x slowdown)"))
-    emit("fig6_slowdown_parallel.csv", csv_lines(HEADERS, fig6))
+def test_fig6_mt_target_slowdowns(benchmark, fig6, bench_record):
+    bench_record.table(
+        "fig6_slowdown_parallel", HEADERS, fig6,
+        title="Figure 6 analog (x slowdown)", csv=True,
+    )
     avg8, avg16 = fig6[-1][1], fig6[-1][2]
+    bench_record.record(
+        "fig6.avg_slowdown_8T", avg8, unit="x", direction="lower",
+        tolerance=0.05,
+    )
+    bench_record.record(
+        "fig6.avg_slowdown_16T", avg16, unit="x", direction="lower",
+        tolerance=0.05,
+    )
     # Shape 1: more profiling threads help (paper: 346 -> 261).
     assert avg16 < avg8
     # Shape 2: averages land in the paper's band.

@@ -15,7 +15,6 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.costmodel import estimate_memory
 from repro.parallel import ParallelProfiler
-from repro.report import ascii_table, csv_lines
 from repro.workloads import get_trace
 
 SLOTS_PER_WORKER = 65_536  # scaled stand-in for the paper's 6.25e6
@@ -64,11 +63,21 @@ def fig7(all_seq_names):
 HEADERS = ["program", "native_MB", "8T_lock-free_MB", "16T_lock-free_MB"]
 
 
-def test_fig7_memory_sequential(benchmark, fig7, emit):
-    emit("fig7_memory_sequential.txt", ascii_table(HEADERS, fig7, title="Figure 7 analog"))
-    emit("fig7_memory_sequential.csv", csv_lines(HEADERS, fig7))
+def test_fig7_memory_sequential(benchmark, fig7, bench_record):
+    bench_record.table(
+        "fig7_memory_sequential", HEADERS, fig7, title="Figure 7 analog",
+        csv=True,
+    )
     avg8 = sum(r[2] for r in fig7) / len(fig7)
     avg16 = sum(r[3] for r in fig7) / len(fig7)
+    bench_record.record(
+        "fig7.avg_memory_8T_mb", avg8, unit="MB", direction="lower",
+        tolerance=0.05,
+    )
+    bench_record.record(
+        "fig7.avg_memory_16T_mb", avg16, unit="MB", direction="lower",
+        tolerance=0.05,
+    )
     # Shape 1: 16 threads cost roughly 2x the signature memory of 8
     # (per-thread slots are fixed), so totals grow markedly but sub-2x
     # because of thread-independent components.
@@ -94,7 +103,7 @@ def test_fig7_signature_memory_is_configured_not_data_dependent(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def test_fig7_shadow_memory_comparison(benchmark, emit):
+def test_fig7_shadow_memory_comparison(benchmark, bench_record):
     """Section III-B's motivation: shadow memory scales with the address
     footprint while the signature is fixed; for address-hungry programs the
     shadow tracker costs many times the signature."""
@@ -115,7 +124,15 @@ def test_fig7_shadow_memory_comparison(benchmark, emit):
     benchmark.pedantic(fill_shadow, rounds=1, iterations=1)
     for a in addrs[:20000]:
         sig.insert(int(a), rec)
-    emit(
+    bench_record.record(
+        "fig7.shadow_bytes_rgbyuv", shadow.memory_bytes, unit="bytes",
+        direction="lower", tolerance=0.02,
+    )
+    bench_record.record(
+        "fig7.signature_bytes", sig.memory_bytes, unit="bytes",
+        direction="lower", tolerance=0.0,
+    )
+    bench_record.text(
         "fig7_shadow_vs_signature.txt",
         f"shadow pages={shadow.n_pages} bytes={shadow.memory_bytes}\n"
         f"signature bytes={sig.memory_bytes} (fixed)\n",

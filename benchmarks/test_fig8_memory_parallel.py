@@ -11,7 +11,6 @@ real pipeline runs over the pthread-analog traces.
 
 import pytest
 
-from repro.report import ascii_table, csv_lines
 from repro.workloads import get_trace
 
 from test_fig7_memory_sequential import run_and_model
@@ -41,10 +40,20 @@ def fig8(starbench_names):
 HEADERS = ["program", "8T_MB", "16T_MB", "mt_extra_8T_MB"]
 
 
-def test_fig8_memory_parallel(benchmark, fig8, emit, starbench_names):
-    emit("fig8_memory_parallel.txt", ascii_table(HEADERS, fig8, title="Figure 8 analog"))
-    emit("fig8_memory_parallel.csv", csv_lines(HEADERS, fig8))
+def test_fig8_memory_parallel(benchmark, fig8, bench_record, starbench_names):
+    bench_record.table(
+        "fig8_memory_parallel", HEADERS, fig8, title="Figure 8 analog",
+        csv=True,
+    )
     avg8, avg16 = fig8[-1][1], fig8[-1][2]
+    bench_record.record(
+        "fig8.avg_memory_8T_mb", avg8, unit="MB", direction="lower",
+        tolerance=0.05,
+    )
+    bench_record.record(
+        "fig8.avg_memory_16T_mb", avg16, unit="MB", direction="lower",
+        tolerance=0.05,
+    )
     # Shape 1: 16T costs more than 8T.
     assert avg16 > avg8
     # Shape 2: parallel targets cost more than sequential targets at the

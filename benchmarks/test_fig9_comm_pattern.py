@@ -47,9 +47,15 @@ def band_split(m):
     return band, off
 
 
-def test_fig9_neighbor_banded_pattern(benchmark, fig9, emit):
-    emit("fig9_comm_pattern.txt", render_matrix(fig9))
+def test_fig9_neighbor_banded_pattern(benchmark, fig9, bench_record):
+    bench_record.text("fig9_comm_pattern.txt", render_matrix(fig9))
     band, off = band_split(fig9)
+    # The banded-communication share is the figure's one-number summary:
+    # 1.0 means every cross-thread byte flows between spatial neighbours.
+    bench_record.record(
+        "fig9.water_spatial_band_fraction", band / (band + off),
+        unit="fraction", direction="higher", tolerance=0.0, floor=1.0,
+    )
     # Shape: all cross-thread communication flows between spatial
     # neighbours; every adjacent pair communicates in both directions.
     assert band > 0
@@ -73,7 +79,7 @@ def test_fig9_signature_matches_perfect(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
-def test_fig9_contrasting_topologies(benchmark, emit):
+def test_fig9_contrasting_topologies(benchmark, bench_record):
     """Extension: the paper's reference [27] characterizes suites by
     communication *topology*.  Our detector recovers three textbook shapes
     from three workloads — band (water-spatial), all-to-all (fft-transpose),
@@ -91,7 +97,7 @@ def test_fig9_contrasting_topologies(benchmark, emit):
         m = communication_matrix(res, n_threads=batch.n_threads)
         shapes[name] = m
         out.append(f"--- {name} ---\n{render_matrix(m[1:, 1:])}")
-    emit("fig9_topologies.txt", "\n".join(out))
+    bench_record.text("fig9_topologies.txt", "\n".join(out))
 
     band = shapes["water-spatial"][1:, 1:]
     a2a = shapes["fft-transpose"][1:, 1:]

@@ -12,11 +12,10 @@ run; inside our interpreter-based engine it would be diluted by
 interpretation overhead.
 """
 
-import time
-
 import pytest
 
 from repro.common.config import ProfilerConfig
+from repro.obs import repeat_timed
 from repro.sigmem import ArraySignature, ChainedHashTable
 from repro.sigmem.signature import AccessRecord
 from repro.workloads import get_trace
@@ -26,12 +25,19 @@ def replay(tracker, addrs, writes):
     rec = AccessRecord(1, 0, 0, 0)
     lookup = tracker.lookup
     insert = tracker.insert
-    t0 = time.perf_counter()
     for a, w in zip(addrs, writes):
         lookup(a)
         if w:
             insert(a, rec)
-    return time.perf_counter() - t0
+
+
+def replay_seconds(make_tracker, addrs, writes, repeats=5):
+    """Best-of-N replay wall-clock under the shared repeat policy (a fresh
+    tracker per repeat — refilling a warm one would shorten chains)."""
+    timed = repeat_timed(
+        lambda: replay(make_tracker(), addrs, writes), repeats=repeats, warmup=1
+    )
+    return timed.best
 
 
 @pytest.fixture(scope="module")
@@ -43,21 +49,21 @@ def stream():
     return addrs, writes, batch.n_unique_addresses
 
 
-def test_signature_faster_than_hashtable(benchmark, stream, emit):
+def test_signature_faster_than_hashtable(benchmark, stream, bench_record):
     addrs, writes, n_addr = stream
     rows = []
     for buckets in (max(n_addr // 8, 16), max(n_addr // 2, 64), 4 * n_addr):
-        t_sig = min(
-            replay(ArraySignature(4 * n_addr), addrs, writes) for _ in range(5)
-        )
-        t_ht = min(
-            replay(ChainedHashTable(buckets), addrs, writes) for _ in range(5)
-        )
+        t_sig = replay_seconds(lambda: ArraySignature(4 * n_addr), addrs, writes)
+        t_ht = replay_seconds(lambda: ChainedHashTable(buckets), addrs, writes)
         rows.append((buckets, t_ht / t_sig))
-    text = "buckets,slowdown_vs_signature\n" + "\n".join(
-        f"{b},{r:.2f}" for b, r in rows
+    bench_record.table(
+        "hashtable_vs_signature", ["buckets", "slowdown_vs_signature"], rows,
+        csv=True,
     )
-    emit("hashtable_vs_signature.csv", text + "\n")
+    bench_record.record(
+        "hashtable.heavy_chaining_slowdown", rows[0][1], unit="x",
+        direction="higher", floor=1.4,
+    )
     # Shape 1: the hash table never beats the signature.
     assert all(r > 1.0 for _, r in rows), rows
     # Shape 2: the penalty grows as chains lengthen (fewer buckets).

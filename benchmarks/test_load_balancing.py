@@ -16,7 +16,6 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.core import profile_trace
 from repro.parallel import ParallelProfiler
-from repro.report import ascii_table
 
 PERFECT = ProfilerConfig(perfect_signature=True)
 
@@ -40,7 +39,7 @@ def kmeans_runs():
     return batch, (on_res, on), (off_res, off)
 
 
-def test_rebalancing_kmeans(benchmark, kmeans_runs, emit):
+def test_rebalancing_kmeans(benchmark, kmeans_runs, bench_record):
     batch, (on_res, on), (off_res, off) = kmeans_runs
     rows = [
         ["rebalancing ON", on.rebalance_rounds, on.addresses_migrated,
@@ -48,10 +47,17 @@ def test_rebalancing_kmeans(benchmark, kmeans_runs, emit):
         ["rebalancing OFF", off.rebalance_rounds, off.addresses_migrated,
          off.access_imbalance],
     ]
-    emit(
-        "load_balancing.txt",
-        ascii_table(["config", "rounds", "migrated", "max/mean load"], rows,
-                    title="Load balancing (kmeans analog, 8 workers)"),
+    bench_record.table(
+        "load_balancing", ["config", "rounds", "migrated", "max/mean load"],
+        rows, title="Load balancing (kmeans analog, 8 workers)",
+    )
+    bench_record.record(
+        "lb.kmeans_imbalance_rebalanced", on.access_imbalance, unit="ratio",
+        direction="lower", ceiling=2.0,
+    )
+    bench_record.record(
+        "lb.kmeans_rebalance_rounds", on.rebalance_rounds, unit="rounds",
+        direction="lower", ceiling=20,
     )
     # Shape 1: the paper's round budget is respected.  kmeans' hot
     # accumulators are *contiguous* array elements, which the modulo map
@@ -72,7 +78,7 @@ def test_rebalancing_kmeans(benchmark, kmeans_runs, emit):
     benchmark.pedantic(lambda: run(batch, True), rounds=1, iterations=1)
 
 
-def test_rebalancing_synthetic_hotspot(benchmark):
+def test_rebalancing_synthetic_hotspot(benchmark, bench_record):
     """Worst case: a handful of same-worker addresses draw nearly all
     accesses; redistribution must spread the hot load close to even."""
     from tests.trace_helpers import seq_trace
@@ -88,6 +94,10 @@ def test_rebalancing_synthetic_hotspot(benchmark):
     batch = seq_trace(ops)
     _, on = run(batch, rebalance=True, workers=4)
     _, off = run(batch, rebalance=False, workers=4)
+    bench_record.record(
+        "lb.hotspot_imbalance_improvement", off.access_imbalance / on.access_imbalance,
+        unit="x", direction="higher", floor=1.0 / 0.6,
+    )
     assert off.access_imbalance > 3.0  # pathological without balancing
     assert on.access_imbalance < off.access_imbalance * 0.6
     benchmark.pedantic(lambda: run(batch, True, workers=4), rounds=1, iterations=1)

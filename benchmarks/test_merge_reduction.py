@@ -15,8 +15,7 @@ import pytest
 
 from repro.common.config import ProfilerConfig
 from repro.core import format_dependences, profile_trace
-from repro.report import ascii_table, csv_lines
-from repro.workloads import get_trace, get_workload
+from repro.workloads import get_trace
 
 PERFECT = ProfilerConfig(perfect_signature=True)
 
@@ -49,11 +48,21 @@ HEADERS = [
 ]
 
 
-def test_merge_reduction(benchmark, merge_stats, emit):
-    emit("merge_reduction.txt", ascii_table(HEADERS, merge_stats, title="Merge reduction (NAS analogs)"))
-    emit("merge_reduction.csv", csv_lines(HEADERS, merge_stats))
+def test_merge_reduction(benchmark, merge_stats, bench_record):
+    bench_record.table(
+        "merge_reduction", HEADERS, merge_stats,
+        title="Merge reduction (NAS analogs)", csv=True,
+    )
     factors = [r[3] for r in merge_stats]
     avg = sum(factors) / len(factors)
+    bench_record.record(
+        "merge.avg_reduction_factor", avg, unit="x", direction="higher",
+        tolerance=0.0, floor=50,
+    )
+    bench_record.record(
+        "merge.max_output_bytes", max(r[5] for r in merge_stats), unit="bytes",
+        direction="lower", tolerance=0.0, ceiling=100_000,
+    )
     # Shape 1: merging is a multiplicative win on every benchmark.
     assert all(f > 10 for f in factors)
     assert avg > 50

@@ -16,7 +16,6 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.core import profile_trace
 from repro.minivm import ProgramBuilder, ScheduleConfig, run_program
-from repro.report import ascii_table
 
 PERFECT_MT = ProfilerConfig(perfect_signature=True, multithreaded_target=True)
 
@@ -68,15 +67,26 @@ def race_sweep():
 HEADERS = ["seed", "racy flags", "racy records", "locked flags", "locked records"]
 
 
-def test_race_flagging(benchmark, race_sweep, emit):
-    emit("race_flagging.txt", ascii_table(HEADERS, race_sweep, title="Potential-race detection sweep"))
+def test_race_flagging(benchmark, race_sweep, bench_record):
+    bench_record.table(
+        "race_flagging", HEADERS, race_sweep,
+        title="Potential-race detection sweep",
+    )
+    detected = sum(1 for r in race_sweep if r[1] > 0)
+    bench_record.record(
+        "race.detection_rate", detected / len(race_sweep), unit="fraction",
+        direction="higher", tolerance=0.0, floor=0.5,
+    )
+    bench_record.record(
+        "race.locked_false_flags", sum(r[3] + r[4] for r in race_sweep),
+        unit="count", direction="lower", tolerance=0.0, ceiling=0,
+    )
     # Shape 1: the locked program is NEVER flagged — Figure 4's lock region
     # makes access+push atomic, so no reversal can exist.
     assert all(r[3] == 0 and r[4] == 0 for r in race_sweep)
     # Shape 2: the racy program is flagged in a majority of schedules — a
     # single run usually suffices (the paper's point versus re-running and
     # hoping for a schedule flip).
-    detected = sum(1 for r in race_sweep if r[1] > 0)
     assert detected >= len(race_sweep) // 2
     # Shape 3: flagged records name the contended variable.
     racy = build_counter(locked=False)

@@ -16,7 +16,6 @@ import pytest
 
 from repro.common.config import ProfilerConfig
 from repro.core import instance_rates, profile_trace, set_rates
-from repro.report import ascii_table, csv_lines
 from repro.workloads import get_trace
 
 SLOT_SIZES = (4_096, 65_536, 1_048_576)
@@ -47,13 +46,23 @@ HEADERS = ["program", "addresses", "accesses", "deps"] + [
 ]
 
 
-def test_table1_accuracy(benchmark, table1, emit, starbench_names):
-    emit("table1_accuracy.txt", ascii_table(HEADERS, table1, title="Table I analog"))
-    emit("table1_accuracy.csv", csv_lines(HEADERS, table1))
+def test_table1_accuracy(benchmark, table1, bench_record, starbench_names):
+    bench_record.table(
+        "table1_accuracy", HEADERS, table1, title="Table I analog", csv=True,
+    )
 
     avg = table1[-1]
     fpr = {s: avg[4 + 2 * i] for i, s in enumerate(SLOT_SIZES)}
     fnr = {s: avg[5 + 2 * i] for i, s in enumerate(SLOT_SIZES)}
+    for slots in SLOT_SIZES:
+        bench_record.record(
+            f"table1.avg_fpr_pct_{slots}", fpr[slots], unit="%",
+            direction="lower", tolerance=0.0,
+        )
+        bench_record.record(
+            f"table1.avg_fnr_pct_{slots}", fnr[slots], unit="%",
+            direction="lower", tolerance=0.0,
+        )
 
     # Shape 1: both rates fall monotonically with slot count.
     assert fpr[SLOT_SIZES[0]] > fpr[SLOT_SIZES[1]] > fpr[SLOT_SIZES[2]]

@@ -16,7 +16,6 @@ import pytest
 from repro.common.config import ProfilerConfig
 from repro.core import profile_trace
 from repro.analyses import analyze_loops
-from repro.report import ascii_table, csv_lines
 from repro.workloads import get_trace
 
 PERFECT = ProfilerConfig(perfect_signature=True)
@@ -62,11 +61,21 @@ def table2(nas_names):
 HEADERS = ["program", "# OMP", "# identified (DP)", "# identified (sig)", "# missed (sig)"]
 
 
-def test_table2_loop_detection(benchmark, table2, emit):
+def test_table2_loop_detection(benchmark, table2, bench_record):
     rows, per_bench = table2
-    emit("table2_parallel_loops.txt", ascii_table(HEADERS, rows, title="Table II analog"))
-    emit("table2_parallel_loops.csv", csv_lines(HEADERS, rows))
+    bench_record.table(
+        "table2_parallel_loops", HEADERS, rows, title="Table II analog",
+        csv=True,
+    )
     overall = rows[-1]
+    bench_record.record(
+        "table2.identified_ratio", overall[3] / overall[1], unit="fraction",
+        direction="higher", tolerance=0.0, floor=0.85, ceiling=0.98,
+    )
+    bench_record.record(
+        "table2.missed_loops", overall[4], unit="count", direction="lower",
+        tolerance=0.0, ceiling=0,
+    )
     # Shape 1 (the table's headline): zero missed loops — the signature
     # profiler finds exactly what the perfect profiler finds.
     assert overall[4] == 0

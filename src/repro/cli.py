@@ -12,6 +12,7 @@ Subcommands::
     ddprof sections <workload> [...]       region-level dependence summary
     ddprof stats <workload> [...]          telemetry run-report of a pipeline run
     ddprof trace <workload> [...]          pipeline timeline as Chrome trace JSON
+    ddprof bench run|compare|report        structured benchmark records + gate
 
 Every profiling subcommand accepts ``--metrics-out FILE`` (write the
 telemetry event stream as JSONL), ``--trace-out FILE`` (record the pipeline
@@ -476,6 +477,190 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- ddprof bench ------------------------------------------------------------
+
+#: Suite membership of every benchmarks/test_*.py module.  The conftest
+#: derives each module's suite from this same table (single source of
+#: truth), so ``ddprof bench run --suite X`` and the ``bench_record``
+#: fixture can never disagree about what belongs where.
+BENCH_SUITES: dict[str, tuple[str, ...]] = {
+    "seq": (
+        "test_fig5_slowdown_sequential.py",
+        "test_fig7_memory_sequential.py",
+        "test_table1_accuracy.py",
+        "test_table2_parallel_loops.py",
+        "test_merge_reduction.py",
+        "test_eq2_fpr_model.py",
+        "test_hashtable_vs_signature.py",
+        "test_race_flagging.py",
+    ),
+    "parallel": (
+        "test_fig6_slowdown_parallel.py",
+        "test_fig8_memory_parallel.py",
+        "test_fig9_comm_pattern.py",
+        "test_load_balancing.py",
+        "test_measured_parallel_speedup.py",
+        "test_ablation_pipeline.py",
+    ),
+    "engine": (
+        "test_engine_throughput.py",
+        "test_producer_throughput.py",
+    ),
+    "obs": (
+        "test_telemetry_overhead.py",
+    ),
+}
+
+#: ``ddprof bench run --fast`` / the CI gate: the suites cheap enough to
+#: run on every push (throughput kernels + telemetry overhead).
+FAST_SUITES = ("engine", "obs")
+
+
+def _gather_bench_files(path) -> dict[str, str]:
+    """Map suite name -> BENCH file under ``path`` (file or directory)."""
+    from pathlib import Path
+
+    from repro.obs import load_bench
+
+    p = Path(path)
+    files = sorted(p.glob("BENCH_*.json")) if p.is_dir() else [p]
+    out: dict[str, str] = {}
+    for f in files:
+        doc = load_bench(f)
+        out[doc.get("suite", f.stem)] = str(f)
+    return out
+
+
+def cmd_bench_run(args: argparse.Namespace) -> int:
+    """Run benchmark suites under pytest; the conftest's ``bench_record``
+    fixture writes ``BENCH_<suite>.json`` into --out-dir."""
+    import datetime
+    import os
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(args.benchmarks_dir)
+    if not bench_dir.is_dir():
+        print(f"benchmarks directory not found: {bench_dir}", file=sys.stderr)
+        return 2
+    suites = list(args.suite) if args.suite else (
+        list(FAST_SUITES) if args.fast else sorted(BENCH_SUITES)
+    )
+    unknown = [s for s in suites if s not in BENCH_SUITES]
+    if unknown:
+        print(
+            f"unknown suite(s) {unknown}; known: {sorted(BENCH_SUITES)}",
+            file=sys.stderr,
+        )
+        return 2
+    files = [str(bench_dir / m) for s in suites for m in BENCH_SUITES[s]]
+    out_dir = Path(args.out_dir).resolve()
+    env = dict(os.environ)
+    env["DDPROF_BENCH_OUT"] = str(out_dir)
+    env.setdefault(
+        "DDPROF_BENCH_TS",
+        datetime.datetime.now(datetime.timezone.utc).isoformat(timespec="seconds"),
+    )
+    cmd = [sys.executable, "-m", "pytest", "-q", *files]
+    if args.keyword:
+        cmd += ["-k", args.keyword]
+    print(f"running suites {suites}: {' '.join(cmd)}")
+    rc = subprocess.run(cmd, env=env).returncode
+    written = sorted(out_dir.glob("BENCH_*.json"))
+    for f in written:
+        print(f"wrote {f}")
+    return rc
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import compare, load_bench
+
+    base_by_suite = _gather_bench_files(args.baseline)
+    cur_by_suite = _gather_bench_files(args.current)
+    comparisons = []
+    problems = 0
+    for suite in sorted(set(base_by_suite) | set(cur_by_suite)):
+        base = base_by_suite.get(suite)
+        cur = cur_by_suite.get(suite)
+        if cur is None:
+            print(f"# suite {suite}: present in baseline only — skipped")
+            if args.strict:
+                problems += 1
+            continue
+        if base is None:
+            # No committed baseline yet: everything classifies "added".
+            base = {
+                "schema": load_bench(cur)["schema"],
+                "suite": suite,
+                "benchmarks": {},
+            }
+        cmp = compare(
+            base,
+            cur,
+            tolerance=args.threshold,
+            mad_factor=args.mad_factor,
+            suite=suite,
+        )
+        comparisons.append(cmp)
+        if not cmp.ok:
+            problems += 1
+        if args.strict and cmp.of_status("removed"):
+            problems += 1
+    if args.json:
+        print(_json.dumps([c.to_dict() for c in comparisons], indent=2))
+    else:
+        for cmp in comparisons:
+            sys.stdout.write(cmp.render())
+    return 1 if problems else 0
+
+
+def cmd_bench_report(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import load_bench
+    from repro.report import ascii_table
+
+    docs = []
+    for path in args.files:
+        docs.extend(
+            load_bench(f) for f in _gather_bench_files(path).values()
+        )
+    if args.json:
+        print(_json.dumps(docs, indent=2))
+        return 0
+    for doc in docs:
+        env = doc.get("environment", {})
+        rows = [
+            [
+                bench_id,
+                m.get("value"),
+                m.get("mad", 0.0),
+                m.get("unit", ""),
+                m.get("direction", ""),
+                m.get("repeats", 1),
+                "-" if m.get("floor") is None else m["floor"],
+            ]
+            for bench_id, m in sorted(doc.get("benchmarks", {}).items())
+        ]
+        sha = str(env.get("git_sha", "unknown"))[:12]
+        sys.stdout.write(
+            ascii_table(
+                ["benchmark", "median", "mad", "unit", "direction", "n", "floor"],
+                rows,
+                title=(
+                    f"BENCH [{doc.get('suite')}] @ {sha} "
+                    f"({env.get('cpus', '?')} cpus, {env.get('timestamp', 'no ts')})"
+                ),
+            )
+        )
+        if doc.get("tables"):
+            names = ", ".join(sorted(doc["tables"]))
+            sys.stdout.write(f"tables: {names}\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="ddprof",
@@ -530,6 +715,59 @@ def main(argv: list[str] | None = None) -> int:
         help="trace output path (default: <workload>.trace.json)",
     )
     p.set_defaults(fn=cmd_trace)
+    p = sub.add_parser(
+        "bench",
+        help="structured benchmark records (BENCH_*.json) and the "
+        "noise-aware regression gate",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pb = bench_sub.add_parser(
+        "run", help="run benchmark suites and write BENCH_<suite>.json"
+    )
+    pb.add_argument(
+        "--suite", action="append", default=None,
+        help=f"suite to run (repeatable; default: all of {sorted(BENCH_SUITES)})",
+    )
+    pb.add_argument(
+        "--fast", action="store_true",
+        help=f"only the fast CI-gate suites {list(FAST_SUITES)}",
+    )
+    pb.add_argument("--benchmarks-dir", default="benchmarks")
+    pb.add_argument(
+        "--out-dir", default=".",
+        help="where BENCH_<suite>.json files land (default: repo root)",
+    )
+    pb.add_argument("-k", dest="keyword", default=None, help="pytest -k filter")
+    pb.set_defaults(fn=cmd_bench_run)
+    pb = bench_sub.add_parser(
+        "compare",
+        help="classify each metric improved/neutral/regressed; exit 1 on "
+        "regressions or declared-bound violations",
+    )
+    pb.add_argument("baseline", help="BENCH file or directory of them")
+    pb.add_argument("current", help="BENCH file or directory of them")
+    pb.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative noise tolerance override (default: per-metric, 0.25)",
+    )
+    pb.add_argument(
+        "--mad-factor", type=float, default=4.0,
+        help="MAD band multiplier (noise band = max(threshold*|base|, "
+        "mad_factor*(base_mad+cur_mad)))",
+    )
+    pb.add_argument(
+        "--strict", action="store_true",
+        help="also fail on removed benchmarks / suites missing from current",
+    )
+    pb.add_argument("--json", action="store_true")
+    pb.set_defaults(fn=cmd_bench_compare)
+    pb = bench_sub.add_parser(
+        "report", help="human-readable summary of BENCH files"
+    )
+    pb.add_argument("files", nargs="+", help="BENCH files or directories")
+    pb.add_argument("--json", action="store_true")
+    pb.set_defaults(fn=cmd_bench_report)
+
     p = sub.add_parser(
         "diff", help="compare two saved dependence listings record by record"
     )

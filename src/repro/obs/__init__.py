@@ -16,7 +16,11 @@ depend on it without cycles:
 * :class:`ProvenanceCollector` — per-dependence attribution records
   (``provenance``), including the ``suspect_fp`` collision flag;
 * :func:`prometheus_text` / :func:`parse_prometheus` — text exposition;
-* :class:`RunReport` — the structured per-run JSON report.
+* :class:`RunReport` — the structured per-run JSON report;
+* :class:`BenchRecorder` / :func:`compare` — structured benchmark records
+  (``BENCH_<suite>.json``) and the noise-aware regression gate behind
+  ``ddprof bench`` (``bench``), sharing one environment fingerprint with
+  the run report (``environment``).
 
 Hot-path contract: plain counters are always live (an ``inc()`` is one
 integer add), while *event* construction is guarded by ``sink.enabled``
@@ -24,12 +28,24 @@ and timeline recording by ``tracer.enabled``, so a run without a
 configured sink or tracer does no extra allocation.
 """
 
+from repro.obs.bench import (
+    BenchComparison,
+    BenchRecorder,
+    BenchSession,
+    MetricComparison,
+    MetricRecord,
+    TimedSamples,
+    compare,
+    load_bench,
+    repeat_timed,
+)
 from repro.obs.chrometrace import (
     chrome_trace_dict,
     validate_chrome_trace,
     validate_chrome_trace_file,
     write_chrome_trace,
 )
+from repro.obs.environment import environment_fingerprint, git_sha
 from repro.obs.export import parse_prometheus, prometheus_text
 from repro.obs.metrics import (
     Counter,
@@ -64,12 +80,17 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "BenchRecorder",
+    "BenchSession",
     "Counter",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "MAIN_TRACK",
     "MemorySink",
+    "MetricComparison",
+    "MetricRecord",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullSink",
@@ -81,14 +102,20 @@ __all__ = [
     "Sink",
     "SpanRecord",
     "TeeSink",
+    "TimedSamples",
     "TraceEvent",
     "Tracer",
     "chrome_trace_dict",
+    "compare",
+    "environment_fingerprint",
     "format_name",
+    "git_sha",
+    "load_bench",
     "oracle_cross_check",
     "parse_prometheus",
     "prometheus_text",
     "read_jsonl",
+    "repeat_timed",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
     "worker_track",

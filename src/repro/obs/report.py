@@ -13,6 +13,7 @@ Schema (``ddprof.run-report/1``)::
     {
       "schema": "ddprof.run-report/1",
       "meta":       {workload, variant, engine, workers, ...},
+      "environment": {git_sha, cpus, platform, python, numpy, ...},
       "phases":     [{"phase": ..., "seconds": ..., "count": ...}, ...],
       "counters":   {"queue.push_stalls{worker=\"0\"}": 3, ...},
       "gauges":     {...},
@@ -32,6 +33,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
+from repro.obs.environment import environment_fingerprint
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports obs)
@@ -83,6 +85,11 @@ class RunReport:
     """Frozen view of one run's telemetry."""
 
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Provenance of the machine/commit that produced the run — the same
+    #: fingerprint ``BENCH_*.json`` records carry (one shared helper,
+    #: :func:`repro.obs.environment.environment_fingerprint`, so the two
+    #: can never drift).
+    environment: dict[str, Any] = field(default_factory=dict)
     phases: list[dict[str, Any]] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
@@ -111,6 +118,7 @@ class RunReport:
         prov = getattr(result, "provenance", None)
         return cls(
             meta=dict(meta),
+            environment=environment_fingerprint(),
             phases=phases,
             counters=snap["counters"],
             gauges=snap["gauges"],
@@ -157,6 +165,7 @@ class RunReport:
         return {
             "schema": SCHEMA,
             "meta": self.meta,
+            "environment": self.environment,
             "phases": self.phases,
             "counters": self.counters,
             "gauges": self.gauges,
@@ -180,6 +189,13 @@ class RunReport:
             lines.append(f"run report [{head}]")
         else:
             lines.append("run report")
+        if self.environment:
+            env = self.environment
+            sha = str(env.get("git_sha", "unknown"))[:12]
+            lines.append(
+                f"  environment: {sha} on {env.get('cpus', '?')} cpus, "
+                f"python {env.get('python', '?')}, numpy {env.get('numpy', '?')}"
+            )
         if self.phases:
             lines.append("  phases:")
             total = sum(p["seconds"] for p in self.phases)
