@@ -133,6 +133,50 @@ def test_tracing_overhead_guard(benchmark, bench_record, results_dir, tmp_path):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def test_streaming_overhead_guard(benchmark, bench_record, tmp_path):
+    """The live-telemetry tentpole, gated: a TelemetryStreamer emitting
+    delta snapshots at a tight cadence alongside the run must stay within a
+    declared multiple of the unstreamed time (the ceiling rides the metric
+    into the bench gate), and the stream must replay to the run's final
+    registry state."""
+    from repro.obs import TelemetryStreamer, replay_stream
+
+    batch = get_trace("kmeans")
+    plain, (r_plain, _), _ = _timed(batch, lambda: None)
+
+    stream_path = tmp_path / "stream.jsonl"
+
+    def once():
+        reg = MetricsRegistry(run_id="bench")
+        with TelemetryStreamer(reg, stream_path, interval_s=0.02):
+            return _run(batch, reg)
+
+    streamed = repeat_timed(once, repeats=3, warmup=1)
+    r_streamed, _ = streamed.last
+    assert r_streamed.store == r_plain.store  # streaming never alters results
+
+    replayed, info = replay_stream(stream_path)  # last repeat's stream
+    assert info["final"] is not None
+    assert replayed.snapshot()["counters"] == info["final"]["counters"]
+
+    ratio = streamed.median / plain.median
+    bench_record.record(
+        "obs.streaming_overhead", ratio, unit="ratio", direction="lower",
+        ceiling=2.0, stream_deltas=info["n_deltas"],
+    )
+    bench_record.table(
+        "streaming_overhead",
+        ["configuration", "seconds", "vs plain"],
+        [
+            ["no registry", plain.median, 1.0],
+            ["streamed @20ms", streamed.median, ratio],
+        ],
+        title=f"Live-stream overhead (kmeans analog, {info['n_deltas']} deltas)",
+    )
+    assert ratio < 2.0, f"streaming overhead {ratio:.2f}x exceeds budget"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
 def test_metrics_jsonl_event_stream(metrics_registry, results_dir, benchmark):
     """The fixture captures a readable JSONL event stream — in a temp dir,
     never under ``benchmarks/results/`` (only curated tables are checked

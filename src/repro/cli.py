@@ -96,6 +96,31 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
         help="disable the affine-loop producer fast path (traces are "
         "bit-identical either way; this is the interpreted oracle)",
     )
+    p.add_argument(
+        "--live-metrics", metavar="FILE", default=None,
+        help="stream delta snapshots of the metrics registry to FILE as "
+        "JSONL while the run executes (tail it for a live view)",
+    )
+    p.add_argument(
+        "--log-json", metavar="FILE", default=None,
+        help="write correlated structured logs (JSON lines, stamped with "
+        "the run id) to FILE; '-' logs to stderr",
+    )
+    p.add_argument(
+        "--http-port", type=int, metavar="N", default=None,
+        help="serve /metrics, /healthz and /snapshot over HTTP on "
+        "127.0.0.1:N while the run executes (0 = pick an ephemeral port)",
+    )
+    p.add_argument(
+        "--http-linger", type=float, metavar="SECONDS", default=0.0,
+        help="keep the HTTP exporter up this long after the run finishes "
+        "(lets scrapers collect the final state)",
+    )
+    p.add_argument(
+        "--heartbeat-interval", type=float, metavar="SECONDS", default=0.05,
+        help="worker heartbeat watchdog cadence for --mode processes "
+        "(0 disables the heartbeat plane)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ProfilerConfig:
@@ -109,11 +134,95 @@ def _config_from(args: argparse.Namespace) -> ProfilerConfig:
     )
 
 
+class _TelemetryPlane:
+    """The CLI run's live surfaces: streamer, HTTP exporter, log stream.
+
+    Owned by ``args`` so the report path (:func:`_report_from`) can tear the
+    plane down in the right order: streamer final records first, then the
+    HTTP exporter (after an optional linger window so external scrapers can
+    collect the final state), then the log stream.
+    """
+
+    def __init__(self, registry: MetricsRegistry, args: argparse.Namespace) -> None:
+        from repro.obs import TelemetryHTTPServer, TelemetryStreamer
+
+        self.registry = registry
+        self.log_stream = None  # owned file handle, None for stderr/disabled
+        self.linger_s = float(getattr(args, "http_linger", 0.0) or 0.0)
+        self.streamer = (
+            TelemetryStreamer(registry, args.live_metrics)
+            if getattr(args, "live_metrics", None)
+            else None
+        )
+        port = getattr(args, "http_port", None)
+        self.httpd = (
+            TelemetryHTTPServer(registry, port=port) if port is not None else None
+        )
+
+    def start(self) -> None:
+        if self.streamer is not None:
+            self.streamer.start()
+        if self.httpd is not None:
+            self.httpd.start()
+            print(
+                f"telemetry: serving {self.httpd.url}/metrics /healthz /snapshot",
+                file=sys.stderr,
+            )
+
+    def stop(self) -> None:
+        import time
+
+        if self.streamer is not None:
+            self.streamer.stop()
+            self.streamer = None
+        if self.httpd is not None:
+            if self.linger_s > 0:
+                print(
+                    f"telemetry: lingering {self.linger_s:g}s at {self.httpd.url}",
+                    file=sys.stderr,
+                )
+                time.sleep(self.linger_s)
+            self.httpd.stop()
+            self.httpd = None
+        if self.log_stream is not None:
+            self.log_stream.close()
+            self.log_stream = None
+
+
 def _registry_from(args: argparse.Namespace) -> MetricsRegistry:
-    """Telemetry registry for one CLI run (JSONL sink / tracer on request)."""
+    """Telemetry registry for one CLI run (JSONL sink / tracer on request).
+
+    Every CLI run gets a fresh ``run_id``; it is stamped on sink events,
+    log lines, stream records, the trace export, and the run report, so all
+    of one run's telemetry artifacts can be joined on it.
+    """
+    from repro.obs import StructLogger, new_run_id
+
+    run_id = new_run_id()
     sink = JsonlSink(args.metrics_out) if args.metrics_out else None
-    tracer = Tracer() if getattr(args, "trace_out", None) else None
-    return MetricsRegistry(sink, tracer=tracer)
+    tracer = (
+        Tracer(run_id=run_id) if getattr(args, "trace_out", None) else None
+    )
+    log = None
+    log_path = getattr(args, "log_json", None)
+    owned_stream = None
+    if log_path:
+        if log_path == "-":
+            stream = sys.stderr
+        else:
+            stream = owned_stream = open(log_path, "w", encoding="utf-8")
+        log = StructLogger(stream, run_id=run_id)
+    reg = MetricsRegistry(sink, tracer=tracer, run_id=run_id, log=log)
+    plane = _TelemetryPlane(reg, args)
+    plane.log_stream = owned_stream
+    plane.start()
+    args._plane = plane
+    reg.log.info(
+        "run.start",
+        command=getattr(args, "command", None),
+        workload=getattr(args, "workload", None),
+    )
+    return reg
 
 
 def _report_from(
@@ -126,7 +235,7 @@ def _report_from(
     """Freeze telemetry: final snapshot event, close the sink, build report."""
     reg.emit({"type": "snapshot", **reg.snapshot()})
     reg.close()
-    return RunReport.build(
+    report = RunReport.build(
         reg,
         result,
         info,
@@ -134,6 +243,11 @@ def _report_from(
         variant=args.variant,
         engine=engine or args.engine,
     )
+    reg.log.info("run.finish", phases=len(report.phases))
+    plane = getattr(args, "_plane", None)
+    if plane is not None:
+        plane.stop()
+    return report
 
 
 def _finish_telemetry(
@@ -170,6 +284,7 @@ def _pipeline_run(args: argparse.Namespace, reg: MetricsRegistry, batch):
         mode=getattr(args, "mode", None) or "deterministic",
         registry=reg,
         provenance=wants_prov,
+        heartbeat_interval=getattr(args, "heartbeat_interval", 0.05),
     ).profile(batch)
     if wants_prov and res.provenance is not None and args.slots is not None:
         from repro.obs import oracle_cross_check

@@ -46,7 +46,13 @@ from repro.obs.chrometrace import (
     write_chrome_trace,
 )
 from repro.obs.environment import environment_fingerprint, git_sha
-from repro.obs.export import parse_prometheus, prometheus_text
+from repro.obs.export import (
+    parse_prometheus,
+    prometheus_text,
+    sanitize_label_name,
+)
+from repro.obs.httpd import TelemetryHTTPServer, healthz_dict
+from repro.obs.log import NULL_LOG, NullLogger, StructLogger, new_run_id
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -60,8 +66,8 @@ from repro.obs.provenance import (
     ProvenanceRecord,
     oracle_cross_check,
 )
-from repro.obs.report import RunReport
-from repro.obs.sampler import Sampler
+from repro.obs.report import HEARTBEAT_STATES, RunReport, liveness_summary
+from repro.obs.sampler import Sampler, deadline_loop
 from repro.obs.sinks import (
     JsonlSink,
     MemorySink,
@@ -70,6 +76,7 @@ from repro.obs.sinks import (
     TeeSink,
     read_jsonl,
 )
+from repro.obs.streamer import TelemetryStreamer, replay_stream, state_delta
 from repro.obs.tracing import (
     MAIN_TRACK,
     NULL_TRACER,
@@ -85,6 +92,7 @@ __all__ = [
     "BenchSession",
     "Counter",
     "Gauge",
+    "HEARTBEAT_STATES",
     "Histogram",
     "JsonlSink",
     "MAIN_TRACK",
@@ -92,7 +100,9 @@ __all__ = [
     "MetricComparison",
     "MetricRecord",
     "MetricsRegistry",
+    "NULL_LOG",
     "NULL_TRACER",
+    "NullLogger",
     "NullSink",
     "NullTracer",
     "ProvenanceCollector",
@@ -101,21 +111,31 @@ __all__ = [
     "Sampler",
     "Sink",
     "SpanRecord",
+    "StructLogger",
     "TeeSink",
+    "TelemetryHTTPServer",
+    "TelemetryStreamer",
     "TimedSamples",
     "TraceEvent",
     "Tracer",
     "chrome_trace_dict",
     "compare",
+    "deadline_loop",
     "environment_fingerprint",
     "format_name",
     "git_sha",
+    "healthz_dict",
+    "liveness_summary",
     "load_bench",
+    "new_run_id",
     "oracle_cross_check",
     "parse_prometheus",
     "prometheus_text",
     "read_jsonl",
     "repeat_timed",
+    "replay_stream",
+    "sanitize_label_name",
+    "state_delta",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
     "worker_track",

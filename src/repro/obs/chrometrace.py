@@ -57,10 +57,13 @@ def chrome_trace_dict(
             base["ph"] = "i"
             base["s"] = "t"  # thread-scoped instant
         events.append(base)
+    other = dict(meta or {})
+    if getattr(tracer, "run_id", None) is not None:
+        other.setdefault("run_id", tracer.run_id)
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": dict(meta or {}),
+        "otherData": other,
     }
 
 

@@ -1,0 +1,163 @@
+"""In-process HTTP exporter — scrape the live registry over localhost.
+
+A stdlib-only (:mod:`http.server`) endpoint served from a daemon thread,
+so an external scraper — Prometheus, ``curl``, a dashboard — can observe a
+profiling run *while it executes* without the profiler writing a single
+extra file.  Three endpoints:
+
+* ``GET /metrics``   — Prometheus text exposition of the registry
+  (:func:`~repro.obs.export.prometheus_text`), the exact bytes a
+  Prometheus scrape job expects.
+* ``GET /healthz``   — small JSON liveness document: overall ``status``
+  (``ok`` / ``degraded`` when any worker is stalled or dead), the
+  ``run_id``, and the per-worker heartbeat verdicts decoded from the
+  ``worker.heartbeat.*`` gauges (:func:`~repro.obs.report.liveness_summary`
+  — the server never talks to the watchdog, the registry is the one
+  source of truth).
+* ``GET /snapshot``  — full display snapshot
+  (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`) as JSON.
+
+Reads of the registry are lock-free: instruments are only ever mutated by
+atomic attribute ops under the GIL, and a scrape that races a tick sees a
+slightly stale value, never a torn one.  Binding port 0 picks an ephemeral
+port (reported via :attr:`TelemetryHTTPServer.port`), which is what the
+tests and the CI smoke step use.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import liveness_summary
+
+
+def healthz_dict(
+    registry: MetricsRegistry, run_id: str | None = None
+) -> dict[str, Any]:
+    """The ``/healthz`` document; importable so tests can assert its shape
+    without a socket."""
+    liveness = liveness_summary(registry)
+    degraded = liveness is not None and not liveness["healthy"]
+    doc: dict[str, Any] = {
+        "status": "degraded" if degraded else "ok",
+        "run_id": run_id if run_id is not None else registry.run_id,
+        "liveness": liveness,
+    }
+    return doc
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in TelemetryHTTPServer.start().
+    registry: MetricsRegistry
+    run_id: str | None
+
+    #: Quiet by default: request logging to stderr would interleave with
+    #: profiler output.
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: ARG002
+        pass
+
+    def _send(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = prometheus_text(self.registry).encode("utf-8")
+                self._send(200, "text/plain; version=0.0.4; charset=utf-8", body)
+            elif path == "/healthz":
+                doc = healthz_dict(self.registry, self.run_id)
+                self._send(
+                    200 if doc["status"] == "ok" else 503,
+                    "application/json",
+                    json.dumps(doc).encode("utf-8"),
+                )
+            elif path in ("/", "/snapshot"):
+                doc = {"run_id": self.run_id, **self.registry.snapshot()}
+                self._send(
+                    200, "application/json", json.dumps(doc).encode("utf-8")
+                )
+            else:
+                self._send(404, "text/plain", b"not found\n")
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+
+
+class TelemetryHTTPServer:
+    """Serves the registry on ``host:port`` from a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start`.  The server thread and per-request threads are all
+    daemonic, so a crashed run never hangs on the exporter — but call
+    :meth:`stop` on clean paths to release the socket promptly.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        run_id: str | None = None,
+    ) -> None:
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.run_id = run_id if run_id is not None else registry.run_id
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind, start serving, and return the bound port."""
+        if self._httpd is not None:
+            return self.port
+        handler = type(
+            "BoundHandler",
+            (_Handler,),
+            {"registry": self.registry, "run_id": self.run_id},
+        )
+        self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="obs-httpd",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Shut down the listener; idempotent."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "TelemetryHTTPServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()

@@ -1,0 +1,152 @@
+"""Correlated structured logging — the third leg of the telemetry plane.
+
+Metrics say *how much*, traces say *when*; logs say *what happened*.  A
+:class:`StructLogger` writes one JSON object per line (``ts``, ``level``,
+``event``, free-form fields) to any text stream, and every record carries
+the same ``run_id`` that the :class:`~repro.obs.metrics.MetricsRegistry`
+stamps on sink events, the :class:`~repro.obs.tracing.Tracer` carries into
+Chrome trace exports, and :class:`~repro.obs.report.RunReport` embeds — so
+one grep over metrics JSONL, trace JSON, and the log stream correlates a
+whole run across files.
+
+The hot-path contract mirrors the sink/tracer design: :data:`NULL_LOG`
+(``enabled = False``) is the default everywhere, so instrumented code can
+guard field construction::
+
+    if registry.log.enabled:
+        registry.log.info("worker.stalled", worker=w, age_seconds=age)
+
+``run_id`` values come from :func:`new_run_id`: 12 hex chars of
+``uuid4``, short enough for log lines, unique enough for a daemon serving
+many concurrent jobs (the ROADMAP's profiling-as-a-service story).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from typing import Any, TextIO
+
+#: Level names in increasing severity; ``log(level=...)`` must use one.
+LEVELS = ("debug", "info", "warning", "error")
+_RANK = {name: i for i, name in enumerate(LEVELS)}
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-char correlation id for one profiling run."""
+    return uuid.uuid4().hex[:12]
+
+
+class NullLogger:
+    """Disabled logger: ``enabled=False`` lets call sites skip everything.
+
+    All record methods are safe no-ops, so library code may call them
+    unconditionally; the ``enabled`` guard only saves building the field
+    dict.
+    """
+
+    enabled = False
+    run_id: str | None = None
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        pass
+
+    def debug(self, event: str, **fields: Any) -> None:
+        pass
+
+    def info(self, event: str, **fields: Any) -> None:
+        pass
+
+    def warning(self, event: str, **fields: Any) -> None:
+        pass
+
+    def error(self, event: str, **fields: Any) -> None:
+        pass
+
+    def bind(self, **fields: Any) -> "NullLogger":
+        return self
+
+
+#: Shared default instance — registries without a logger all point here.
+NULL_LOG = NullLogger()
+
+
+class StructLogger:
+    """JSON-lines logger bound to one run.
+
+    Each record is one sorted-key JSON object::
+
+        {"event": "worker.stalled", "level": "warning",
+         "run_id": "3fa9c12bd04e", "ts": 1754650000.123456, "worker": 2, ...}
+
+    ``bind(**fields)`` returns a child logger sharing the stream and
+    ``run_id`` but stamping extra constant fields (e.g. ``worker=3``) on
+    every record — the cheap way to give a subsystem its own context.
+    Writes are a single ``stream.write`` of one line, which is atomic
+    enough under the GIL for the pipeline's threads.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        stream: TextIO,
+        run_id: str | None = None,
+        level: str = "info",
+        clock=time.time,
+        _bound: dict[str, Any] | None = None,
+    ) -> None:
+        if level not in _RANK:
+            raise ValueError(f"unknown log level {level!r}; pick from {LEVELS}")
+        self.stream = stream
+        self.run_id = run_id
+        self.level = level
+        self._min = _RANK[level]
+        self._clock = clock
+        self._bound = dict(_bound or {})
+        self.n_records = 0
+
+    def bind(self, **fields: Any) -> "StructLogger":
+        """Child logger stamping ``fields`` on every record."""
+        child = StructLogger(
+            self.stream,
+            run_id=self.run_id,
+            level=self.level,
+            clock=self._clock,
+            _bound={**self._bound, **fields},
+        )
+        return child
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        rank = _RANK.get(level)
+        if rank is None:
+            raise ValueError(f"unknown log level {level!r}; pick from {LEVELS}")
+        if rank < self._min:
+            return
+        rec: dict[str, Any] = {
+            "ts": round(self._clock(), 6),
+            "level": level,
+            "event": event,
+        }
+        if self.run_id is not None:
+            rec["run_id"] = self.run_id
+        rec.update(self._bound)
+        rec.update(fields)
+        self.stream.write(
+            json.dumps(rec, sort_keys=True, separators=(",", ":"), default=str)
+            + "\n"
+        )
+        self.n_records += 1
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)

@@ -27,6 +27,7 @@ import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
+from repro.obs.log import NULL_LOG, NullLogger, StructLogger
 from repro.obs.sinks import NULL_SINK, Sink
 from repro.obs.tracing import MAIN_TRACK, NULL_TRACER, NullTracer, Tracer
 
@@ -175,11 +176,19 @@ class MetricsRegistry:
         self,
         sink: Sink | None = None,
         tracer: "Tracer | NullTracer | None" = None,
+        run_id: str | None = None,
+        log: "StructLogger | NullLogger | None" = None,
     ) -> None:
         self.sink = sink if sink is not None else NULL_SINK
         #: Timeline tracer; the shared ``NULL_TRACER`` by default, so the
         #: untraced hot path is one ``enabled`` check away from free.
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Correlation id of this run; when set, every sink event is stamped
+        #: with it (and the CLI propagates the same id into the tracer, the
+        #: structured log, and the run report).
+        self.run_id = run_id
+        #: Structured logger; the shared ``NULL_LOG`` by default.
+        self.log = log if log is not None else NULL_LOG
         self._metrics: dict[tuple[str, LabelKey], Counter | Gauge | Histogram] = {}
         self.spans: list[SpanRecord] = []
 
@@ -353,6 +362,8 @@ class MetricsRegistry:
             return
         if "ts" not in event:
             event["ts"] = round(time.time(), 6)
+        if self.run_id is not None and "run_id" not in event:
+            event["run_id"] = self.run_id
         self.sink.emit(event)
 
     def close(self) -> None:

@@ -42,6 +42,60 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports obs)
 
 SCHEMA = "ddprof.run-report/1"
 
+#: Gauge encoding of a worker's liveness: ``worker.heartbeat.state`` holds
+#: the index into this tuple (0 = live, 1 = stalled, 2 = dead).  Defined
+#: here — not in :mod:`repro.parallel.heartbeat` — because the obs layer
+#: (reports, the HTTP ``/healthz`` endpoint) must decode the gauges without
+#: importing the parallel package.
+HEARTBEAT_STATES = ("live", "stalled", "dead")
+
+
+def liveness_summary(registry: MetricsRegistry) -> dict[str, Any] | None:
+    """Decode ``worker.heartbeat.*`` gauges into a liveness section.
+
+    Returns ``None`` when the run recorded no heartbeats (sequential modes,
+    threads mode).  The summary is computed purely from the registry — the
+    watchdog writes gauges, everything downstream (report, ``/healthz``)
+    reads them — so there is exactly one source of truth for worker state.
+    """
+    states: dict[str, int] = {}
+    ages: dict[str, float] = {}
+    beats: dict[str, int] = {}
+    for g in registry.gauges():
+        labels = dict(g.labels)
+        if g.name == "worker.heartbeat.state":
+            states[labels.get("worker", "?")] = int(g.value)
+        elif g.name == "worker.heartbeat.age_seconds":
+            ages[labels.get("worker", "?")] = round(g.value, 6)
+        elif g.name == "worker.heartbeat.beats":
+            beats[labels.get("worker", "?")] = int(g.value)
+    if not states:
+        return None
+    workers: dict[str, Any] = {}
+    counts = dict.fromkeys(HEARTBEAT_STATES, 0)
+    for w in sorted(states, key=lambda w: (len(w), w)):
+        code = states[w]
+        name = (
+            HEARTBEAT_STATES[code]
+            if 0 <= code < len(HEARTBEAT_STATES)
+            else f"unknown({code})"
+        )
+        if name in counts:
+            counts[name] += 1
+        workers[w] = {
+            "state": name,
+            "age_seconds": ages.get(w, 0.0),
+            "beats": beats.get(w, 0),
+        }
+    return {
+        "workers": workers,
+        "live": counts["live"],
+        "stalled": counts["stalled"],
+        "dead": counts["dead"],
+        "stall_events": registry.sum_counters("worker.heartbeat.stalls"),
+        "healthy": counts["stalled"] == 0 and counts["dead"] == 0,
+    }
+
 
 def _profile_section(result: "ProfileResult") -> dict[str, Any]:
     s = result.stats
@@ -85,6 +139,10 @@ class RunReport:
     """Frozen view of one run's telemetry."""
 
     meta: dict[str, Any] = field(default_factory=dict)
+    #: Correlation id of the run.  The same id is stamped on every sink
+    #: event, every structured-log line, the telemetry stream, and the
+    #: Chrome trace export, so all planes of one run can be joined on it.
+    run_id: str | None = None
     #: Provenance of the machine/commit that produced the run — the same
     #: fingerprint ``BENCH_*.json`` records carry (one shared helper,
     #: :func:`repro.obs.environment.environment_fingerprint`, so the two
@@ -101,6 +159,9 @@ class RunReport:
     trace: dict[str, Any] | None = None
     #: Per-dependence provenance rows when the run collected them.
     provenance: list[dict[str, Any]] | None = None
+    #: Worker liveness (heartbeat watchdog verdicts) for processes-mode
+    #: runs with heartbeats enabled; ``None`` otherwise.
+    liveness: dict[str, Any] | None = None
 
     @classmethod
     def build(
@@ -118,6 +179,7 @@ class RunReport:
         prov = getattr(result, "provenance", None)
         return cls(
             meta=dict(meta),
+            run_id=registry.run_id,
             environment=environment_fingerprint(),
             phases=phases,
             counters=snap["counters"],
@@ -127,6 +189,7 @@ class RunReport:
             parallel=_parallel_section(info) if info is not None else None,
             trace=registry.tracer.summary() if registry.tracer.enabled else None,
             provenance=prov.to_list() if prov is not None else None,
+            liveness=liveness_summary(registry),
         )
 
     # -- derived sections -----------------------------------------------------
@@ -165,6 +228,7 @@ class RunReport:
         return {
             "schema": SCHEMA,
             "meta": self.meta,
+            "run_id": self.run_id,
             "environment": self.environment,
             "phases": self.phases,
             "counters": self.counters,
@@ -175,6 +239,7 @@ class RunReport:
             "parallel": self.parallel,
             "trace": self.trace,
             "provenance": self.provenance,
+            "liveness": self.liveness,
         }
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -189,6 +254,8 @@ class RunReport:
             lines.append(f"run report [{head}]")
         else:
             lines.append("run report")
+        if self.run_id:
+            lines.append(f"  run id: {self.run_id}")
         if self.environment:
             env = self.environment
             sha = str(env.get("git_sha", "unknown"))[:12]
@@ -228,6 +295,19 @@ class RunReport:
                 f"rebalances {pa['rebalance_rounds']} "
                 f"({pa['addresses_migrated']} addresses moved)"
             )
+        if self.liveness:
+            lv = self.liveness
+            lines.append(
+                f"  liveness: {lv['live']} live, {lv['stalled']} stalled, "
+                f"{lv['dead']} dead ({lv['stall_events']} stall events)"
+            )
+            for w, st in lv["workers"].items():
+                if st["state"] != "live":
+                    lines.append(
+                        f"    worker {w}: {st['state']} "
+                        f"(last beat {st['age_seconds'] * 1e3:.0f} ms ago, "
+                        f"{st['beats']} beats)"
+                    )
         if self.trace:
             tr = self.trace
             lines.append(

@@ -13,6 +13,15 @@ Two driving modes, matching the pipeline's two execution modes:
 * **threaded** — :meth:`start` spins a daemon thread polling every
   ``period_s``; used by the ``threads`` pipeline mode.  :meth:`stop` joins
   it and takes one final sample so short runs always log at least one.
+
+The threaded mode (and every other periodic telemetry thread — the
+:class:`~repro.obs.streamer.TelemetryStreamer`, the processes-mode
+watchdog) drives its ticks through :func:`deadline_loop`, which schedules
+against a monotonic deadline *grid* rather than ``sleep(interval)`` after
+each tick: a tick that takes 70% of the period still fires the next tick
+on the grid instead of drifting 70% late every cycle.  A tick that
+overruns a whole period fires immediately once, counts the missed grid
+points, and realigns.
 """
 
 from __future__ import annotations
@@ -24,17 +33,63 @@ from typing import Any, Callable
 from repro.obs.metrics import MetricsRegistry, format_name
 
 
+def deadline_loop(
+    tick: Callable[[], None],
+    period_s: float,
+    wait: Callable[[float], bool],
+    clock: Callable[[], float] = time.perf_counter,
+    on_missed: Callable[[int], None] | None = None,
+) -> None:
+    """Drive ``tick()`` on a fixed monotonic grid until ``wait`` says stop.
+
+    ``wait(seconds)`` must block for at most ``seconds`` and return True to
+    stop the loop (a ``threading.Event.wait`` bound fits exactly).  Ticks
+    are scheduled at ``t0 + k * period_s``: a slow tick eats into the next
+    wait instead of postponing the whole grid.  When a tick overruns one or
+    more full periods the loop fires immediately, reports the number of
+    skipped grid points through ``on_missed``, and realigns to the next
+    future grid point — cadence degrades to back-to-back ticks, never to an
+    unbounded backlog.
+
+    ``clock`` is injectable so tests can drive the loop with a fake clock
+    (pair it with a ``wait`` that advances the same clock).
+    """
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    next_t = clock() + period_s
+    while True:
+        delay = next_t - clock()
+        if wait(max(0.0, delay)):
+            return
+        tick()
+        next_t += period_s
+        now = clock()
+        if next_t <= now:
+            missed = int((now - next_t) // period_s) + 1
+            if on_missed is not None:
+                on_missed(missed)
+            next_t += missed * period_s
+
+
 class Sampler:
     """Polls registered probes into gauges + ``sample`` events."""
 
     def __init__(
-        self, registry: MetricsRegistry, min_interval_s: float = 0.0
+        self,
+        registry: MetricsRegistry,
+        min_interval_s: float = 0.0,
+        clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         self.registry = registry
         self.min_interval_s = min_interval_s
+        self._clock = clock
         self._probes: list[tuple[str, Callable[[], float]]] = []
         self._last_poll = float("-inf")
         self.n_samples = 0
+        #: Grid points skipped because a poll overran the sampling period
+        #: (threaded mode only) — nonzero means the cadence was briefly
+        #: saturated, not silently skewed.
+        self.ticks_missed = 0
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
 
@@ -51,7 +106,7 @@ class Sampler:
         """Take one sample if the rate limit allows; True when sampled."""
         if not self._probes:
             return False
-        now = time.perf_counter()
+        now = self._clock()
         if not force and now - self._last_poll < self.min_interval_s:
             return False
         self._last_poll = now
@@ -64,18 +119,37 @@ class Sampler:
         return True
 
     # -- threaded driving (pipeline mode "threads") ---------------------------
+    def _on_missed(self, n: int) -> None:
+        self.ticks_missed += n
+
+    def _run_loop(
+        self, period_s: float, wait: Callable[[float], bool]
+    ) -> None:
+        """The deadline-grid polling loop (factored out for fake-clock
+        tests: drive it inline with a synthetic ``wait``/``clock``)."""
+        deadline_loop(
+            lambda: self.poll(force=True),
+            period_s,
+            wait,
+            clock=self._clock,
+            on_missed=self._on_missed,
+        )
+
     def start(self, period_s: float = 0.01) -> None:
-        """Poll from a daemon thread every ``period_s`` until :meth:`stop`."""
+        """Poll from a daemon thread every ``period_s`` until :meth:`stop`.
+
+        Ticks are scheduled against a monotonic deadline grid (see
+        :func:`deadline_loop`), so a slow sample callback does not skew the
+        cadence the way a fixed ``sleep(period)`` after each poll would.
+        """
         if self._thread is not None:
             return
-
-        def loop() -> None:
-            while not self._stop.wait(period_s):
-                self.poll(force=True)
-
         self._stop.clear()
         self._thread = threading.Thread(
-            target=loop, name="obs-sampler", daemon=True
+            target=self._run_loop,
+            args=(period_s, self._stop.wait),
+            name="obs-sampler",
+            daemon=True,
         )
         self._thread.start()
 

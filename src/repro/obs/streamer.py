@@ -1,0 +1,277 @@
+"""Live metrics streaming — delta snapshots of a registry as JSONL.
+
+The post-hoc planes (``RunReport``, the final ``snapshot`` event) only
+exist once a run finishes; the :class:`TelemetryStreamer` makes the same
+registry observable *while it runs*.  A daemon thread wakes on a
+drift-free deadline grid (:func:`~repro.obs.sampler.deadline_loop`),
+freezes the registry with :meth:`~repro.obs.metrics.MetricsRegistry.state`,
+and emits only what changed since the previous tick as one schema-versioned
+JSONL record.  Because deltas are expressed in the exact shape
+:meth:`~repro.obs.metrics.MetricsRegistry.merge_state` consumes — counters
+as increments, gauges as last values, histograms as bucket-count deltas,
+spans as the newly appended records — a consumer reconstructs the live
+registry at any point by folding records in order; :func:`replay_stream`
+does exactly that and is the round-trip test's oracle.
+
+Stream layout (``ddprof.telemetry-stream/1``)::
+
+    {"type": "header", "schema": ..., "run_id": ..., "interval_s": ..., "ts": ...}
+    {"type": "delta", "seq": 1, "run_id": ..., "ts": ...,
+     "counters": [[name, [[k, v], ...], increment], ...],
+     "gauges": [...], "histograms": [...], "spans": [...]}
+    ...
+    {"type": "final", "seq": N, ...full display snapshot..., "deltas": N-?}
+
+Every record carries the run's ``run_id``, so a live scraper tailing the
+file can join it against the metrics event log and the structured log
+stream.  Ticks on which nothing changed emit nothing — an idle run costs
+one ``state()`` walk per interval and zero I/O.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import deadline_loop
+from repro.obs.sinks import JsonlSink, Sink
+
+SCHEMA = "ddprof.telemetry-stream/1"
+
+#: Default emission cadence (seconds) — coarse enough to stay far off the
+#: hot path, fine enough that a dashboard feels live.
+DEFAULT_INTERVAL_S = 0.25
+
+
+def _key(name: str, labels: Any) -> tuple[str, tuple]:
+    return (name, tuple(tuple(kv) for kv in labels))
+
+
+def state_delta(
+    prev: dict[str, Any] | None, cur: dict[str, Any]
+) -> dict[str, Any]:
+    """What changed between two :meth:`MetricsRegistry.state` dumps.
+
+    Returns a ``state``-shaped dict (mergeable via ``merge_state``):
+    counters carry increments, gauges their current values (merge
+    overwrites), histograms element-wise bucket-count deltas, and spans the
+    newly appended tail.  Empty sections are empty lists, so ``is_empty_delta``
+    can cheaply decide whether a tick needs a record at all.
+    """
+    if prev is None:
+        prev = {"counters": [], "gauges": [], "histograms": [], "spans": []}
+    pc = {_key(n, l): v for n, l, v in prev["counters"]}
+    # A key absent from prev is emitted even at value 0: instrument
+    # *creation* is state too, or replay would drop zero-valued counters.
+    counters = [
+        (n, l, v - pc.get(_key(n, l), 0))
+        for n, l, v in cur["counters"]
+        if _key(n, l) not in pc or v != pc[_key(n, l)]
+    ]
+    pg = {_key(n, l): v for n, l, v in prev["gauges"]}
+    gauges = [
+        (n, l, v)
+        for n, l, v in cur["gauges"]
+        if _key(n, l) not in pg or v != pg[_key(n, l)]
+    ]
+    ph = {
+        _key(n, l): (counts, total, count)
+        for n, l, _, counts, total, count in prev["histograms"]
+    }
+    histograms = []
+    for n, l, buckets, counts, total, count in cur["histograms"]:
+        is_new = _key(n, l) not in ph
+        old_counts, old_total, old_count = ph.get(
+            _key(n, l), ([0] * len(counts), 0.0, 0)
+        )
+        if is_new or count != old_count or total != old_total:
+            histograms.append(
+                (
+                    n,
+                    l,
+                    buckets,
+                    [c - o for c, o in zip(counts, old_counts)],
+                    total - old_total,
+                    count - old_count,
+                )
+            )
+    spans = cur["spans"][len(prev["spans"]):]
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": histograms,
+        "spans": spans,
+    }
+
+
+def is_empty_delta(delta: dict[str, Any]) -> bool:
+    return not any(
+        delta[k] for k in ("counters", "gauges", "histograms", "spans")
+    )
+
+
+class TelemetryStreamer:
+    """Streams registry deltas to a JSONL sink on a fixed cadence.
+
+    Pass a path (the streamer owns and closes a :class:`JsonlSink` with
+    per-record flushing, so tailing the file always sees whole lines) or
+    any :class:`Sink` (caller keeps ownership).  Driving is either
+    threaded (:meth:`start` / :meth:`stop`) or manual (:meth:`tick` from a
+    producer loop, mirroring the :class:`~repro.obs.sampler.Sampler`).
+
+    :meth:`stop` takes one final delta tick and appends a ``final`` record
+    with the full display snapshot, so a consumer that only reads the last
+    line still gets the end-of-run totals.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        sink: Sink | str | Path,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        run_id: str | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.registry = registry
+        if isinstance(sink, Sink):
+            self.sink = sink
+            self._own_sink = False
+        else:
+            self.sink = JsonlSink(sink, flush_every=1)
+            self._own_sink = True
+        self.interval_s = interval_s
+        self.run_id = run_id if run_id is not None else registry.run_id
+        self.seq = 0
+        self.n_records = 0
+        self.ticks_missed = 0
+        self._prev: dict[str, Any] | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- record emission ----------------------------------------------------
+    def _emit(self, record: dict[str, Any]) -> None:
+        record["ts"] = round(time.time(), 6)
+        if self.run_id is not None:
+            record["run_id"] = self.run_id
+        self.sink.emit(record)
+        self.n_records += 1
+
+    def tick(self) -> bool:
+        """Emit one delta record if anything changed; True when emitted.
+
+        Serialized by a lock: the final forced tick from :meth:`stop` and a
+        late grid tick from the thread cannot interleave their state reads.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            cur = self.registry.state()
+            delta = state_delta(self._prev, cur)
+            self._prev = cur
+            if is_empty_delta(delta):
+                return False
+            self.seq += 1
+            self._emit({"type": "delta", "seq": self.seq, **delta})
+            return True
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Write the header record and start the streaming thread."""
+        if self._thread is not None:
+            return
+        self._emit(
+            {"type": "header", "schema": SCHEMA, "interval_s": self.interval_s}
+        )
+        self._stop.clear()
+
+        def on_missed(n: int) -> None:
+            self.ticks_missed += n
+
+        self._thread = threading.Thread(
+            target=deadline_loop,
+            args=(self.tick, self.interval_s, self._stop.wait),
+            kwargs={"on_missed": on_missed},
+            name="obs-streamer",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Final delta + ``final`` full-snapshot record; close an owned sink.
+
+        Idempotent, and safe to call without :meth:`start` (manual driving):
+        the trailing records are written exactly once.
+        """
+        if self._closed:
+            return
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.tick()  # flush whatever changed since the last grid point
+        with self._lock:
+            self._closed = True
+            self.seq += 1
+            self._emit(
+                {"type": "final", "seq": self.seq, **self.registry.snapshot()}
+            )
+            self.sink.flush()
+            if self._own_sink:
+                self.sink.close()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def __enter__(self) -> "TelemetryStreamer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def replay_stream(path: str | Path) -> tuple[MetricsRegistry, dict[str, Any]]:
+    """Reconstruct a registry from a streamed JSONL file.
+
+    Folds every ``delta`` record into a fresh registry via ``merge_state``
+    and returns ``(registry, info)`` where ``info`` carries the header
+    fields, the record counts, and the embedded ``final`` snapshot (if the
+    stream was closed cleanly).  The round-trip contract —
+    ``replay_stream(p)[0].snapshot() == final snapshot`` — is what makes
+    the stream a faithful live view rather than a lossy log.
+    """
+    from repro.obs.sinks import read_jsonl
+
+    reg = MetricsRegistry()
+    info: dict[str, Any] = {
+        "header": None,
+        "final": None,
+        "n_deltas": 0,
+        "run_ids": set(),
+    }
+    for rec in read_jsonl(path):
+        if "run_id" in rec:
+            info["run_ids"].add(rec["run_id"])
+        kind = rec.get("type")
+        if kind == "header":
+            info["header"] = rec
+        elif kind == "delta":
+            info["n_deltas"] += 1
+            reg.merge_state(
+                {
+                    "counters": rec["counters"],
+                    "gauges": rec["gauges"],
+                    "histograms": rec["histograms"],
+                    "spans": rec["spans"],
+                }
+            )
+        elif kind == "final":
+            info["final"] = rec
+    return reg, info

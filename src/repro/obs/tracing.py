@@ -92,6 +92,7 @@ class NullTracer:
     events: tuple[TraceEvent, ...] = ()
     track_names: dict[int, str] = {}
     n_dropped = 0
+    run_id: str | None = None
 
     def __init__(self) -> None:
         self.record_calls = 0
@@ -140,9 +141,15 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+    def __init__(
+        self, max_events: int = DEFAULT_MAX_EVENTS, run_id: str | None = None
+    ) -> None:
         self.epoch = time.perf_counter()
         self.max_events = max_events
+        #: Correlation id of the run this timeline belongs to (lands in the
+        #: Chrome trace export's ``otherData`` so a trace file can be matched
+        #: to its metrics/log streams).
+        self.run_id = run_id
         self.events: list[TraceEvent] = []
         self.track_names: dict[int, str] = {MAIN_TRACK: "main"}
         self.n_dropped = 0

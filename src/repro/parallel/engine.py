@@ -64,6 +64,11 @@ from repro.obs.tracing import MAIN_TRACK, worker_track
 from repro.parallel.address_map import AddressMap
 from repro.parallel.balance import AccessStats, Rebalancer
 from repro.parallel.chunks import Chunk, ChunkPool
+from repro.parallel.heartbeat import (
+    HeartbeatBoard,
+    WorkerWatchdog,
+    process_exitcodes,
+)
 from repro.parallel.procworker import run_worker
 from repro.parallel.queues import LockedQueue, SpscRingQueue
 from repro.parallel.worker import Worker
@@ -160,6 +165,7 @@ class ParallelProfiler:
         window: int = 1 << 15,
         registry: MetricsRegistry | None = None,
         provenance: bool = False,
+        heartbeat_interval: float | None = 0.05,
     ) -> None:
         if mode not in MODES:
             raise ProfilerError(f"unknown mode {mode!r}; pick from {MODES}")
@@ -167,6 +173,9 @@ class ParallelProfiler:
         self.mode = mode
         self.rebalance_threshold = rebalance_threshold
         self.window = window
+        #: Watchdog cadence for ``processes`` mode (seconds); ``None`` or
+        #: ``0`` disables the heartbeat plane entirely.
+        self.heartbeat_interval = heartbeat_interval
         #: Telemetry registry; ``None`` means each run builds a private
         #: sinkless one (counters still work, no event stream).
         self.registry = registry
@@ -437,6 +446,9 @@ class ParallelProfiler:
                 sampler.stop()
             else:
                 sampler.poll(force=True)  # final post-drain sample
+            # A worker failure propagating out of this frame must not lose
+            # the telemetry already emitted: flush (not close) the sink.
+            reg.sink.flush()
         if worker_errors:
             # Consumers drained the remaining stream without processing;
             # surface the first failure on the caller's thread.
@@ -511,7 +523,18 @@ class ParallelProfiler:
         shared = share_batch(batch)
         task_qs = [ctx.Queue(maxsize=cfg.queue_depth) for _ in range(cfg.workers)]
         result_q = ctx.Queue()
-        opts = {"provenance": self.provenance, "trace": tracer.enabled}
+        hb_interval = self.heartbeat_interval
+        board = (
+            HeartbeatBoard.create(cfg.workers)
+            if hb_interval is not None and hb_interval > 0
+            else None
+        )
+        opts = {
+            "provenance": self.provenance,
+            "trace": tracer.enabled,
+            "run_id": reg.run_id,
+            "heartbeat": board.meta if board is not None else None,
+        }
         procs = [
             ctx.Process(
                 target=run_worker,
@@ -537,10 +560,24 @@ class ParallelProfiler:
                 except queue_mod.Full:
                     ensure_alive()
 
+        watchdog = None
+        if board is not None:
+            if tracer.enabled:
+                for w in range(cfg.workers):
+                    tracer.set_track(worker_track(w), f"worker {w}")
+            watchdog = WorkerWatchdog(
+                board,
+                reg,
+                process_exitcodes(procs),
+                interval_s=hb_interval,
+            )
+
         payloads: list[dict] = []
         try:
             for p in procs:
                 p.start()
+            if watchdog is not None:
+                watchdog.start()
             n = len(batch)
             with reg.span("push"):
                 for widx, s in enumerate(range(0, n, self.window)):
@@ -566,10 +603,20 @@ class ParallelProfiler:
                 for p in procs:
                     p.join(timeout=30.0)
         finally:
+            # Watchdog before terminate(): the final classification pass must
+            # see the workers' true exit state, not the SIGTERM we send next.
+            if watchdog is not None:
+                watchdog.stop()
             for p in procs:
                 if p.is_alive():
                     p.terminate()
+            if board is not None:
+                board.close()
             shared.close()
+            # Telemetry written so far must survive even when a worker
+            # failure propagates out of this frame: flush (never close —
+            # the caller may still emit a final snapshot) on every path.
+            reg.sink.flush()
 
         with reg.span("merge"):
             payloads.sort(key=lambda d: d["wid"])

@@ -1,0 +1,297 @@
+"""Worker liveness for the ``processes`` execution mode.
+
+A forked worker that deadlocks, spins, or gets OOM-killed is invisible to
+the parent until a queue timeout fires; the heartbeat plane makes worker
+health *observable while the run executes*.  Two halves:
+
+* :class:`HeartbeatBoard` — a tiny shared-memory array, one ``(monotonic
+  timestamp, beat count)`` float64 pair per worker.  Workers stamp their
+  slot at startup, per task, and per chunk (:func:`HeartbeatBoard.beat` is
+  two array stores — nanoseconds, safe on the hot path).  ``time.monotonic``
+  is ``CLOCK_MONOTONIC`` on Linux, one system-wide clock, so the parent can
+  subtract a child's stamp from its own reading directly.
+* :class:`WorkerWatchdog` — a parent-side daemon thread ticking on the
+  drift-free :func:`~repro.obs.sampler.deadline_loop` grid.  Each tick it
+  classifies every worker — ``live`` / ``stalled`` (no beat for longer
+  than ``stall_after_s``) / ``dead`` (nonzero exitcode) — and publishes the
+  verdicts as ``worker.heartbeat.*`` gauges in the run's registry, which is
+  the *single* source of truth every consumer reads
+  (:func:`~repro.obs.report.liveness_summary`, the HTTP ``/healthz``
+  endpoint, the run report's liveness section).  Stall episodes additionally
+  bump a ``worker.heartbeat.stalls`` counter, land in the structured log,
+  and are recorded as ``worker.heartbeat_stall`` slices on the worker's
+  tracer track (the ``_stall`` suffix folds them into the existing
+  busy/stall/idle timeline accounting).
+
+The watchdog only ever *reports* — recovery (kill, raise, rebalance) stays
+with the engine, whose queue timeouts already guarantee the parent cannot
+hang on a dead worker.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import HEARTBEAT_STATES
+from repro.obs.sampler import deadline_loop
+from repro.obs.tracing import worker_track
+
+STATE_LIVE = HEARTBEAT_STATES.index("live")
+STATE_STALLED = HEARTBEAT_STATES.index("stalled")
+STATE_DEAD = HEARTBEAT_STATES.index("dead")
+
+#: Default watchdog cadence (seconds).
+DEFAULT_INTERVAL_S = 0.05
+
+#: A worker is stalled when its slot has not been stamped for this many
+#: watchdog intervals.
+STALL_AFTER_INTERVALS = 10
+
+
+class HeartbeatBoard:
+    """Shared-memory heartbeat slots: ``(n_workers, 2)`` float64.
+
+    Column 0 is the worker's last ``time.monotonic()`` stamp, column 1 its
+    cumulative beat count.  Slots are pre-stamped at creation so a worker
+    that dies before its first beat ages from run start instead of from the
+    monotonic epoch.  Same ownership protocol as the shared trace block:
+    the creator (parent) unlinks via :meth:`close`, workers attach with
+    resource-tracker registration suppressed and only ever ``close()``
+    their mapping.
+    """
+
+    SLOTS = 2  # timestamp, beat count
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n_workers: int,
+        owner: bool,
+    ) -> None:
+        self.shm = shm
+        self.n_workers = n_workers
+        self._owner = owner
+        self.arr = np.ndarray(
+            (n_workers, self.SLOTS), dtype=np.float64, buffer=shm.buf
+        )
+
+    # -- construction -------------------------------------------------------
+    @classmethod
+    def create(cls, n_workers: int) -> "HeartbeatBoard":
+        size = n_workers * cls.SLOTS * 8
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        board = cls(shm, n_workers, owner=True)
+        board.arr[:, 0] = time.monotonic()
+        board.arr[:, 1] = 0.0
+        return board
+
+    @property
+    def meta(self) -> tuple[str, int]:
+        """Picklable attach descriptor: ``(shm name, n_workers)``."""
+        return (self.shm.name, self.n_workers)
+
+    @classmethod
+    def attach(cls, meta: tuple[str, int]) -> "HeartbeatBoard":
+        name, n_workers = meta
+        # Same 3.11 resource_tracker workaround as trace/shm.py: an
+        # attachment must not be registered, or the tracker unlinks the
+        # block out from under the creator when this process exits.
+        orig_register = resource_tracker.register
+
+        def _no_register(name: str, rtype: str) -> None:  # pragma: no cover
+            if rtype != "shared_memory":
+                orig_register(name, rtype)
+
+        resource_tracker.register = _no_register
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        return cls(shm, n_workers, owner=False)
+
+    # -- worker side ---------------------------------------------------------
+    def beat(self, wid: int) -> None:
+        """Stamp worker ``wid``'s slot (hot path: two array stores)."""
+        self.arr[wid, 1] += 1.0
+        self.arr[wid, 0] = time.monotonic()
+
+    # -- parent side ---------------------------------------------------------
+    def age_seconds(self, wid: int, now: float | None = None) -> float:
+        if now is None:
+            now = time.monotonic()
+        return max(0.0, now - float(self.arr[wid, 0]))
+
+    def beats(self, wid: int) -> int:
+        return int(self.arr[wid, 1])
+
+    def close(self) -> None:
+        """Release the mapping; the creator also unlinks.  Idempotent."""
+        self.arr = None  # drop the view before closing the buffer
+        try:
+            self.shm.close()
+        except BufferError:  # a live export still pins the buffer
+            return
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+class WorkerWatchdog:
+    """Classifies workers from their heartbeat slots; publishes verdicts.
+
+    ``exitcodes(w)`` decouples the watchdog from ``multiprocessing``: the
+    engine passes a closure over its ``Process`` list, tests pass plain
+    dicts.  Classification order matters — exitcode beats heartbeat age,
+    so a worker that exited cleanly milliseconds ago is ``live`` (finished),
+    not ``stalled``, and a crashed one is ``dead`` even while its last
+    stamp is still fresh.
+    """
+
+    def __init__(
+        self,
+        board: HeartbeatBoard,
+        registry: MetricsRegistry,
+        exitcodes: Callable[[int], int | None],
+        interval_s: float = DEFAULT_INTERVAL_S,
+        stall_after_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.board = board
+        self.registry = registry
+        self.exitcodes = exitcodes
+        self.interval_s = interval_s
+        self.stall_after_s = (
+            stall_after_s
+            if stall_after_s is not None
+            else STALL_AFTER_INTERVALS * interval_s
+        )
+        self._clock = clock
+        n = board.n_workers
+        self.states = [STATE_LIVE] * n
+        #: monotonic stamp of each worker's ongoing stall episode (-1 = none).
+        self._stall_t0 = [-1.0] * n
+        self.n_ticks = 0
+        self.ticks_missed = 0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- classification ------------------------------------------------------
+    def classify(self, wid: int, now: float | None = None) -> int:
+        exitcode = self.exitcodes(wid)
+        if exitcode is not None and exitcode != 0:
+            return STATE_DEAD
+        if exitcode == 0:
+            return STATE_LIVE  # finished cleanly
+        if self.board.age_seconds(wid, now) > self.stall_after_s:
+            return STATE_STALLED
+        return STATE_LIVE
+
+    def _end_stall(self, wid: int, now: float) -> None:
+        """Close the open stall episode as a tracer slice."""
+        t0 = self._stall_t0[wid]
+        self._stall_t0[wid] = -1.0
+        tracer = self.registry.tracer
+        if tracer.enabled and t0 >= 0.0:
+            # The board runs on time.monotonic, the tracer on perf_counter;
+            # convert the episode length into the tracer's clock domain.
+            end = tracer.now()
+            dur = now - t0
+            tracer.complete(
+                "worker.heartbeat_stall", worker_track(wid), end - dur, end,
+                worker=wid,
+            )
+
+    def tick(self) -> None:
+        """One classification pass over every worker."""
+        self.n_ticks += 1
+        reg = self.registry
+        now = self._clock()
+        for w in range(self.board.n_workers):
+            state = self.classify(w, now)
+            age = self.board.age_seconds(w, now)
+            reg.gauge("worker.heartbeat.age_seconds", worker=w).set(age)
+            reg.gauge("worker.heartbeat.beats", worker=w).set(
+                self.board.beats(w)
+            )
+            reg.gauge("worker.heartbeat.state", worker=w).set(state)
+            prev = self.states[w]
+            if state == STATE_STALLED and prev != STATE_STALLED:
+                self._stall_t0[w] = now - age  # stall began at the last beat
+                reg.counter("worker.heartbeat.stalls", worker=w).inc()
+                reg.log.warning(
+                    "worker.stalled", worker=w,
+                    age_seconds=round(age, 3), beats=self.board.beats(w),
+                )
+                reg.emit(
+                    {"type": "heartbeat", "worker": w, "state": "stalled",
+                     "age_seconds": round(age, 6)}
+                )
+            elif state != STATE_STALLED and prev == STATE_STALLED:
+                self._end_stall(w, now)
+                if state == STATE_LIVE:
+                    reg.log.info("worker.recovered", worker=w)
+            if state == STATE_DEAD and prev != STATE_DEAD:
+                reg.log.error(
+                    "worker.dead", worker=w, exitcode=self.exitcodes(w)
+                )
+                reg.emit(
+                    {"type": "heartbeat", "worker": w, "state": "dead",
+                     "exitcode": self.exitcodes(w)}
+                )
+            self.states[w] = state
+
+    # -- lifecycle -----------------------------------------------------------
+    def _on_missed(self, n: int) -> None:
+        self.ticks_missed += n
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=deadline_loop,
+            args=(self.tick, self.interval_s, self._stop.wait),
+            kwargs={"on_missed": self._on_missed},
+            name="obs-watchdog",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Join the thread, take one final pass, close open stall slices.
+
+        The final tick runs even when :meth:`start` never did (manual
+        driving in tests), so the gauges always reflect end-of-run state.
+        """
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self.tick()
+        now = self._clock()
+        for w in range(self.board.n_workers):
+            if self._stall_t0[w] >= 0.0:
+                self._end_stall(w, now)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+
+def process_exitcodes(procs: Sequence[Any]) -> Callable[[int], int | None]:
+    """Adapter: ``multiprocessing.Process`` list -> watchdog exitcode fn."""
+
+    def exitcode(wid: int) -> int | None:
+        return procs[wid].exitcode
+
+    return exitcode

@@ -30,6 +30,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import ProvenanceCollector
 from repro.obs.tracing import Tracer, worker_track
 from repro.parallel.address_map import AddressMap
+from repro.parallel.heartbeat import HeartbeatBoard
 from repro.parallel.worker import Worker
 from repro.trace import FREE, LOOP_ENTER, LOOP_EXIT, LOOP_ITER, READ, WRITE
 from repro.trace.shm import SharedBatchMeta, attach_batch
@@ -46,13 +47,21 @@ def run_worker(
     """Process entry point: consume window ranges until the ``None`` sentinel.
 
     ``opts`` keys: ``provenance`` (bool) and ``trace`` (bool) mirror the
-    parent pipeline's observability switches.
+    parent pipeline's observability switches; ``run_id`` propagates the
+    parent's correlation id; ``heartbeat`` is a
+    :class:`~repro.parallel.heartbeat.HeartbeatBoard` attach descriptor
+    (``None`` disables stamping).
     """
     shm = None
+    hb = None
     try:
         batch, shm = attach_batch(meta)
+        hb_meta = opts.get("heartbeat")
+        if hb_meta is not None:
+            hb = HeartbeatBoard.attach(hb_meta)
+            hb.beat(wid)  # first stamp: attach succeeded, worker is up
         tracer = Tracer() if opts.get("trace") else None
-        reg = MetricsRegistry(tracer=tracer)
+        reg = MetricsRegistry(tracer=tracer, run_id=opts.get("run_id"))
         if tracer is not None:
             tracer.set_track(worker_track(wid), f"worker {wid}")
         prov = (
@@ -73,6 +82,8 @@ def run_worker(
         seq = 0
         while True:
             task = task_q.get()
+            if hb is not None:
+                hb.beat(wid)
             if task is None:
                 break
             s, e, widx = task
@@ -85,6 +96,8 @@ def run_worker(
                 worker.process_rows(batch, crows, seq=seq)
                 chunk_log.append((widx, len(crows)))
                 seq += 1
+                if hb is not None:
+                    hb.beat(wid)
         # -- publish & ship ------------------------------------------------
         worker.engine.stats.publish(reg, worker=wid)
         reg.counter("worker.accesses", worker=wid).inc(worker.accesses_processed)
@@ -108,5 +121,7 @@ def run_worker(
     except BaseException:  # noqa: BLE001 — ship the traceback to the parent
         result_q.put(("error", wid, traceback.format_exc()))
     finally:
+        if hb is not None:
+            hb.close()
         if shm is not None:
             shm.close()

@@ -1,0 +1,111 @@
+"""HTTP exporter: /metrics, /healthz, /snapshot over a live registry."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    TelemetryHTTPServer,
+    healthz_dict,
+    parse_prometheus,
+)
+
+
+def get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry(run_id="httprun")
+    reg.counter("queue.push_stalls", worker=0).inc(3)
+    reg.gauge("sigmem.fill_ratio", worker=0).set(0.25)
+    reg.histogram("span.seconds", phase="route").observe(0.01)
+    return reg
+
+
+@pytest.fixture()
+def server(registry):
+    srv = TelemetryHTTPServer(registry, port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+class TestEndpoints:
+    def test_metrics_is_prometheus_text(self, server):
+        status, body = get(server.url + "/metrics")
+        assert status == 200
+        samples = parse_prometheus(body)
+        assert samples['ddprof_queue_push_stalls{worker="0"}'] == 3
+        assert samples['ddprof_sigmem_fill_ratio{worker="0"}'] == 0.25
+
+    def test_healthz_ok(self, server):
+        status, body = get(server.url + "/healthz")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["run_id"] == "httprun"
+        assert doc["liveness"] is None  # no heartbeat gauges in this run
+
+    def test_healthz_degraded_on_stalled_worker(self, registry, server):
+        from repro.obs import HEARTBEAT_STATES
+
+        registry.gauge("worker.heartbeat.state", worker=0).set(
+            HEARTBEAT_STATES.index("stalled")
+        )
+        registry.gauge("worker.heartbeat.state", worker=1).set(
+            HEARTBEAT_STATES.index("live")
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/healthz")
+        assert err.value.code == 503
+        doc = json.loads(err.value.read().decode("utf-8"))
+        assert doc["status"] == "degraded"
+        assert doc["liveness"]["stalled"] == 1 and doc["liveness"]["live"] == 1
+        assert doc["liveness"]["workers"]["0"]["state"] == "stalled"
+
+    def test_snapshot_json(self, server):
+        status, body = get(server.url + "/snapshot")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["run_id"] == "httprun"
+        assert doc["counters"]['queue.push_stalls{worker="0"}'] == 3
+
+    def test_scrape_sees_live_updates(self, registry, server):
+        registry.counter("queue.push_stalls", worker=0).inc(7)
+        _, body = get(server.url + "/metrics")
+        assert parse_prometheus(body)['ddprof_queue_push_stalls{worker="0"}'] == 10
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/nope")
+        assert err.value.code == 404
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound_and_reported(self, registry):
+        srv = TelemetryHTTPServer(registry, port=0)
+        try:
+            port = srv.start()
+            assert port > 0 and srv.port == port
+            assert srv.running
+            assert srv.url.endswith(str(port))
+        finally:
+            srv.stop()
+        assert not srv.running
+
+    def test_stop_is_idempotent_and_start_twice_keeps_port(self, registry):
+        srv = TelemetryHTTPServer(registry, port=0)
+        port = srv.start()
+        assert srv.start() == port
+        srv.stop()
+        srv.stop()
+
+    def test_healthz_dict_without_socket(self, registry):
+        doc = healthz_dict(registry)
+        assert doc["status"] == "ok" and doc["run_id"] == "httprun"

@@ -1,0 +1,101 @@
+"""Structured logging: JSON lines, run-id stamping, bound fields."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import NULL_LOG, MetricsRegistry, NullLogger, StructLogger, new_run_id
+
+
+def lines_of(stream):
+    return [json.loads(ln) for ln in stream.getvalue().splitlines()]
+
+
+class TestStructLogger:
+    def test_json_lines_with_run_id_and_fields(self):
+        out = io.StringIO()
+        log = StructLogger(out, run_id="abc123")
+        log.info("worker.started", worker=3)
+        log.warning("worker.stalled", worker=3, age_seconds=0.5)
+        recs = lines_of(out)
+        assert [r["event"] for r in recs] == ["worker.started", "worker.stalled"]
+        assert all(r["run_id"] == "abc123" for r in recs)
+        assert recs[0]["level"] == "info" and recs[1]["level"] == "warning"
+        assert recs[1]["age_seconds"] == 0.5
+        assert all("ts" in r for r in recs)
+        assert log.n_records == 2
+
+    def test_level_threshold_filters(self):
+        out = io.StringIO()
+        log = StructLogger(out, level="warning")
+        log.debug("noise")
+        log.info("still noise")
+        log.error("signal")
+        recs = lines_of(out)
+        assert [r["event"] for r in recs] == ["signal"]
+        assert log.n_records == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            StructLogger(io.StringIO(), level="loud")
+        with pytest.raises(ValueError):
+            StructLogger(io.StringIO()).log("verbose", "x")
+
+    def test_bind_creates_child_with_inherited_fields(self):
+        out = io.StringIO()
+        root = StructLogger(out, run_id="r1")
+        child = root.bind(worker=2)
+        grandchild = child.bind(chunk=7)
+        grandchild.info("chunk.done", rows=64)
+        (rec,) = lines_of(out)
+        assert rec["worker"] == 2 and rec["chunk"] == 7 and rec["rows"] == 64
+        assert rec["run_id"] == "r1"
+        # call fields win over bound fields
+        child.info("override", worker=9)
+        assert lines_of(out)[-1]["worker"] == 9
+
+    def test_field_order_is_stable(self):
+        out = io.StringIO()
+        log = StructLogger(out, run_id="r")
+        log.info("e", zebra=1, alpha=2)
+        line = out.getvalue().splitlines()[0]
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+
+class TestNullLogger:
+    def test_disabled_and_silent(self):
+        n = NullLogger()
+        assert n.enabled is False
+        n.info("anything", x=1)
+        n.warning("anything")
+        assert n.bind(worker=1) is n
+
+    def test_shared_instance_is_registry_default(self):
+        reg = MetricsRegistry()
+        assert reg.log is NULL_LOG
+        reg.log.error("goes nowhere", worker=0)  # must not raise
+
+
+class TestRunId:
+    def test_new_run_id_shape_and_uniqueness(self):
+        ids = {new_run_id() for _ in range(64)}
+        assert len(ids) == 64
+        assert all(len(i) == 12 and i == i.lower() for i in ids)
+
+    def test_registry_stamps_events_with_run_id(self):
+        from repro.obs import MemorySink
+
+        sink = MemorySink()
+        reg = MetricsRegistry(sink, run_id="runx")
+        reg.emit({"type": "sample", "seq": 1})
+        assert sink.events[0]["run_id"] == "runx"
+
+    def test_no_run_id_no_stamp(self):
+        from repro.obs import MemorySink
+
+        sink = MemorySink()
+        reg = MetricsRegistry(sink)
+        reg.emit({"type": "sample", "seq": 1})
+        assert "run_id" not in sink.events[0]

@@ -185,3 +185,68 @@ class TestSampler:
         assert len(sink.of_type("sample")) >= 1
         # stop() is idempotent and leaves no thread behind
         sampler.stop()
+
+
+class TestMergeStateEdgeCases:
+    """merge_state edge cases: empty, disjoint, repeated, mismatched."""
+
+    def test_empty_state_is_a_noop(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        before = reg.state()
+        reg.merge_state(MetricsRegistry().state())
+        assert reg.state() == before
+
+    def test_merge_into_empty_registry_reproduces_source(self):
+        src = MetricsRegistry()
+        src.counter("a", worker=0).inc(2)
+        src.gauge("g").set(1.5)
+        src.histogram("h", buckets=(1.0,)).observe(0.5)
+        with src.span("p"):
+            pass
+        dst = MetricsRegistry()
+        dst.merge_state(src.state())
+        assert dst.snapshot() == src.snapshot()
+
+    def test_disjoint_instrument_sets_union(self):
+        a = MetricsRegistry()
+        a.counter("only.a").inc(1)
+        a.gauge("gauge.a").set(10.0)
+        b = MetricsRegistry()
+        b.counter("only.b", worker=1).inc(2)
+        a.merge_state(b.state())
+        snap = a.snapshot()
+        assert snap["counters"] == {"only.a": 1, 'only.b{worker="1"}': 2}
+        assert snap["gauges"] == {"gauge.a": 10.0}
+
+    def test_repeated_merge_counters_add_gauges_overwrite(self):
+        src = MetricsRegistry()
+        src.counter("c").inc(5)
+        src.gauge("g").set(7.0)
+        src.histogram("h", buckets=(1.0,)).observe(0.5)
+        dst = MetricsRegistry()
+        state = src.state()
+        dst.merge_state(state)
+        dst.merge_state(state)
+        assert dst.counter("c").value == 10  # counters accumulate
+        assert dst.gauge("g").value == 7.0  # gauges are point-in-time
+        h = dst.histogram("h", buckets=(1.0,))
+        assert h.count == 2 and h.sum == pytest.approx(1.0)
+
+    def test_histogram_bucket_layout_mismatch_raises(self):
+        src = MetricsRegistry()
+        src.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("h", buckets=(5.0, 50.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket layout mismatch"):
+            dst.merge_state(src.state())
+
+    def test_merged_spans_do_not_double_feed_span_histogram(self):
+        src = MetricsRegistry()
+        with src.span("phase.x"):
+            pass
+        dst = MetricsRegistry()
+        dst.merge_state(src.state())
+        # Span records arrive, but span.seconds only via the histogram merge.
+        assert [s.name for s in dst.spans] == ["phase.x"]
+        assert dst.histogram("span.seconds", phase="phase.x").count == 1

@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.common.config import ProfilerConfig
-from repro.obs import MemorySink, MetricsRegistry, Sampler
+from repro.obs import MemorySink, MetricsRegistry, Sampler, deadline_loop
 from repro.parallel import ParallelProfiler
 from tests.trace_helpers import seq_trace
 
@@ -52,6 +52,85 @@ class TestThreadLifecycle:
         sampler.start(period_s=60)
         assert sampler._thread is t
         sampler.stop()
+
+
+class FakeTime:
+    """Synthetic clock driving :func:`deadline_loop` deterministically.
+
+    ``wait`` advances the clock by the requested delay (a perfect sleep);
+    ``tick`` records the fire time and burns ``tick_cost`` simulated
+    seconds of work.  The loop stops once ``max_fires`` ticks have fired.
+    """
+
+    def __init__(self, tick_cost, max_fires):
+        self.t = 0.0
+        self.fired = []
+        self.tick_cost = tick_cost
+        self.max_fires = max_fires
+        self.missed = []
+
+    def clock(self):
+        return self.t
+
+    def wait(self, delay):
+        self.t += delay
+        return len(self.fired) >= self.max_fires
+
+    def tick(self):
+        self.fired.append(self.t)
+        self.t += self.tick_cost
+
+    def on_missed(self, n):
+        self.missed.append(n)
+
+
+class TestDeadlineGrid:
+    def test_slow_ticks_do_not_drift_the_grid(self):
+        """A tick burning 70% of the period still fires exactly on the
+        t0 + k*period grid — a sleep(period)-after-tick loop would fire at
+        1.0, 2.7, 4.4 instead."""
+        ft = FakeTime(tick_cost=0.7, max_fires=3)
+        deadline_loop(ft.tick, 1.0, ft.wait, clock=ft.clock, on_missed=ft.on_missed)
+        assert ft.fired == [1.0, 2.0, 3.0]
+        assert ft.missed == []
+
+    def test_overrun_fires_once_counts_missed_and_realigns(self):
+        """A tick overrunning 2.5 periods fires once, reports the skipped
+        grid points, and realigns to the next future grid point — no
+        back-to-back catch-up burst."""
+        ft = FakeTime(tick_cost=2.5, max_fires=2)
+        deadline_loop(ft.tick, 1.0, ft.wait, clock=ft.clock, on_missed=ft.on_missed)
+        assert ft.fired == [1.0, 4.0]  # grid points 2.0 and 3.0 skipped
+        assert ft.missed == [2, 2]
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            deadline_loop(lambda: None, 0.0, lambda d: True)
+        with pytest.raises(ValueError):
+            deadline_loop(lambda: None, -1.0, lambda d: True)
+
+    def test_sampler_counts_missed_ticks_on_fake_clock(self):
+        """Sampler._run_loop on a fake clock: a probe that overruns the
+        period accumulates ticks_missed instead of silently skewing."""
+        ft = FakeTime(tick_cost=0.0, max_fires=0)
+        reg = MetricsRegistry(MemorySink())
+        sampler = Sampler(reg, clock=ft.clock)
+
+        def slow_probe():
+            ft.t += 2.5  # each poll overruns the 1.0s period
+            return 42
+
+        sampler.add("probe.slow", slow_probe)
+
+        def wait(delay):
+            ft.t += delay
+            return sampler.n_samples >= 2
+
+        sampler._run_loop(1.0, wait)
+        assert sampler.n_samples == 2
+        assert sampler.ticks_missed == 4  # two overruns x two skipped points
+        events = [e for e in reg.sink.events if e["type"] == "sample"]
+        assert [e["seq"] for e in events] == [1, 2]
 
 
 class TestPipelineAbort:

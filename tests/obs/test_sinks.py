@@ -15,7 +15,7 @@ from repro.obs import (
     prometheus_text,
     read_jsonl,
 )
-from repro.obs.export import escape_label_value
+from repro.obs.export import escape_label_value, sanitize_label_name
 
 
 class TestJsonlSink:
@@ -206,3 +206,46 @@ class TestLabelEscaping:
         assert samples['ddprof_deps_instances{type="back\\\\slash"}'] == 2.0
         assert samples['ddprof_deps_instances{type="two\\nlines"}'] == 3.0
         assert samples['ddprof_deps_instances{type="closing}brace"}'] == 4.0
+
+
+class TestLabelNameValidation:
+    """Label *names* outside the Prometheus grammar: sanitize vs error."""
+
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("deps.instances", **{"kind-of": "raw"}).inc(5)
+        return reg
+
+    def test_sanitize_label_name_rules(self):
+        assert sanitize_label_name("kind-of") == "kind_of"
+        assert sanitize_label_name("a.b c") == "a_b_c"
+        assert sanitize_label_name("9lives") == "_9lives"
+        assert sanitize_label_name("") == "_"
+        # idempotent on already-valid names
+        assert sanitize_label_name("worker_id") == "worker_id"
+
+    def test_sanitize_policy_rewrites_names(self):
+        text = prometheus_text(self.make_registry())  # default policy
+        samples = parse_prometheus(text)
+        assert samples['ddprof_deps_instances{kind_of="raw"}'] == 5.0
+
+    def test_error_policy_raises(self):
+        with pytest.raises(ObsError, match="kind-of"):
+            prometheus_text(self.make_registry(), invalid_names="error")
+
+    def test_sanitize_collision_always_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x", **{"a-b": "1", "a_b": "2"}).inc()
+        with pytest.raises(ObsError, match="a_b"):
+            prometheus_text(reg)  # merging two series would be silent loss
+
+    def test_valid_names_untouched_under_both_policies(self):
+        reg = MetricsRegistry()
+        reg.counter("x", worker="0").inc(3)
+        for policy in ("sanitize", "error"):
+            samples = parse_prometheus(prometheus_text(reg, invalid_names=policy))
+            assert samples['ddprof_x{worker="0"}'] == 3.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            prometheus_text(MetricsRegistry(), invalid_names="ignore")

@@ -1,0 +1,170 @@
+"""Telemetry streaming: delta computation, JSONL stream, replay round-trip."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    MemorySink,
+    MetricsRegistry,
+    TelemetryStreamer,
+    read_jsonl,
+    replay_stream,
+    state_delta,
+)
+from repro.obs.streamer import SCHEMA, is_empty_delta
+
+
+def streamer_threads():
+    return [t for t in threading.enumerate() if t.name == "obs-streamer"]
+
+
+class TestStateDelta:
+    def test_counter_increments_only_changes(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.counter("b", worker=0).inc(2)
+        prev = reg.state()
+        reg.counter("a").inc(3)
+        delta = state_delta(prev, reg.state())
+        assert delta["counters"] == [("a", (), 3)]
+        assert delta["gauges"] == [] and delta["histograms"] == []
+
+    def test_first_delta_against_none_is_full_state(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(4)
+        reg.gauge("g").set(1.5)
+        delta = state_delta(None, reg.state())
+        assert ("a", (), 4) in delta["counters"]
+        assert ("g", (), 1.5) in delta["gauges"]
+
+    def test_gauges_report_changed_values_only(self):
+        reg = MetricsRegistry()
+        reg.gauge("g1").set(1.0)
+        reg.gauge("g2").set(2.0)
+        prev = reg.state()
+        reg.gauge("g2").set(7.0)
+        delta = state_delta(prev, reg.state())
+        assert delta["gauges"] == [("g2", (), 7.0)]
+
+    def test_histogram_delta_is_bucketwise(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        prev = reg.state()
+        h.observe(0.5)
+        h.observe(100.0)  # overflow bucket
+        (entry,) = state_delta(prev, reg.state())["histograms"]
+        name, labels, buckets, counts, total, count = entry
+        assert name == "h" and counts == [1, 0, 1] and count == 2
+        assert total == pytest.approx(100.5)
+
+    def test_span_tail_only(self):
+        reg = MetricsRegistry()
+        with reg.span("p1"):
+            pass
+        prev = reg.state()
+        with reg.span("p2"):
+            pass
+        delta = state_delta(prev, reg.state())
+        assert [s[0] for s in delta["spans"]] == ["p2"]
+
+    def test_empty_delta_detected(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        st = reg.state()
+        assert is_empty_delta(state_delta(st, st))
+        assert not is_empty_delta(state_delta(None, st))
+
+
+class TestStreamerManual:
+    def test_tick_emits_only_on_change(self):
+        reg = MetricsRegistry(run_id="r1")
+        sink = MemorySink()
+        s = TelemetryStreamer(reg, sink)
+        reg.counter("c").inc()
+        assert s.tick() is True
+        assert s.tick() is False  # nothing changed
+        reg.counter("c").inc()
+        assert s.tick() is True
+        s.stop()
+        kinds = [e["type"] for e in sink.events]
+        assert kinds == ["delta", "delta", "final"]
+        assert [e["seq"] for e in sink.events] == [1, 2, 3]
+        assert all(e["run_id"] == "r1" for e in sink.events)
+
+    def test_stop_is_idempotent_and_final_has_snapshot(self):
+        reg = MetricsRegistry()
+        sink = MemorySink()
+        s = TelemetryStreamer(reg, sink)
+        reg.counter("c").inc(9)
+        s.stop()
+        s.stop()
+        finals = [e for e in sink.events if e["type"] == "final"]
+        assert len(finals) == 1
+        assert finals[0]["counters"] == {"c": 9}
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TelemetryStreamer(MetricsRegistry(), MemorySink(), interval_s=0)
+
+    def test_tick_after_stop_is_noop(self):
+        reg = MetricsRegistry()
+        sink = MemorySink()
+        s = TelemetryStreamer(reg, sink)
+        s.stop()
+        reg.counter("c").inc()
+        assert s.tick() is False
+        assert [e["type"] for e in sink.events] == ["final"]
+
+
+class TestStreamerThreaded:
+    def test_stream_file_replays_to_final_snapshot(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        reg = MetricsRegistry(run_id="runz")
+        with TelemetryStreamer(reg, path, interval_s=0.01) as s:
+            assert s.running
+            for i in range(4):
+                reg.counter("work.items").inc(10)
+                reg.gauge("work.phase").set(i)
+                reg.histogram("work.h").observe(0.01)
+        assert not s.running
+        assert streamer_threads() == []
+
+        replayed, info = replay_stream(path)
+        assert info["header"]["schema"] == SCHEMA
+        assert info["run_ids"] == {"runz"}
+        assert info["final"] is not None
+        snap = replayed.snapshot()
+        assert snap["counters"] == info["final"]["counters"]
+        assert snap["gauges"] == info["final"]["gauges"]
+        assert snap["histograms"] == info["final"]["histograms"]
+        assert snap["counters"]["work.items"] == 40
+
+    def test_every_line_is_valid_json_while_running(self, tmp_path):
+        """flush_every=1 on the owned sink: a tail-reader never sees a torn
+        line, even mid-run."""
+        path = tmp_path / "stream.jsonl"
+        reg = MetricsRegistry()
+        s = TelemetryStreamer(reg, path, interval_s=0.01)
+        s.start()
+        try:
+            reg.counter("c").inc()
+            deadline = 200
+            while s.n_records < 2 and deadline:  # header + first delta
+                deadline -= 1
+                threading.Event().wait(0.005)
+            events = read_jsonl(path)  # parses or raises
+            assert events and events[0]["type"] == "header"
+        finally:
+            s.stop()
+
+    def test_quiet_registry_emits_no_deltas(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        reg = MetricsRegistry()
+        s = TelemetryStreamer(reg, path, interval_s=0.005)
+        s.start()
+        threading.Event().wait(0.03)
+        s.stop()
+        kinds = [e["type"] for e in read_jsonl(path)]
+        assert kinds == ["header", "final"]

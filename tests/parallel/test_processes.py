@@ -168,6 +168,34 @@ class TestProcessesMode:
         with pytest.raises(ProfilerError, match="injected worker crash"):
             ParallelProfiler(cfg, mode="processes").profile(batch)
 
+    def test_worker_failure_flushes_sink_with_complete_jsonl(
+        self, monkeypatch, tmp_path
+    ):
+        """The engine's exception path must flush (not abandon) the metrics
+        sink: after a worker crash the JSONL file on disk parses cleanly,
+        line by line, with the events emitted before the failure intact."""
+        import repro.parallel.worker as worker_mod
+        from repro.obs import JsonlSink, read_jsonl
+
+        def boom(self, batch, rows, seq=-1):
+            raise RuntimeError("injected worker crash")
+
+        monkeypatch.setattr(worker_mod.Worker, "process_rows", boom)
+        path = tmp_path / "metrics.jsonl"
+        sink = JsonlSink(path, flush_every=10_000)  # never auto-flushes here
+        reg = MetricsRegistry(sink)
+        reg.emit({"type": "run.config", "workers": 2})
+        batch = get_trace("ep")
+        cfg = PERFECT.with_(workers=2, chunk_size=512)
+        with pytest.raises(ProfilerError, match="injected worker crash"):
+            ParallelProfiler(cfg, mode="processes", registry=reg).profile(batch)
+        events = read_jsonl(path)  # parses or raises: no torn/missing lines
+        assert any(e["type"] == "run.config" for e in events)
+        # The sink survived the abort open for the caller's final report.
+        reg.emit({"type": "run.aborted"})
+        reg.close()
+        assert any(e["type"] == "run.aborted" for e in read_jsonl(path))
+
     def test_no_shared_memory_leak(self):
         batch = get_trace("ep")
         before = _shm_entries()
