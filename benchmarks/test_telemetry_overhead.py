@@ -86,6 +86,76 @@ def test_telemetry_overhead(benchmark, bench_record, metrics_registry):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def test_heatmap_overhead(benchmark, bench_record):
+    """The memory plane's hot-path budget, gated on the chunk loop itself.
+
+    Heat recording lives in the worker's chunk path (one fused
+    searchsorted + bincount per chunk, plus the owner-address scatter for
+    occupancy attribution), so that is the loop this experiment times —
+    full pipeline runs would drown the signal in trace-analysis and
+    scheduling noise.  On/off samples are interleaved in pairs so machine
+    drift cancels, and the gated value is the median pairwise ratio.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.obs.heatmap import heatmap_summary
+    from repro.parallel.worker import Worker
+
+    batch = get_trace("kmeans")
+    n = len(batch.addr)
+    step = ProfilerConfig().chunk_size
+    blocks = [np.arange(i, min(i + step, n)) for i in range(0, n, step)]
+    workers = {}
+
+    def sample(heat_on, inner=2):
+        # Aggregate a couple of fresh chunk loops per sample so scheduler
+        # jitter shrinks relative to the measured region.
+        dt = 0.0
+        for _ in range(inner):
+            reg = MetricsRegistry()
+            w = Worker(0, ProfilerConfig(workers=1, heatmap=heat_on), registry=reg)
+            w.process_rows(batch, blocks[0])  # loop-index build: not timed
+            t0 = time.perf_counter()
+            for rows in blocks[1:]:
+                w.process_rows(batch, rows)
+            w.publish_heat()
+            dt += time.perf_counter() - t0
+            workers[heat_on] = (w, reg)
+        return dt
+
+    sample(True, inner=1)
+    sample(False, inner=1)  # warmup both paths
+    ratios = [sample(True) / sample(False) for _ in range(9)]
+
+    # Heat must never change the profile, and its totals must reconcile
+    # exactly with the events the worker processed.
+    w_on, reg_on = workers[True]
+    w_off, _ = workers[False]
+    assert w_on.store == w_off.store
+    doc = heatmap_summary(reg_on)
+    heat_total = doc["total_reads"] + doc["total_writes"]
+    assert heat_total == w_on.accesses_processed
+
+    rec = bench_record.record(
+        "obs.heatmap_overhead", samples=ratios, unit="ratio",
+        direction="lower", ceiling=1.15, heat_accesses=heat_total,
+    )
+    ratio = rec.value
+    bench_record.table(
+        "heatmap_overhead",
+        ["configuration", "vs heat off"],
+        [
+            ["chunk loop, heatmap off", 1.0],
+            ["chunk loop, heatmap on", ratio],
+        ],
+        title=f"Address-heatmap overhead (kmeans analog, {len(blocks)} chunks)",
+    )
+    assert ratio < 1.15, f"heatmap overhead {ratio:.2f}x exceeds budget"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
 def test_tracing_overhead_guard(benchmark, bench_record, results_dir, tmp_path):
     """The null-tracer contract, measured: an untraced pipeline run never
     reaches a tracer record method (the NullTracer call counter stays

@@ -108,7 +108,7 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--http-port", type=int, metavar="N", default=None,
-        help="serve /metrics, /healthz and /snapshot over HTTP on "
+        help="serve /metrics, /healthz, /snapshot and /heatmap over HTTP on "
         "127.0.0.1:N while the run executes (0 = pick an ephemeral port)",
     )
     p.add_argument(
@@ -404,6 +404,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
         Path(args.prometheus_out).write_text(prometheus_text(reg))
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running profile's exporter."""
+    from repro.obs.top import run_top
+
+    url = args.url if args.url else f"http://127.0.0.1:{args.port}"
+    return run_top(url, interval=args.interval, once=args.once)
 
 
 def cmd_loops(args: argparse.Namespace) -> int:
@@ -821,6 +829,27 @@ def main(argv: list[str] | None = None) -> int:
         help="also write a Prometheus text exposition of the final metrics",
     )
     p.set_defaults(fn=cmd_stats)
+    p = sub.add_parser(
+        "top",
+        help="live terminal view of a running profile "
+        "(polls an --http-port exporter's /snapshot and /heatmap)",
+    )
+    p.add_argument(
+        "--url", default=None,
+        help="exporter base URL (default: http://127.0.0.1:<port>)",
+    )
+    p.add_argument(
+        "--port", type=int, default=8377,
+        help="exporter port when --url is not given (default: 8377)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period in seconds"
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    p.set_defaults(fn=cmd_top)
     p = sub.add_parser(
         "trace", help="record a pipeline timeline as Chrome trace JSON"
     )

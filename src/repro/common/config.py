@@ -69,6 +69,12 @@ class ProfilerConfig:
         (event-at-a-time Algorithm 1 — the differential-test oracle, and
         required for per-instance telemetry such as provenance or eviction
         counters).
+    heatmap:
+        Maintain per-worker address heatmaps (log2-bucketed read/write/
+        conflict/occupancy histograms — the memory observability plane,
+        see :mod:`repro.obs.heatmap`) on registry-instrumented pipeline
+        runs.  On by default; only recorded when a metrics registry is
+        attached, so uninstrumented runs are unaffected either way.
     """
 
     signature_slots: int = 1_000_000
@@ -84,6 +90,7 @@ class ProfilerConfig:
     ignore_rar: bool = True
     hash_salt: int = 0
     worker_engine: str = "vectorized"
+    heatmap: bool = True
 
     def __post_init__(self) -> None:
         if self.worker_engine not in ("vectorized", "reference"):

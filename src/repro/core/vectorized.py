@@ -392,12 +392,17 @@ class ChunkKernel:
         read_tracker,
         write_tracker,
         store: DependenceStore | None = None,
+        heat=None,
     ) -> None:
         if type(read_tracker) is not type(write_tracker):
             raise ProfilerError("read/write plane trackers must match")
         self.config = config
         self.read_tracker = read_tracker
         self.write_tracker = write_tracker
+        #: Optional address-heat recorder (see :mod:`repro.obs.heatmap`).
+        #: Fed inline from the masks the kernel computes anyway, so heat
+        #: recording never re-derives the access split per chunk.
+        self.heat = heat
         self.store = store if store is not None else DependenceStore()
         self.stats = ProfileStats()
         #: Push-order loop-frame snapshots for the batch being profiled.
@@ -444,6 +449,8 @@ class ChunkKernel:
         stats.n_accesses = stats.n_reads + stats.n_writes
 
         acc_rows = rows[acc].astype(np.int64)
+        if self.heat is not None and len(acc_rows):
+            self.heat.record_accesses(batch.addr[acc_rows], is_write[acc])
         free_rows = (
             rows[kind == FREE].astype(np.int64)
             if cfg.track_lifetime
@@ -628,13 +635,23 @@ class ChunkKernel:
         last_r = np.where(last_r > last_kill, last_r, np.int64(-1))
         last_w = np.where(last_w > last_kill, last_w, np.int64(-1))
         group_killed = last_kill >= 0
+        # Owner addresses for the occupancy plane are gathered only for the
+        # few carried-out rows (``pos`` still holds each sorted row's batch
+        # row index), never for the whole chunk.
+        wants_addrs = getattr(self.read_tracker, "wants_addrs", False)
         for tracker, last in (
             (self.read_tracker, last_r),
             (self.write_tracker, last_w),
         ):
             upd = last >= 0
             src = last[upd]
-            tracker.set_rows(key[src], loc[src], var[src], tid[src], ts[src])
+            if wants_addrs:
+                adr = batch.addr[pos[src]].astype(np.int64, copy=False)
+                tracker.set_rows(
+                    key[src], loc[src], var[src], tid[src], ts[src], addr=adr
+                )
+            else:
+                tracker.set_rows(key[src], loc[src], var[src], tid[src], ts[src])
             dead = ~upd & group_killed
             tracker.clear_keys(key[starts[dead]])
         self._note_memory()

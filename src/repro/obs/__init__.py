@@ -45,11 +45,19 @@ from repro.obs.chrometrace import (
     validate_chrome_trace_file,
     write_chrome_trace,
 )
-from repro.obs.environment import environment_fingerprint, git_sha
+from repro.obs.environment import environment_fingerprint, git_sha, peak_rss_bytes
 from repro.obs.export import (
     parse_prometheus,
     prometheus_text,
     sanitize_label_name,
+)
+from repro.obs.heatmap import (
+    HEAT_BOUNDS,
+    AddressHeatmap,
+    bucket_of,
+    bucket_range,
+    heatmap_dict,
+    heatmap_summary,
 )
 from repro.obs.httpd import TelemetryHTTPServer, healthz_dict
 from repro.obs.log import NULL_LOG, NullLogger, StructLogger, new_run_id
@@ -66,7 +74,12 @@ from repro.obs.provenance import (
     ProvenanceRecord,
     oracle_cross_check,
 )
-from repro.obs.report import HEARTBEAT_STATES, RunReport, liveness_summary
+from repro.obs.report import (
+    HEARTBEAT_STATES,
+    RunReport,
+    liveness_summary,
+    memory_section,
+)
 from repro.obs.sampler import Sampler, deadline_loop
 from repro.obs.sinks import (
     JsonlSink,
@@ -77,6 +90,7 @@ from repro.obs.sinks import (
     read_jsonl,
 )
 from repro.obs.streamer import TelemetryStreamer, replay_stream, state_delta
+from repro.obs.top import render_top, run_top
 from repro.obs.tracing import (
     MAIN_TRACK,
     NULL_TRACER,
@@ -87,12 +101,14 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "AddressHeatmap",
     "BenchComparison",
     "BenchRecorder",
     "BenchSession",
     "Counter",
     "Gauge",
     "HEARTBEAT_STATES",
+    "HEAT_BOUNDS",
     "Histogram",
     "JsonlSink",
     "MAIN_TRACK",
@@ -118,6 +134,8 @@ __all__ = [
     "TimedSamples",
     "TraceEvent",
     "Tracer",
+    "bucket_of",
+    "bucket_range",
     "chrome_trace_dict",
     "compare",
     "deadline_loop",
@@ -125,15 +143,21 @@ __all__ = [
     "format_name",
     "git_sha",
     "healthz_dict",
+    "heatmap_dict",
+    "heatmap_summary",
     "liveness_summary",
     "load_bench",
+    "memory_section",
     "new_run_id",
     "oracle_cross_check",
     "parse_prometheus",
+    "peak_rss_bytes",
     "prometheus_text",
     "read_jsonl",
+    "render_top",
     "repeat_timed",
     "replay_stream",
+    "run_top",
     "sanitize_label_name",
     "state_delta",
     "validate_chrome_trace",

@@ -25,6 +25,21 @@ from typing import Any
 _GIT_SHA_CACHE: dict[str, str] = {}
 
 
+def peak_rss_bytes() -> int:
+    """High-water resident-set size of *this* process, in bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in KiB on Linux but bytes on macOS;
+    normalize so the ``process.peak_rss_bytes`` gauge means the same thing
+    everywhere.  Returns 0 where the ``resource`` module is unavailable.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss) if sys.platform == "darwin" else int(rss) * 1024
+
+
 def git_sha(repo_dir: str | None = None) -> str:
     """Current commit SHA: ``DDPROF_GIT_SHA`` env override, else ``git
     rev-parse HEAD`` in ``repo_dir`` (default: cwd), else ``"unknown"``."""

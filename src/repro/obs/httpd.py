@@ -3,7 +3,7 @@
 A stdlib-only (:mod:`http.server`) endpoint served from a daemon thread,
 so an external scraper — Prometheus, ``curl``, a dashboard — can observe a
 profiling run *while it executes* without the profiler writing a single
-extra file.  Three endpoints:
+extra file.  Four endpoints:
 
 * ``GET /metrics``   — Prometheus text exposition of the registry
   (:func:`~repro.obs.export.prometheus_text`), the exact bytes a
@@ -16,6 +16,10 @@ extra file.  Three endpoints:
   source of truth).
 * ``GET /snapshot``  — full display snapshot
   (:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`) as JSON.
+* ``GET /heatmap``   — the memory plane's address-heat document
+  (:func:`~repro.obs.heatmap.heatmap_dict`, schema ``ddprof.heatmap/1``):
+  per-worker log2-bucketed read/write/conflict/occupancy histograms
+  decoded from the ``heat.*`` registry series, plus the hottest buckets.
 
 Reads of the registry are lock-free: instruments are only ever mutated by
 atomic attribute ops under the GIL, and a scrape that races a tick sees a
@@ -32,6 +36,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.obs.export import prometheus_text
+from repro.obs.heatmap import heatmap_dict
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.report import liveness_summary
 
@@ -80,6 +85,11 @@ class _Handler(BaseHTTPRequestHandler):
                     200 if doc["status"] == "ok" else 503,
                     "application/json",
                     json.dumps(doc).encode("utf-8"),
+                )
+            elif path == "/heatmap":
+                doc = heatmap_dict(self.registry, self.run_id)
+                self._send(
+                    200, "application/json", json.dumps(doc).encode("utf-8")
                 )
             elif path in ("/", "/snapshot"):
                 doc = {"run_id": self.run_id, **self.registry.snapshot()}

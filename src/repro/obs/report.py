@@ -19,7 +19,8 @@ Schema (``ddprof.run-report/1``)::
       "gauges":     {...},
       "histograms": {name: {buckets, counts, sum, count}, ...},
       "profile":    {accesses, reads, writes, deps, races, memory, ...},
-      "parallel":   {workers, stalls, imbalance, rebalancing, ...} | null
+      "parallel":   {workers, stalls, imbalance, rebalancing, ...} | null,
+      "memory":     {heatmap, rebalance_audit, peak_rss_bytes} | null
     }
 
 See ``docs/observability.md`` for the metric catalog and
@@ -34,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, TYPE_CHECKING
 
 from repro.obs.environment import environment_fingerprint
+from repro.obs.heatmap import heatmap_summary
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core imports obs)
@@ -97,6 +99,33 @@ def liveness_summary(registry: MetricsRegistry) -> dict[str, Any] | None:
     }
 
 
+def memory_section(
+    registry: MetricsRegistry, info: "ParallelRunInfo | None" = None
+) -> dict[str, Any] | None:
+    """The report's memory plane: address heatmap, rebalance audit trail,
+    and per-process RSS high-water marks.
+
+    ``None`` when the run recorded none of the three (e.g. sequential runs
+    without a registry-instrumented pipeline).
+    """
+    heat = heatmap_summary(registry)
+    audit = list(info.rebalance_audit) if info is not None else []
+    rss: dict[str, int] = {}
+    for g in registry.gauges():
+        if g.name != "process.peak_rss_bytes":
+            continue
+        labels = dict(g.labels)
+        key = labels.get("worker", "main")
+        rss[key] = int(g.value)
+    if heat is None and not audit and not rss:
+        return None
+    return {
+        "heatmap": heat,
+        "rebalance_audit": audit,
+        "peak_rss_bytes": dict(sorted(rss.items(), key=lambda kv: (len(kv[0]), kv[0]))),
+    }
+
+
 def _profile_section(result: "ProfileResult") -> dict[str, Any]:
     s = result.stats
     return {
@@ -154,6 +183,9 @@ class RunReport:
     histograms: dict[str, Any] = field(default_factory=dict)
     profile: dict[str, Any] = field(default_factory=dict)
     parallel: dict[str, Any] | None = None
+    #: Memory plane: address heatmap + rebalance audit + peak RSS; ``None``
+    #: when the run recorded none of them.
+    memory: dict[str, Any] | None = None
     #: Timeline summary (per-track busy/stall/idle fractions) when the
     #: run's registry carried an enabled tracer; ``None`` otherwise.
     trace: dict[str, Any] | None = None
@@ -187,6 +219,7 @@ class RunReport:
             histograms=snap["histograms"],
             profile=_profile_section(result) if result is not None else {},
             parallel=_parallel_section(info) if info is not None else None,
+            memory=memory_section(registry, info),
             trace=registry.tracer.summary() if registry.tracer.enabled else None,
             provenance=prov.to_list() if prov is not None else None,
             liveness=liveness_summary(registry),
@@ -237,6 +270,7 @@ class RunReport:
             "profile": self.profile,
             "producer": self.producer_summary(),
             "parallel": self.parallel,
+            "memory": self.memory,
             "trace": self.trace,
             "provenance": self.provenance,
             "liveness": self.liveness,
@@ -295,6 +329,38 @@ class RunReport:
                 f"rebalances {pa['rebalance_rounds']} "
                 f"({pa['addresses_migrated']} addresses moved)"
             )
+        if self.memory:
+            mem = self.memory
+            heat = mem.get("heatmap")
+            if heat:
+                line = (
+                    f"  heat: {heat['total_reads']}r/{heat['total_writes']}w "
+                    f"across {len(heat['workers'])} workers, "
+                    f"{heat['total_conflicts']} signature conflicts"
+                )
+                if heat["hottest"]:
+                    hot = heat["hottest"][0]
+                    hi = hot["hi"] if hot["hi"] is not None else "inf"
+                    line += (
+                        f"; hottest bucket [{hot['lo']}, {hi}] "
+                        f"({hot['reads']}r/{hot['writes']}w)"
+                    )
+                lines.append(line)
+            audit = mem.get("rebalance_audit")
+            if audit:
+                moved = sum(a["n_moves"] for a in audit)
+                last = audit[-1]
+                lines.append(
+                    f"  rebalance audit: {len(audit)} rounds, {moved} addresses "
+                    f"moved; last round imbalance "
+                    f"{last['imbalance_before']:.2f} -> {last['imbalance_after']:.2f}"
+                )
+            rss = mem.get("peak_rss_bytes")
+            if rss:
+                parts = ", ".join(
+                    f"{k}={v / (1 << 20):.1f}MiB" for k, v in rss.items()
+                )
+                lines.append(f"  peak rss: {parts}")
         if self.liveness:
             lv = self.liveness
             lines.append(

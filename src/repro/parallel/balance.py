@@ -10,13 +10,22 @@ signature state.
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.address_map import AddressMap
+
+#: Per-address counts saturate here instead of growing without bound: a
+#: synthetic replay can revisit one address 1e8+ times per round, and a
+#: count pinned at int64-max still sorts hottest-first while staying
+#: representable in every downstream surface (numpy arrays, JSON, the
+#: registry state shipped across processes).
+COUNT_SATURATION = (1 << 63) - 1
 
 
 class AccessStats:
@@ -29,20 +38,30 @@ class AccessStats:
     def record_many(self, addrs: np.ndarray) -> None:
         """Bulk update from one producer batch."""
         uniq, counts = np.unique(addrs, return_counts=True)
+        table = self._counts
         for a, c in zip(uniq.tolist(), counts.tolist()):
-            self._counts[a] += c
-        self.total += int(len(addrs))
+            v = table[a] + c
+            table[a] = v if v < COUNT_SATURATION else COUNT_SATURATION
+        self.total = min(self.total + int(len(addrs)), COUNT_SATURATION)
 
     def record(self, addr: int) -> None:
-        self._counts[addr] += 1
-        self.total += 1
+        v = self._counts[addr] + 1
+        self._counts[addr] = v if v < COUNT_SATURATION else COUNT_SATURATION
+        self.total = min(self.total + 1, COUNT_SATURATION)
 
     def hottest(self, k: int) -> list[tuple[int, int]]:
-        """Top-k (address, count), hottest first, address as tie-break."""
-        return sorted(
-            self._counts.most_common(k * 4),  # overfetch, then stable-sort
-            key=lambda ac: (-ac[1], ac[0]),
-        )[:k]
+        """Top-k (address, count), hottest first, address as tie-break.
+
+        A single selection pass under the full ``(-count, addr)`` order:
+        an overfetch through ``most_common`` would resolve count ties in
+        insertion order and could drop the tied address with the smallest
+        id, making the redistribution non-deterministic.
+        """
+        if k <= 0:
+            return []
+        return heapq.nsmallest(
+            k, self._counts.items(), key=lambda ac: (-ac[1], ac[0])
+        )
 
     def count_of(self, addr: int) -> int:
         return self._counts.get(addr, 0)
@@ -70,6 +89,14 @@ class Rebalancer:
     round increments the ``rebalance.rounds``/``rebalance.moves`` counters
     and emits one ``rebalance`` event carrying the observed imbalance and
     the number of migrated addresses.
+
+    Independently of the registry, every :meth:`rebalance` call appends one
+    entry to :attr:`audit` — the decision's full paper trail: before/after
+    hot-load imbalance ratio, the per-worker hot load on both sides of the
+    move, and the migrated addresses.  The pipeline threads the audit into
+    :class:`~repro.parallel.engine.ParallelRunInfo` and the run report's
+    ``memory`` section, so every redistribution of a run is reconstructible
+    after the fact.
     """
 
     def __init__(
@@ -83,6 +110,8 @@ class Rebalancer:
         self.registry = registry
         self.rounds = 0
         self.total_moves = 0
+        #: One entry per rebalancing round (including no-move rounds).
+        self.audit: list[dict[str, Any]] = []
 
     def imbalance(self, stats: AccessStats) -> float:
         """Max/mean ratio of per-worker *hot* load (1.0 = perfectly even)."""
@@ -109,7 +138,10 @@ class Rebalancer:
         decision = RebalanceDecision()
         hot = stats.hottest(self.hot_addresses)
         if not hot:
+            self._record_audit(decision, 1.0, 1.0, [], [])
             return decision
+        load_before = self._hot_load(stats)
+        imbalance_before = self._ratio(load_before)
         load = np.zeros(self.address_map.n_workers, dtype=np.float64)
         targets: list[tuple[int, int]] = []
         for addr, count in hot:
@@ -122,6 +154,15 @@ class Rebalancer:
                 self.address_map.redistribute(addr, w)
                 decision.moves.append((addr, old, w))
         self.total_moves += decision.n_moves
+        load_after = self._hot_load(stats)
+        imbalance_after = self._ratio(load_after)
+        self._record_audit(
+            decision,
+            imbalance_before,
+            imbalance_after,
+            [int(v) for v in load_before],
+            [int(v) for v in load_after],
+        )
         if self.registry is not None and decision.n_moves:
             self.registry.counter("rebalance.rounds").inc()
             self.registry.counter("rebalance.moves").inc(decision.n_moves)
@@ -130,7 +171,10 @@ class Rebalancer:
                     "type": "rebalance",
                     "round": self.rounds,
                     "moves": decision.n_moves,
-                    "imbalance": self.imbalance(stats),
+                    "imbalance": imbalance_after,
+                    "imbalance_before": imbalance_before,
+                    "imbalance_after": imbalance_after,
+                    "hot_load": [int(v) for v in load_after],
                 }
             )
             tracer = self.registry.tracer
@@ -139,8 +183,37 @@ class Rebalancer:
                     "rebalance",
                     round=self.rounds,
                     moves=decision.n_moves,
+                    imbalance_before=imbalance_before,
+                    imbalance_after=imbalance_after,
                     # Cap the per-event payload; a pathological round could
                     # migrate thousands of addresses.
                     migrated=[a for a, _, _ in decision.moves[:32]],
                 )
         return decision
+
+    def _ratio(self, load: np.ndarray) -> float:
+        mean = load.mean()
+        return float(load.max() / mean) if mean > 0 else 1.0
+
+    def _record_audit(
+        self,
+        decision: RebalanceDecision,
+        imbalance_before: float,
+        imbalance_after: float,
+        hot_load_before: list[int],
+        hot_load_after: list[int],
+    ) -> None:
+        self.audit.append(
+            {
+                "round": self.rounds,
+                "n_moves": decision.n_moves,
+                "moves": [
+                    {"addr": a, "from": old, "to": new}
+                    for a, old, new in decision.moves
+                ],
+                "imbalance_before": imbalance_before,
+                "imbalance_after": imbalance_after,
+                "hot_load_before": hot_load_before,
+                "hot_load_after": hot_load_after,
+            }
+        )

@@ -57,6 +57,7 @@ from repro.common.errors import ProfilerError
 from repro.core.controlflow import LoopStateIndex, extract_loop_info
 from repro.core.deps import DependenceStore
 from repro.core.result import ProfileResult, ProfileStats
+from repro.obs.environment import peak_rss_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import ProvenanceCollector
 from repro.obs.sampler import Sampler
@@ -105,6 +106,10 @@ class ParallelRunInfo:
     chunks_allocated: int = 0
     queue_memory_bytes: int = 0
     signature_memory_bytes: int = 0
+    #: Full audit trail of the run's rebalancing decisions (one dict per
+    #: round, see :attr:`~repro.parallel.balance.Rebalancer.audit`).  Empty
+    #: in processes mode, which uses a static address partition.
+    rebalance_audit: list[dict] = field(default_factory=list)
 
     @property
     def access_imbalance(self) -> float:
@@ -120,6 +125,7 @@ class ParallelRunInfo:
         registry: MetricsRegistry,
         n_workers: int,
         chunk_log: list[tuple[int, int]],
+        rebalance_audit: list[dict] | None = None,
     ) -> "ParallelRunInfo":
         """Derive the statistics view from the run's registry."""
 
@@ -151,6 +157,7 @@ class ParallelRunInfo:
             chunks_allocated=gauge_value("chunkpool.allocated"),
             queue_memory_bytes=gauge_value("chunkpool.memory_bytes"),
             signature_memory_bytes=gauge_value("engine.tracker_memory_bytes"),
+            rebalance_audit=rebalance_audit if rebalance_audit is not None else [],
         )
 
 
@@ -259,6 +266,7 @@ class ParallelProfiler:
         sampler.add("chunkpool.free", lambda: pool.free_count)
         sampler.add("chunkpool.allocated", lambda: pool.allocated)
         sampler.add("chunkpool.memory_bytes", lambda: pool.memory_bytes)
+        sampler.add("process.peak_rss_bytes", peak_rss_bytes)
 
         threads: list[threading.Thread] = []
         worker_errors: list[BaseException] = []
@@ -464,6 +472,7 @@ class ParallelProfiler:
             for w, worker in enumerate(workers):
                 store.merge(worker.store)
                 worker.engine.stats.publish(reg, worker=w)
+                worker.publish_heat()
                 reg.counter("worker.accesses", worker=w).inc(
                     worker.accesses_processed
                 )
@@ -479,11 +488,14 @@ class ParallelProfiler:
             # worker published its engine totals above, and the producer-side
             # facts (event count, unique addresses) overwrite the per-worker
             # sums that double-count broadcast rows.
+            reg.gauge("process.peak_rss_bytes").set(peak_rss_bytes())
             agg = ProfileStats.from_registry(reg)
             agg.n_events = len(batch)
             agg.n_unique_addresses = batch.n_unique_addresses
 
-        info = ParallelRunInfo.from_registry(reg, cfg.workers, chunk_log)
+        info = ParallelRunInfo.from_registry(
+            reg, cfg.workers, chunk_log, rebalance_audit=rebalancer.audit
+        )
 
         result = ProfileResult(
             store=store,
@@ -652,6 +664,9 @@ class ParallelProfiler:
             reg.counter("pipeline.broadcast_rows").inc(
                 int(np.count_nonzero(is_bcast))
             )
+            # Parent-process RSS high-water; each worker published its own
+            # labeled gauge from inside its process before exiting.
+            reg.gauge("process.peak_rss_bytes").set(peak_rss_bytes())
             agg = ProfileStats.from_registry(reg)
             agg.n_events = len(batch)
             agg.n_unique_addresses = batch.n_unique_addresses

@@ -26,6 +26,7 @@ from typing import Any
 import numpy as np
 
 from repro.common.config import ProfilerConfig
+from repro.obs.environment import peak_rss_bytes
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import ProvenanceCollector
 from repro.obs.tracing import Tracer, worker_track
@@ -100,11 +101,13 @@ def run_worker(
                     hb.beat(wid)
         # -- publish & ship ------------------------------------------------
         worker.engine.stats.publish(reg, worker=wid)
+        worker.publish_heat()
         reg.counter("worker.accesses", worker=wid).inc(worker.accesses_processed)
         reg.counter("worker.chunks", worker=wid).inc(worker.chunks_processed)
         reg.gauge("engine.tracker_memory_bytes", worker=wid).set(
             worker.memory_bytes
         )
+        reg.gauge("process.peak_rss_bytes", worker=wid).set(peak_rss_bytes())
         payload = {
             "wid": wid,
             "store": worker.store,

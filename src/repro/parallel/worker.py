@@ -10,6 +10,7 @@ from repro.common.config import ProfilerConfig
 from repro.core.deps import DependenceStore
 from repro.core.reference import ReferenceEngine
 from repro.core.vectorized import ChunkKernel
+from repro.obs.heatmap import AddressHeatmap
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import ProvenanceCollector
 from repro.obs.tracing import NULL_TRACER, worker_track
@@ -62,6 +63,14 @@ class Worker:
         self.config = config
         self._registry = registry
         self._track_conflicts = provenance is not None
+        # The memory observability plane: per-worker log2 address heatmaps
+        # (reads/writes/conflicts/occupancy).  Registry-gated like every
+        # other instrument, plus its own config switch.
+        self._heat = (
+            AddressHeatmap(registry, wid)
+            if registry is not None and config.heatmap
+            else None
+        )
         # Provenance notes every dependence *instance* with its chunk and
         # suspect-collision verdict — inherently per-event observations, so
         # it pins the worker to the reference engine (mirroring how the
@@ -78,7 +87,9 @@ class Worker:
         write_t = self._make_tracker("write")
         self.engine: ReferenceEngine | ChunkKernel
         if self.engine_kind == "vectorized":
-            self.engine = ChunkKernel(config, read_t, write_t)
+            # The kernel records heat inline from the access masks it
+            # computes anyway; the reference path records at worker level.
+            self.engine = ChunkKernel(config, read_t, write_t, heat=self._heat)
         else:
             self.engine = ReferenceEngine(
                 config, read_t, write_t, provenance=provenance
@@ -105,7 +116,11 @@ class Worker:
             if cfg.perfect_signature:
                 assert self._keyspace is not None
                 return DensePlaneTracker(self._keyspace)
-            return SlotPlaneTracker(cfg.slots_per_worker, cfg.hash_salt)
+            return SlotPlaneTracker(
+                cfg.slots_per_worker,
+                cfg.hash_salt,
+                track_addrs=self._heat is not None,
+            )
         if cfg.perfect_signature:
             return PerfectSignature()
         eviction = (
@@ -118,6 +133,9 @@ class Worker:
             cfg.hash_salt,
             eviction_counter=eviction,
             track_conflicts=self._track_conflicts,
+            conflict_heat=(
+                self._heat.record_conflict if self._heat is not None else None
+            ),
         )
 
     @property
@@ -145,6 +163,8 @@ class Worker:
             )
         self.accesses_processed += self.engine.stats.n_accesses - before
         self.chunks_processed += 1
+        if self._heat is not None and not isinstance(self.engine, ChunkKernel):
+            self._heat.record_batch_rows(batch, rows)
         if need_t:
             t1 = time.perf_counter()
             if hist is not None:
@@ -189,6 +209,22 @@ class Worker:
             self.engine.read_tracker.insert(addr, read_rec)
         if write_rec is not None:
             self.engine.write_tracker.insert(addr, write_rec)
+
+    def publish_heat(self) -> None:
+        """Attribute end-of-run signature occupancy to address buckets.
+
+        Called once at merge time.  Trackers that do not know their owner
+        addresses (``occupied_addrs() is None``) are skipped, never guessed.
+        """
+        if self._heat is None:
+            return
+        for kind, tracker in (
+            ("read", self.engine.read_tracker),
+            ("write", self.engine.write_tracker),
+        ):
+            addrs = tracker.occupied_addrs()
+            if addrs is not None:
+                self._heat.record_occupancy(addrs, kind)
 
     @property
     def memory_bytes(self) -> int:

@@ -9,6 +9,8 @@ reproduces the comparison with this implementation.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.sigmem.hashing import hash_address
 from repro.sigmem.signature import AccessRecord, AccessTracker
 
@@ -75,6 +77,22 @@ class ChainedHashTable(AccessTracker):
 
     def occupied(self) -> int:
         return self._n
+
+    def occupied_addrs(self) -> np.ndarray:
+        """Every chained address, exactly (chains never conflate)."""
+        addrs = [a for chain in self._buckets if chain for a, _ in chain]
+        return np.asarray(addrs, dtype=np.int64)
+
+    def conflicted_addrs(self) -> np.ndarray:
+        """Addresses sharing a bucket with another address — the entries
+        paying chain-search cost (the signature would conflate these)."""
+        addrs = [
+            a
+            for chain in self._buckets
+            if chain is not None and len(chain) > 1
+            for a, _ in chain
+        ]
+        return np.asarray(addrs, dtype=np.int64)
 
     @property
     def max_chain_length(self) -> int:

@@ -11,6 +11,8 @@ from __future__ import annotations
 import sys
 from typing import Iterator
 
+import numpy as np
+
 from repro.sigmem.signature import AccessRecord, AccessTracker
 
 
@@ -61,3 +63,7 @@ class PerfectSignature(AccessTracker):
 
     def items(self) -> Iterator[tuple[int, AccessRecord]]:
         return iter(self._table.items())
+
+    def occupied_addrs(self) -> np.ndarray:
+        """Every tracked address is its own owner — exact attribution."""
+        return np.fromiter(self._table.keys(), dtype=np.int64, count=len(self._table))

@@ -133,14 +133,27 @@ class SlotPlaneTracker(AccessTracker):
     (``sigmem.evictions`` / conflict tracking) is not maintained — that is a
     per-insert observation the batch kernel cannot afford; runs that need it
     use the reference worker engine.
+
+    With ``track_addrs`` an extra owner-address plane records which address
+    last wrote each slot, enabling end-of-run occupancy attribution
+    (:meth:`occupied_addrs`) at the cost of one extra scatter per carry-out.
     """
 
-    def __init__(self, n_slots: int, salt: int = 0) -> None:
+    def __init__(self, n_slots: int, salt: int = 0, track_addrs: bool = False) -> None:
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
         self.n_slots = int(n_slots)
         self.salt = int(salt)
         self._store = _PlaneStore(self.n_slots)
+        self._addrs: np.ndarray | None = (
+            np.zeros(self.n_slots, dtype=np.int64) if track_addrs else None
+        )
+
+    @property
+    def wants_addrs(self) -> bool:
+        """True when the kernel should thread the address column through
+        ``set_rows`` (owner-address plane present)."""
+        return self._addrs is not None
 
     # -- key derivation ----------------------------------------------------
     def key_of(self, addr: int) -> int:
@@ -153,15 +166,20 @@ class SlotPlaneTracker(AccessTracker):
     def gather(self, keys: np.ndarray):
         return self._store.gather(keys)
 
-    def set_rows(self, keys, loc, var, tid, ts) -> None:
+    def set_rows(self, keys, loc, var, tid, ts, addr=None) -> None:
         self._store.set_rows(keys, loc, var, tid, ts)
+        if self._addrs is not None and addr is not None and len(keys):
+            self._addrs[keys] = addr
 
     def clear_keys(self, keys: np.ndarray) -> None:
         self._store.clear_keys(keys)
 
     # -- AccessTracker protocol --------------------------------------------
     def insert(self, addr: int, record: AccessRecord) -> None:
-        self._store.put(self.key_of(addr), record)
+        key = self.key_of(addr)
+        self._store.put(key, record)
+        if self._addrs is not None:
+            self._addrs[key] = addr
 
     def lookup(self, addr: int) -> AccessRecord | None:
         return self._store.get(self.key_of(addr))
@@ -183,6 +201,14 @@ class SlotPlaneTracker(AccessTracker):
 
     def fill_ratio(self) -> float:
         return self._store._filled / self.n_slots
+
+    def occupied_addrs(self) -> np.ndarray | None:
+        """Owner addresses of the occupied slots (current owner where
+        conflated, matching :class:`~repro.sigmem.ArraySignature`).  Needs
+        the ``track_addrs`` plane; ``None`` without it."""
+        if self._addrs is None:
+            return None
+        return self._addrs[self._store._present]
 
     @property
     def memory_bytes(self) -> int:
@@ -277,7 +303,9 @@ class DensePlaneTracker(AccessTracker):
         self._store.grow_to(len(self.space))
         return self._store.gather(keys)
 
-    def set_rows(self, keys, loc, var, tid, ts) -> None:
+    def set_rows(self, keys, loc, var, tid, ts, addr=None) -> None:
+        # ``addr`` accepted for kernel-signature parity; the dense key space
+        # already knows every key's owner, so no extra plane is kept.
         self._store.grow_to(len(self.space))
         self._store.set_rows(keys, loc, var, tid, ts)
 
@@ -313,6 +341,16 @@ class DensePlaneTracker(AccessTracker):
 
     def occupied(self) -> int:
         return self._store._filled
+
+    def occupied_addrs(self) -> np.ndarray:
+        """Owner addresses of the live entries, recovered from the key
+        space (keys never recycle, so the inverse map is exact)."""
+        present = self._store._present
+        n = len(present)
+        addrs = [
+            a for a, k in self.space._index.items() if k < n and present[k]
+        ]
+        return np.asarray(addrs, dtype=np.int64)
 
     @property
     def memory_bytes(self) -> int:

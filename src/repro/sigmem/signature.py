@@ -16,7 +16,7 @@ semantics or the collision behaviour.
 from __future__ import annotations
 
 import abc
-from typing import Iterator, NamedTuple
+from typing import Callable, Iterator, NamedTuple
 
 import numpy as np
 
@@ -71,6 +71,14 @@ class AccessTracker(abc.ABC):
     def contains(self, addr: int) -> bool:
         return self.lookup(addr) is not None
 
+    def occupied_addrs(self) -> np.ndarray | None:
+        """Owner addresses of the occupied entries, for address-bucket
+        occupancy attribution (:mod:`repro.obs.heatmap`).  ``None`` means
+        the tracker does not know its owners (e.g. an array signature
+        without the owner-address plane) — attribution is skipped, never
+        guessed."""
+        return None
+
     def suspect_source(self, addr: int) -> bool:
         """True when a record looked up for ``addr`` may belong to a
         *different* address (hash-collision conflation) — the Eq. 2
@@ -106,6 +114,7 @@ class ArraySignature(AccessTracker):
         salt: int = 0,
         eviction_counter: "Counter | None" = None,
         track_conflicts: bool = False,
+        conflict_heat: "Callable[[int], None] | None" = None,
     ) -> None:
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
@@ -117,11 +126,19 @@ class ArraySignature(AccessTracker):
         self._filled = 0
         # Optional telemetry: count inserts that *replace a different
         # address* (hash-conflict evictions).  Needs a parallel owner-address
-        # plane, so it is only kept when a counter or ``track_conflicts``
-        # (dependence-provenance mode) asks for it — the uninstrumented hot
-        # path stays exactly as before.
+        # plane, so it is only kept when a counter, ``track_conflicts``
+        # (dependence-provenance mode), or a ``conflict_heat`` recorder asks
+        # for it — the uninstrumented hot path stays exactly as before.
         self.eviction_counter = eviction_counter
-        track = eviction_counter is not None or track_conflicts
+        #: Address-bucket attribution of conflicts: called with the
+        #: *inserted* address on exactly the events ``eviction_counter``
+        #: counts, so heatmap bucket sums reconcile with the eviction total.
+        self.conflict_heat = conflict_heat
+        track = (
+            eviction_counter is not None
+            or track_conflicts
+            or conflict_heat is not None
+        )
         self._slot_addrs: list[int] | None = [0] * self.n_slots if track else None
         #: Slots that ever had a colliding overwrite; provenance consults
         #: this to flag dependences built from a contested slot.
@@ -143,6 +160,8 @@ class ArraySignature(AccessTracker):
             self._evicted_slots.add(i)  # type: ignore[union-attr]
             if self.eviction_counter is not None:
                 self.eviction_counter.inc()
+            if self.conflict_heat is not None:
+                self.conflict_heat(addr)
         if self._slot_addrs is not None:
             self._slot_addrs[i] = addr
         slots[i] = record
@@ -213,6 +232,18 @@ class ArraySignature(AccessTracker):
         """Indices of non-empty slots (the signature's "set" view)."""
         return np.array(
             [i for i, r in enumerate(self._slots) if r is not None],
+            dtype=np.int64,
+        )
+
+    def occupied_addrs(self) -> np.ndarray | None:
+        """Owner addresses of the occupied slots (conflated addresses
+        report their *current* owner, matching lookup semantics).  Needs
+        the owner-address plane; ``None`` without it."""
+        if self._slot_addrs is None:
+            return None
+        addrs = self._slot_addrs
+        return np.array(
+            [addrs[i] for i, r in enumerate(self._slots) if r is not None],
             dtype=np.int64,
         )
 

@@ -81,6 +81,32 @@ class TestEndpoints:
         _, body = get(server.url + "/metrics")
         assert parse_prometheus(body)['ddprof_queue_push_stalls{worker="0"}'] == 10
 
+    def test_heatmap_endpoint(self, registry, server):
+        import numpy as np
+
+        from repro.obs import AddressHeatmap
+
+        heat = AddressHeatmap(registry, worker=0)
+        heat.record_accesses(
+            np.array([64, 64, 4096], dtype=np.int64),
+            np.array([False, True, False]),
+        )
+        status, body = get(server.url + "/heatmap")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["schema"] == "ddprof.heatmap/1"
+        assert doc["run_id"] == "httprun"
+        assert doc["total_reads"] == 2 and doc["total_writes"] == 1
+        assert "0" in doc["workers"]
+
+    def test_heatmap_endpoint_valid_when_empty(self, server):
+        status, body = get(server.url + "/heatmap")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["schema"] == "ddprof.heatmap/1"
+        assert doc["workers"] == {}
+        assert doc["total_reads"] == 0
+
     def test_unknown_path_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as err:
             get(server.url + "/nope")

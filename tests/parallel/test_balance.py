@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.parallel.address_map import AddressMap
-from repro.parallel.balance import AccessStats, Rebalancer
+from repro.parallel.balance import COUNT_SATURATION, AccessStats, Rebalancer
 
 
 def stats_from(counts: dict[int, int]) -> AccessStats:
@@ -36,6 +36,35 @@ class TestAccessStats:
     def test_hottest_with_fewer_addresses(self):
         s = stats_from({8: 1})
         assert s.hottest(10) == [(8, 1)]
+
+    def test_hottest_nonpositive_k(self):
+        s = stats_from({8: 1})
+        assert s.hottest(0) == []
+        assert s.hottest(-3) == []
+
+    def test_hottest_tie_break_across_many_ties(self):
+        # Regression: the old overfetch-through-most_common path resolved
+        # count ties in insertion order and could drop the tied address
+        # with the smallest id.  Insert descending so insertion order is
+        # the worst case for the (count desc, addr asc) contract.
+        s = AccessStats()
+        for addr in range(80, 0, -8):  # 80, 72, ..., 8 — all count 1
+            s.record(addr)
+        assert s.hottest(1) == [(8, 1)]
+        assert s.hottest(3) == [(8, 1), (16, 1), (24, 1)]
+
+    def test_counts_saturate_instead_of_wrapping(self):
+        # Synthetic 1e8-event replays must pin at int64-max, never wrap
+        # negative (which would sort the hottest address *last*).
+        s = AccessStats()
+        s._counts[8] = COUNT_SATURATION - 2
+        s.total = COUNT_SATURATION - 2
+        s.record_many(np.full(5, 8, dtype=np.int64))
+        assert s.count_of(8) == COUNT_SATURATION
+        assert s.total == COUNT_SATURATION
+        s.record(8)
+        assert s.count_of(8) == COUNT_SATURATION
+        assert s.hottest(1) == [(8, COUNT_SATURATION)]
 
 
 class TestRebalancer:
@@ -84,3 +113,70 @@ class TestRebalancer:
         r = Rebalancer(AddressMap(2))
         assert r.rebalance(AccessStats()).n_moves == 0
         assert r.imbalance(AccessStats()) == 1.0
+
+
+class TestRebalanceAudit:
+    def test_audit_records_every_round(self):
+        amap = AddressMap(4)
+        s = stats_from({0: 1000, 32: 1000, 64: 1000, 96: 1000})
+        r = Rebalancer(amap, hot_addresses=4)
+        r.rebalance(s)  # moves 3
+        r.rebalance(s)  # already balanced: 0 moves, still audited
+        assert len(r.audit) == 2
+        first, second = r.audit
+        assert first["round"] == 1 and second["round"] == 2
+        assert first["n_moves"] == 3 and second["n_moves"] == 0
+
+    def test_audit_imbalance_before_after(self):
+        amap = AddressMap(4)
+        s = stats_from({0: 1000, 32: 1000, 64: 1000, 96: 1000})
+        r = Rebalancer(amap, hot_addresses=4)
+        r.rebalance(s)
+        entry = r.audit[0]
+        assert entry["imbalance_before"] == 4.0
+        assert abs(entry["imbalance_after"] - 1.0) < 1e-9
+        assert sum(entry["hot_load_before"]) == sum(entry["hot_load_after"]) == 4000
+        assert entry["hot_load_before"] == [4000, 0, 0, 0]
+
+    def test_audit_lists_migrated_addresses(self):
+        amap = AddressMap(4)
+        s = stats_from({0: 1000, 32: 1000, 64: 1000, 96: 1000})
+        r = Rebalancer(amap, hot_addresses=4)
+        decision = r.rebalance(s)
+        moves = r.audit[0]["moves"]
+        assert len(moves) == decision.n_moves
+        assert {m["addr"] for m in moves} == {a for a, _, _ in decision.moves}
+        for m, (addr, old, new) in zip(moves, decision.moves):
+            assert m == {"addr": addr, "from": old, "to": new}
+
+    def test_audit_on_empty_round(self):
+        r = Rebalancer(AddressMap(2))
+        r.rebalance(AccessStats())
+        assert r.audit == [
+            {
+                "round": 1,
+                "n_moves": 0,
+                "moves": [],
+                "imbalance_before": 1.0,
+                "imbalance_after": 1.0,
+                "hot_load_before": [],
+                "hot_load_after": [],
+            }
+        ]
+
+    def test_rebalance_event_carries_before_after(self):
+        from repro.obs import MemorySink
+        from repro.obs.metrics import MetricsRegistry
+
+        sink = MemorySink()
+        reg = MetricsRegistry(sink=sink)
+        amap = AddressMap(4)
+        s = stats_from({0: 1000, 32: 1000, 64: 1000, 96: 1000})
+        Rebalancer(amap, hot_addresses=4, registry=reg).rebalance(s)
+        events = [e for e in sink.events if e["type"] == "rebalance"]
+        assert len(events) == 1
+        ev = events[0]
+        assert ev["imbalance_before"] == 4.0
+        assert abs(ev["imbalance_after"] - 1.0) < 1e-9
+        assert ev["imbalance"] == ev["imbalance_after"]  # legacy key kept
+        assert sum(ev["hot_load"]) == 4000
