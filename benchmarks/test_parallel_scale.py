@@ -1,0 +1,128 @@
+"""Scale — amplified spilled traces at 10⁶/10⁷ events, flat-RAM throughput.
+
+The paper's profiler handles multi-hundred-million-event traces because its
+memory footprint is bounded by the signature configuration, not the trace
+length.  This module encodes that property as gated metrics: the amplifier
+tiles the bundled ``cg`` trace up to 10⁶ and 10⁷ memory events, the spill
+tier streams both through the processes pipeline, and we record
+
+* ``scale.events_per_sec_1e6`` / ``scale.events_per_sec_1e7`` — end-to-end
+  profiling throughput (floor-gated so a pipeline regression fails
+  ``ddprof bench compare``), and
+* ``scale.peak_rss_mb_1e6`` / ``scale.peak_rss_mb_1e7`` — the maximum
+  per-worker peak RSS, ceiling-gated with the *same* ceiling at both sizes:
+  a 10× longer trace must not move the memory bound.
+
+Ground truth rides along for free: every tile of the amplified trace
+reproduces the base trace's dependences on disjoint addresses, so the
+merged dependence set must equal the base run's set exactly.
+"""
+
+import time
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.engine import ParallelProfiler
+from repro.workloads import get_trace, strip_loops
+from repro.workloads.amplify import amplify_cached
+
+BASE = "cg"
+SIZES = {"1e6": 1_000_000, "1e7": 10_000_000}
+
+# Gates (enforced by ``ddprof bench compare`` on the *current* value):
+# measured ~0.5-1.5 M events/s and ~60 MiB peak worker RSS depending on the
+# host; the floor sits well below the slowest observation so only a real
+# pipeline regression trips it, while the RSS ceiling is deliberately
+# identical at both sizes — that equality *is* the flat-RAM claim.
+EVENTS_PER_SEC_FLOOR = 200_000.0
+PEAK_RSS_CEILING_MB = 256.0
+
+
+def scale_config() -> ProfilerConfig:
+    # The scale posture: lossy banked signatures (bounded state), large
+    # chunks (amortised transport), processes mode (real isolation).
+    return ProfilerConfig(
+        workers=4,
+        signature_slots=1 << 16,
+        signature_banks=16,
+        chunk_size=8192,
+    )
+
+
+@pytest.fixture(scope="module")
+def spill_cache(tmp_path_factory):
+    return tmp_path_factory.mktemp("scale-spills")
+
+
+@pytest.fixture(scope="module")
+def base_stripped():
+    return strip_loops(get_trace(BASE))
+
+
+@pytest.fixture(scope="module", params=sorted(SIZES))
+def scale_run(request, spill_cache, base_stripped):
+    """Profile one amplified size in processes mode; share the measurement."""
+    label = request.param
+    target = SIZES[label]
+    factor = -(-target // len(base_stripped))
+    sp = amplify_cached(base_stripped, factor, spill_cache, f"amp-{BASE}")
+    registry = MetricsRegistry()
+    profiler = ParallelProfiler(scale_config(), mode="processes", registry=registry)
+    start = time.perf_counter()
+    result, info = profiler.profile(sp)
+    elapsed = time.perf_counter() - start
+    gauges = registry.snapshot()["gauges"]
+    rss = [v for k, v in gauges.items() if k.startswith("process.peak_rss_bytes")]
+    return {
+        "label": label,
+        "events": len(sp),
+        "events_per_sec": len(sp) / elapsed,
+        "peak_rss_mb": max(rss) / (1 << 20) if rss else 0.0,
+        "n_deps": len(result.store.as_set()),
+        "info": info,
+    }
+
+
+def test_scale_throughput_and_rss(scale_run, bench_record, benchmark):
+    label = scale_run["label"]
+    bench_record.record(
+        f"scale.events_per_sec_{label}",
+        scale_run["events_per_sec"],
+        unit="events/s",
+        direction="higher",
+        tolerance=0.50,
+        floor=EVENTS_PER_SEC_FLOOR,
+        events=scale_run["events"],
+        mode="processes",
+    )
+    bench_record.record(
+        f"scale.peak_rss_mb_{label}",
+        scale_run["peak_rss_mb"],
+        unit="MB",
+        direction="lower",
+        tolerance=0.50,
+        ceiling=PEAK_RSS_CEILING_MB,
+        events=scale_run["events"],
+        mode="processes",
+    )
+    assert scale_run["events"] >= SIZES[label]
+    assert scale_run["peak_rss_mb"] > 0
+    # A run that produced no dependences did not actually profile anything.
+    assert scale_run["n_deps"] > 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_scale_ground_truth_1e6(spill_cache, base_stripped):
+    # Tiles are address-disjoint copies of the base trace, so the merged
+    # dependence set collapses back to exactly the base set — but only
+    # under a perfect signature (the lossy scale config conflates the
+    # amplified address space by design).  Checked at 10⁶ events where the
+    # perfect (exact-dict) signature is still affordable.
+    factor = -(-SIZES["1e6"] // len(base_stripped))
+    sp = amplify_cached(base_stripped, factor, spill_cache, f"amp-{BASE}")
+    cfg = ProfilerConfig(workers=4, perfect_signature=True, signature_banks=16)
+    amp_result, _ = ParallelProfiler(cfg, mode="processes").profile(sp)
+    base_result, _ = ParallelProfiler(cfg, mode="processes").profile(base_stripped)
+    assert amp_result.store.as_set() == base_result.store.as_set()

@@ -92,6 +92,20 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
         "workload trace instead of re-running the target program",
     )
     p.add_argument(
+        "--trace-cache-limit", type=int, metavar="BYTES", default=None,
+        help="cap the on-disk trace cache; least-recently-used entries "
+        "(npz traces and amplified spill directories) are evicted first",
+    )
+    p.add_argument(
+        "--banks", type=int, default=0, metavar="N",
+        help="shard signature memory into N address-range banks (0 = "
+        "unbanked); enables bank-granularity hot-range migration",
+    )
+    p.add_argument(
+        "--bank-shift", type=int, default=12, metavar="BITS",
+        help="bank stripe width as an address shift (12 = 4 KiB stripes)",
+    )
+    p.add_argument(
         "--no-fastpath", action="store_true",
         help="disable the affine-loop producer fast path (traces are "
         "bit-identical either way; this is the interpreted oracle)",
@@ -131,6 +145,8 @@ def _config_from(args: argparse.Namespace) -> ProfilerConfig:
     return cfg.with_(
         multithreaded_target=args.variant == "par",
         worker_engine=getattr(args, "worker_engine", "vectorized"),
+        signature_banks=getattr(args, "banks", 0) or 0,
+        bank_shift=getattr(args, "bank_shift", 12),
     )
 
 
@@ -338,10 +354,13 @@ def _print_provenance(res) -> None:
 
 
 def _trace_from(args: argparse.Namespace, reg: MetricsRegistry | None = None):
-    from repro.workloads import get_trace
+    from repro.workloads import get_trace, set_trace_cache_limit
 
     if reg is None:
         reg = MetricsRegistry()
+    limit = getattr(args, "trace_cache_limit", None)
+    if limit is not None:
+        set_trace_cache_limit(limit)
     with reg.span("trace-build"):
         return get_trace(
             args.workload,
@@ -358,7 +377,7 @@ def _trace_from(args: argparse.Namespace, reg: MetricsRegistry | None = None):
 def cmd_workloads(_args: argparse.Namespace) -> int:
     from repro.workloads import get_workload, workload_names
 
-    for suite in ("nas", "starbench", "splash2x"):
+    for suite in ("nas", "starbench", "splash2x", "amplified"):
         print(f"[{suite}]")
         for name in workload_names(suite):
             wl = get_workload(name)
@@ -533,6 +552,9 @@ def cmd_listing(args: argparse.Namespace) -> int:
     from repro.workloads import get_workload
 
     wl = get_workload(args.workload)
+    if wl.build_seq is None:
+        print(f"{args.workload} is a trace-level workload (no program listing)")
+        return 1
     scale = args.scale or wl.default_scale
     if args.variant == "par":
         program, _ = wl.build_par(scale, args.threads)
@@ -624,6 +646,7 @@ BENCH_SUITES: dict[str, tuple[str, ...]] = {
         "test_load_balancing.py",
         "test_measured_parallel_speedup.py",
         "test_ablation_pipeline.py",
+        "test_parallel_scale.py",
     ),
     "engine": (
         "test_engine_throughput.py",

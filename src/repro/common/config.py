@@ -75,6 +75,17 @@ class ProfilerConfig:
         see :mod:`repro.obs.heatmap`) on registry-instrumented pipeline
         runs.  On by default; only recorded when a metrics registry is
         attached, so uninstrumented runs are unaffected either way.
+    signature_banks:
+        Number of per-address-range banks each worker's signature memory is
+        sharded into.  ``0`` (default) keeps the classic unbanked layout —
+        bit-for-bit the historical hashing and rebalance behaviour.  With
+        banks on, the load balancer routes and migrates whole banks *with*
+        their signature state (see :mod:`repro.sigmem.banks`), eliminating
+        the post-rebalance cold-signature burst.
+    bank_shift:
+        Address-range stripe width of a bank as a power of two: bank index
+        is ``(addr >> bank_shift) % signature_banks``.  The default 12
+        stripes the address space in 4 KiB ranges.
     """
 
     signature_slots: int = 1_000_000
@@ -91,6 +102,8 @@ class ProfilerConfig:
     hash_salt: int = 0
     worker_engine: str = "vectorized"
     heatmap: bool = True
+    signature_banks: int = 0
+    bank_shift: int = 12
 
     def __post_init__(self) -> None:
         if self.worker_engine not in ("vectorized", "reference"):
@@ -110,11 +123,25 @@ class ProfilerConfig:
             raise ProfilerError("rebalance_interval_chunks must be positive")
         if self.hot_addresses < 0:
             raise ProfilerError("hot_addresses must be non-negative")
+        if self.signature_banks < 0:
+            raise ProfilerError("signature_banks must be non-negative")
+        if not (0 <= self.bank_shift < 63):
+            raise ProfilerError("bank_shift must be in [0, 63)")
 
     @property
     def slots_per_worker(self) -> int:
         """Signature slots given to each worker's read/write signature pair."""
         return max(1, self.signature_slots // self.workers)
+
+    @property
+    def bank_geometry(self):
+        """The run's shared :class:`~repro.sigmem.BankGeometry`, or ``None``
+        when banking is off (``signature_banks == 0``)."""
+        if self.signature_banks == 0:
+            return None
+        from repro.sigmem.banks import BankGeometry
+
+        return BankGeometry(self.signature_banks, self.bank_shift)
 
     def with_(self, **changes: Any) -> "ProfilerConfig":
         """Return a copy with ``changes`` applied (frozen-dataclass update)."""

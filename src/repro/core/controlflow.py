@@ -19,6 +19,38 @@ from repro.trace import LOOP_ENTER, LOOP_EXIT, LOOP_ITER, TraceBatch
 #: Loop-nest depth cap for the snapshot index (one int64 column per level).
 MAX_SNAPSHOT_DEPTH = 63
 
+#: Rows per window when scanning ``batch.kind`` for loop events.
+_SCAN_WINDOW = 1 << 22
+
+
+def loop_event_rows(batch: TraceBatch, *kinds: int) -> np.ndarray:
+    """Global row indices of the requested loop-event kinds, in order.
+
+    Scans ``batch.kind`` window-by-window instead of building one
+    full-trace boolean mask: on an mmap-spilled batch both the transient
+    mask and the resident ``kind`` pages stay bounded by the window
+    (consumed windows are released immediately), so loop-index builds no
+    longer spike peak RSS proportionally to trace length.
+    """
+    kind = batch.kind
+    n = len(kind)
+    release = getattr(batch, "release_window", None)
+    found: list[np.ndarray] = []
+    for s in range(0, n, _SCAN_WINDOW):
+        e = min(n, s + _SCAN_WINDOW)
+        kw = np.asarray(kind[s:e])
+        mask = kw == kinds[0]
+        for k in kinds[1:]:
+            mask |= kw == k
+        hits = np.flatnonzero(mask)
+        if len(hits):
+            found.append(hits.astype(np.int64, copy=False) + s)
+        if release is not None:
+            release(s, e)
+    if not found:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(found)
+
 
 @dataclass
 class LoopInfo:
@@ -41,9 +73,7 @@ def extract_loop_info(batch: TraceBatch) -> dict[int, LoopInfo]:
     loops: dict[int, LoopInfo] = {}
     # Track the enclosing site per thread to attribute parents.
     stacks: dict[int, list[int]] = {}
-    for i in np.flatnonzero(
-        (batch.kind == LOOP_ENTER) | (batch.kind == LOOP_EXIT)
-    ):
+    for i in loop_event_rows(batch, LOOP_ENTER, LOOP_EXIT):
         kind = batch.kind[i]
         site = int(batch.addr[i])
         tid = int(batch.tid[i])
@@ -86,8 +116,7 @@ class LoopIndex:
     def __init__(self, batch: TraceBatch) -> None:
         entries: dict[tuple[int, int], list[int]] = {}
         iters: dict[tuple[int, int], list[int]] = {}
-        mask = (batch.kind == LOOP_ENTER) | (batch.kind == LOOP_ITER)
-        for i in np.flatnonzero(mask):
+        for i in loop_event_rows(batch, LOOP_ENTER, LOOP_ITER):
             key = (int(batch.addr[i]), int(batch.tid[i]))
             ts = int(batch.ts[i])
             if batch.kind[i] == LOOP_ENTER:
@@ -178,12 +207,10 @@ class LoopStateIndex:
 
     def __init__(self, batch: TraceBatch) -> None:
         kinds = batch.kind
-        loop_rows = np.flatnonzero(
-            (kinds == LOOP_ENTER) | (kinds == LOOP_ITER) | (kinds == LOOP_EXIT)
-        )
+        loop_rows = loop_event_rows(batch, LOOP_ENTER, LOOP_ITER, LOOP_EXIT)
         # Bulk-extract once; per-element fancy indexing in the replay loop
         # would dominate the build for loop-dense traces.
-        l_kind = kinds[loop_rows].tolist()
+        l_kind = np.asarray(kinds[loop_rows]).tolist()
         l_tid = batch.tid[loop_rows].tolist()
         l_ts = batch.ts[loop_rows].tolist()
         l_addr = batch.addr[loop_rows].tolist()

@@ -147,12 +147,20 @@ def render_top(
 
     stalls_push = sum(_family(counters, "queue.push_stalls").values())
     stalls_pop = sum(_family(counters, "queue.pop_stalls").values())
+    backpressure = sum(
+        _family(counters, "pipeline.backpressure_stalls").values()
+    )
     rounds = sum(_family(counters, "rebalance.rounds").values())
     moves = sum(_family(counters, "rebalance.moves").values())
+    bank_moves = sum(_family(counters, "rebalance.bank_moves").values())
     evictions = sum(_family(counters, "sigmem.evictions").values())
+    moved = f"{int(moves)} moved"
+    if bank_moves:
+        moved += f", {int(bank_moves)} banks"
     lines.append(
-        f"  stalls push={int(stalls_push)} pop={int(stalls_pop)}  "
-        f"rebalances {int(rounds)} ({int(moves)} moved)  "
+        f"  stalls push={int(stalls_push)} pop={int(stalls_pop)}"
+        + (f" backpressure={int(backpressure)}" if backpressure else "")
+        + f"  rebalances {int(rounds)} ({moved})  "
         f"evictions {int(evictions)}"
     )
     if rss:
@@ -161,6 +169,20 @@ def render_top(
             for w, v in sorted(rss.items(), key=lambda kv: (len(kv[0]), kv[0]))
         )
         lines.append(f"  peak rss: {parts}")
+
+    banks = (heatmap or {}).get("banks")
+    if banks and banks.get("total"):
+        total = banks["total"]
+        occupied = banks.get("occupied_banks", 0)
+        top_banks = sorted(
+            ((occ, i) for i, occ in enumerate(total) if occ),
+            reverse=True,
+        )[:6]
+        hot = " ".join(f"b{i}={_fmt_count(occ)}" for occ, i in top_banks)
+        lines.append(
+            f"  banks: {occupied}/{banks['n_banks']} occupied, "
+            f"skew {banks.get('skew', 0.0):.2f} — hottest: {hot}"
+        )
 
     if heatmap and heatmap.get("hottest"):
         lines.append(

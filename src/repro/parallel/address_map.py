@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sigmem.banks import BankGeometry
+
 
 class AddressMap:
     """Modulo distribution with redistribution overrides.
@@ -21,24 +23,47 @@ class AddressMap:
     byte-level modulo works there because C accesses have mixed alignment;
     ours is the same distribution applied at the granularity the profiler
     actually tracks.
+
+    With a ``bank_geometry`` (sharded signature memory) the map also keeps
+    *bank rules*: whole address-range banks pinned to a worker.  Priority is
+    per-address overrides, then bank rules, then the modulo — bank rules are
+    how the load balancer moves a hot range together with its signature
+    bank, so routing and state can never disagree.
     """
 
-    def __init__(self, n_workers: int, granularity_shift: int = 3) -> None:
+    def __init__(
+        self,
+        n_workers: int,
+        granularity_shift: int = 3,
+        bank_geometry: BankGeometry | None = None,
+    ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.n_workers = n_workers
         self.granularity_shift = granularity_shift
+        self.bank_geometry = bank_geometry
         self._overrides: dict[int, int] = {}
+        self._bank_rules: dict[int, int] = {}
 
     def worker_of(self, addr: int) -> int:
         w = self._overrides.get(addr)
         if w is not None:
             return w
+        if self._bank_rules:
+            assert self.bank_geometry is not None
+            w = self._bank_rules.get(self.bank_geometry.bank_of(addr))
+            if w is not None:
+                return w
         return (addr >> self.granularity_shift) % self.n_workers
 
     def workers_of(self, addrs: np.ndarray) -> np.ndarray:
         """Vectorized assignment for an address column."""
         out = ((addrs >> self.granularity_shift) % self.n_workers).astype(np.int64)
+        if self._bank_rules:
+            assert self.bank_geometry is not None
+            banks = self.bank_geometry.banks_of(addrs)
+            for bank, w in self._bank_rules.items():
+                out[banks == bank] = w
         if self._overrides:
             # The override table holds only the handful of redistributed hot
             # addresses, so a per-entry masked write is cheap.
@@ -57,6 +82,23 @@ class AddressMap:
             self._overrides[addr] = worker
         return old
 
+    def redistribute_bank(self, bank: int, worker: int) -> int | None:
+        """Pin a bank to ``worker``; returns the previous rule (or ``None``
+        when the bank was still modulo-spread over all workers)."""
+        if self.bank_geometry is None:
+            raise ValueError("address map has no bank geometry")
+        if not 0 <= worker < self.n_workers:
+            raise ValueError(f"worker {worker} out of range")
+        if not 0 <= bank < self.bank_geometry.n_banks:
+            raise ValueError(f"bank {bank} out of range")
+        old = self._bank_rules.get(bank)
+        self._bank_rules[bank] = worker
+        return old
+
+    def bank_rule(self, bank: int) -> int | None:
+        """Current owner rule for ``bank`` (``None`` = modulo-spread)."""
+        return self._bank_rules.get(bank)
+
     @property
     def overrides(self) -> dict[int, int]:
         return dict(self._overrides)
@@ -64,3 +106,7 @@ class AddressMap:
     @property
     def n_overrides(self) -> int:
         return len(self._overrides)
+
+    @property
+    def bank_rules(self) -> dict[int, int]:
+        return dict(self._bank_rules)

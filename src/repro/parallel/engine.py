@@ -96,6 +96,9 @@ class ParallelRunInfo:
     per_worker_chunks: list[int] = field(default_factory=list)
     rebalance_rounds: int = 0
     addresses_migrated: int = 0
+    #: Bank-granularity migrations (sharded signature memory); each move
+    #: relocated one address-range bank *with* its signature state.
+    banks_migrated: int = 0
     #: Producer-order log: (worker, rows_in_chunk) per pushed chunk, with
     #: (-1, 0) markers at rebalance quiesce points — the cost model replays
     #: this sequence through its discrete-event pipeline.
@@ -150,6 +153,7 @@ class ParallelRunInfo:
             per_worker_chunks=per_worker("worker.chunks"),
             rebalance_rounds=registry.counter("rebalance.rounds").value,
             addresses_migrated=registry.counter("rebalance.moves").value,
+            banks_migrated=registry.counter("rebalance.bank_moves").value,
             chunk_log=chunk_log,
             push_stalls=registry.sum_counters("queue.push_stalls"),
             pop_stalls=registry.sum_counters("queue.pop_stalls"),
@@ -241,7 +245,7 @@ class ParallelProfiler:
             ]
         pool = ChunkPool(cfg.chunk_size)
         open_chunks: list[Chunk] = [pool.acquire() for _ in range(cfg.workers)]
-        amap = AddressMap(cfg.workers)
+        amap = AddressMap(cfg.workers, bank_geometry=cfg.bank_geometry)
         stats = AccessStats()
         rebalancer = Rebalancer(amap, cfg.hot_addresses, registry=reg)
         chunk_log: list[tuple[int, int]] = []
@@ -382,28 +386,47 @@ class ParallelProfiler:
             prev = post_rebalance_imbalance[0]
             if prev is not None and imbalance <= prev * 1.1:
                 return
+            # Flush buffered rows first: rows sitting in open chunks were
+            # routed under the old rules and must land in their worker's
+            # trackers *before* state is exported, or the migrated bank
+            # would miss them (surfacing as phantom INIT dependences).
+            for w in range(cfg.workers):
+                push_chunk(w)
             quiesce()  # preserve per-address ordering across the move
             decision = rebalancer.rebalance(stats)
             for addr, old, new in decision.moves:
                 r, wrec = workers[old].migrate_out(addr)
                 workers[new].migrate_in(addr, r, wrec)
+            # Banked mode: a moved bank's addresses were spread over every
+            # worker before its first rule, so the new owner collects the
+            # bank's signature state from *all* other workers (newest access
+            # wins on slot collisions) — state follows routing instead of
+            # being dropped to go cold.
+            for bank, _old, new in decision.bank_moves:
+                for w, worker in enumerate(workers):
+                    if w == new:
+                        continue
+                    workers[new].migrate_bank_in(worker.migrate_bank_out(bank))
             post_rebalance_imbalance[0] = rebalancer.imbalance(stats)
-            if decision.n_moves:
+            if decision.n_moves or decision.n_bank_moves:
                 chunk_log.append((-1, 0))
 
         # ---- producer loop over windows of the trace ------------------
+        # Access/broadcast masks are computed *per window*, never over the
+        # full trace: with an mmap-spilled batch the trace may dwarf RAM, and
+        # two trace-length bool arrays would defeat the bounded-memory claim.
         kind = batch.kind
         addr = batch.addr
-        is_access = (kind == READ) | (kind == WRITE)
-        is_bcast = (
-            (kind == FREE)
-            | (kind == LOOP_ENTER)
-            | (kind == LOOP_ITER)
-            | (kind == LOOP_EXIT)
+        bcast_counter = reg.counter("pipeline.broadcast_rows")
+        # Spilled batches support dropping consumed windows' resident pages.
+        # Purely an RSS hint (dropped pages re-read transparently), so the
+        # lag bound only has to be generous, not exact: pushed rows sit in at
+        # most queue_depth+1 chunks per worker plus the current window.
+        release = getattr(batch, "release_window", None)
+        release_lag = (
+            self.window + cfg.workers * (cfg.queue_depth + 2) * cfg.chunk_size
         )
-        reg.counter("pipeline.broadcast_rows").inc(
-            int(np.count_nonzero(is_bcast))
-        )
+        released_upto = 0
         # The paper re-checks the access statistics every 50 000 chunks; we
         # measure the interval in *routed accesses* (interval x chunk_size)
         # so the cadence does not depend on how many workers the control
@@ -417,13 +440,20 @@ class ParallelProfiler:
                 e = min(s + self.window, n)
                 with reg.span("route", window_start=s):
                     rows = np.arange(s, e, dtype=np.int64)
-                    acc = is_access[s:e]
-                    bcast = is_bcast[s:e]
+                    kind_w = np.asarray(kind[s:e])
+                    acc = (kind_w == READ) | (kind_w == WRITE)
+                    bcast = (
+                        (kind_w == FREE)
+                        | (kind_w == LOOP_ENTER)
+                        | (kind_w == LOOP_ITER)
+                        | (kind_w == LOOP_EXIT)
+                    )
+                    bcast_counter.inc(int(np.count_nonzero(bcast)))
                     acc_rows = rows[acc]
                     if len(acc_rows):
                         stats.record_many(addr[acc_rows])
                         accesses_routed += len(acc_rows)
-                    assign = amap.workers_of(addr[s:e])
+                    assign = amap.workers_of(np.asarray(addr[s:e]))
                 with reg.span("push", window_start=s):
                     for w in range(cfg.workers):
                         wrows = rows[(acc & (assign == w)) | bcast]
@@ -434,6 +464,11 @@ class ParallelProfiler:
                 if accesses_routed - accesses_at_last_check >= rebalance_every:
                     accesses_at_last_check = accesses_routed
                     maybe_rebalance()
+                if release is not None:
+                    upto = max(0, e - release_lag)
+                    if upto - released_upto >= (1 << 22):
+                        release(released_upto, upto)
+                        released_upto = upto
 
             # ---- flush + drain ------------------------------------------
             with reg.span("drain"):
@@ -564,12 +599,22 @@ class ParallelProfiler:
                     f"worker process(es) died without a result: {dead}"
                 )
 
+        # The bounded task queues ARE the spill tier's backpressure: when the
+        # producer outruns the consumers, put() blocks until a worker frees a
+        # slot, so in-flight windows never exceed workers x queue_depth
+        # regardless of trace length.  The counter makes the stalls visible.
+        backpressure = reg.counter("pipeline.backpressure_stalls")
+
         def put_blocking(q: "multiprocessing.queues.Queue", item: object) -> None:
+            stalled = False
             while True:
                 try:
                     q.put(item, timeout=1.0)
                     return
                 except queue_mod.Full:
+                    if not stalled:
+                        stalled = True
+                        backpressure.inc()
                     ensure_alive()
 
         watchdog = None
@@ -654,16 +699,25 @@ class ParallelProfiler:
             log_entries.sort(key=lambda t: (t[0], t[1]))
             chunk_log = [(wid, rows) for _, wid, rows in log_entries]
             reg.counter("pipeline.chunks").inc(len(chunk_log))
+            # Windowed broadcast-row count: never materialize a trace-length
+            # mask (the batch may be an mmap spill larger than RAM).
             kind = batch.kind
-            is_bcast = (
-                (kind == FREE)
-                | (kind == LOOP_ENTER)
-                | (kind == LOOP_ITER)
-                | (kind == LOOP_EXIT)
-            )
-            reg.counter("pipeline.broadcast_rows").inc(
-                int(np.count_nonzero(is_bcast))
-            )
+            release = getattr(batch, "release_window", None)
+            n_bcast = 0
+            for s in range(0, len(batch), self.window):
+                e = min(s + self.window, len(batch))
+                kind_w = np.asarray(kind[s:e])
+                n_bcast += int(
+                    np.count_nonzero(
+                        (kind_w == FREE)
+                        | (kind_w == LOOP_ENTER)
+                        | (kind_w == LOOP_ITER)
+                        | (kind_w == LOOP_EXIT)
+                    )
+                )
+                if release is not None:
+                    release(s, e)
+            reg.counter("pipeline.broadcast_rows").inc(n_bcast)
             # Parent-process RSS high-water; each worker published its own
             # labeled gauge from inside its process before exiting.
             reg.gauge("process.peak_rss_bytes").set(peak_rss_bytes())

@@ -69,15 +69,12 @@ def run_worker(
             ProvenanceCollector(worker=wid) if opts.get("provenance") else None
         )
         worker = Worker(wid, config, reg, provenance=prov)
-        amap = AddressMap(config.workers)
+        amap = AddressMap(config.workers, bank_geometry=config.bank_geometry)
         kind = batch.kind
-        is_access = (kind == READ) | (kind == WRITE)
-        is_bcast = (
-            (kind == FREE)
-            | (kind == LOOP_ENTER)
-            | (kind == LOOP_ITER)
-            | (kind == LOOP_EXIT)
-        )
+        # Masks are computed per consumed window, never over the whole
+        # trace: a spilled batch may be far larger than RAM, and the only
+        # resident pages should be the window currently being processed.
+        release = getattr(batch, "release_window", None)
         chunk_size = config.chunk_size
         chunk_log: list[tuple[int, int]] = []
         seq = 0
@@ -89,9 +86,16 @@ def run_worker(
                 break
             s, e, widx = task
             rows = np.arange(s, e, dtype=np.int64)
-            acc = is_access[s:e]
-            assign = amap.workers_of(batch.addr[s:e])
-            wrows = rows[(acc & (assign == wid)) | is_bcast[s:e]]
+            kind_w = np.asarray(kind[s:e])
+            acc = (kind_w == READ) | (kind_w == WRITE)
+            bcast = (
+                (kind_w == FREE)
+                | (kind_w == LOOP_ENTER)
+                | (kind_w == LOOP_ITER)
+                | (kind_w == LOOP_EXIT)
+            )
+            assign = amap.workers_of(np.asarray(batch.addr[s:e]))
+            wrows = rows[(acc & (assign == wid)) | bcast]
             for i in range(0, len(wrows), chunk_size):
                 crows = wrows[i : i + chunk_size]
                 worker.process_rows(batch, crows, seq=seq)
@@ -99,6 +103,8 @@ def run_worker(
                 seq += 1
                 if hb is not None:
                     hb.beat(wid)
+            if release is not None:
+                release(s, e)
         # -- publish & ship ------------------------------------------------
         worker.engine.stats.publish(reg, worker=wid)
         worker.publish_heat()

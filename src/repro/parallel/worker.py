@@ -78,6 +78,8 @@ class Worker:
         self.engine_kind = (
             "reference" if provenance is not None else config.worker_engine
         )
+        # Shared bank geometry (sharded signature memory); None = unbanked.
+        self._geometry = config.bank_geometry
         self._keyspace = (
             DenseKeySpace()
             if self.engine_kind == "vectorized" and config.perfect_signature
@@ -112,17 +114,19 @@ class Worker:
         it, so slot sizing, salt, and telemetry wiring cannot drift apart.
         """
         cfg = self.config
+        geo = self._geometry
         if self.engine_kind == "vectorized":
             if cfg.perfect_signature:
                 assert self._keyspace is not None
-                return DensePlaneTracker(self._keyspace)
+                return DensePlaneTracker(self._keyspace, geometry=geo)
             return SlotPlaneTracker(
                 cfg.slots_per_worker,
                 cfg.hash_salt,
                 track_addrs=self._heat is not None,
+                geometry=geo,
             )
         if cfg.perfect_signature:
-            return PerfectSignature()
+            return PerfectSignature(geometry=geo)
         eviction = (
             self._registry.counter("sigmem.evictions", worker=self.wid, kind=kind)
             if self._registry is not None
@@ -136,6 +140,7 @@ class Worker:
             conflict_heat=(
                 self._heat.record_conflict if self._heat is not None else None
             ),
+            geometry=geo,
         )
 
     @property
@@ -210,11 +215,26 @@ class Worker:
         if write_rec is not None:
             self.engine.write_tracker.insert(addr, write_rec)
 
+    def migrate_bank_out(self, bank: int) -> dict:
+        """Export-and-clear this worker's read/write state for one bank."""
+        return {
+            "bank": int(bank),
+            "read": self.engine.read_tracker.export_bank(bank),
+            "write": self.engine.write_tracker.export_bank(bank),
+        }
+
+    def migrate_bank_in(self, state: dict) -> None:
+        """Merge a bank exported by another worker (newest access wins)."""
+        self.engine.read_tracker.import_bank(state["read"])
+        self.engine.write_tracker.import_bank(state["write"])
+
     def publish_heat(self) -> None:
         """Attribute end-of-run signature occupancy to address buckets.
 
         Called once at merge time.  Trackers that do not know their owner
         addresses (``occupied_addrs() is None``) are skipped, never guessed.
+        Banked trackers additionally publish per-bank occupancy
+        (``heat.banks``) so bank skew is visible on the heat surfaces.
         """
         if self._heat is None:
             return
@@ -225,6 +245,9 @@ class Worker:
             addrs = tracker.occupied_addrs()
             if addrs is not None:
                 self._heat.record_occupancy(addrs, kind)
+            occ = tracker.bank_occupancy()
+            if occ is not None:
+                self._heat.record_bank_occupancy(occ, kind)
 
     @property
     def memory_bytes(self) -> int:

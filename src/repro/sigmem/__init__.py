@@ -22,6 +22,13 @@ implementations:
 plus the Eq. 2 false-positive model and a signature-sizing helper.
 """
 
+from repro.sigmem.banks import (
+    DEFAULT_BANK_SHIFT,
+    BankGeometry,
+    payload_size,
+    records_payload,
+    slots_payload,
+)
 from repro.sigmem.hashing import hash_address, hash_addresses
 from repro.sigmem.signature import AccessRecord, AccessTracker, ArraySignature
 from repro.sigmem.perfect import PerfectSignature
@@ -38,7 +45,9 @@ __all__ = [
     "AccessRecord",
     "AccessTracker",
     "ArraySignature",
+    "BankGeometry",
     "ChainedHashTable",
+    "DEFAULT_BANK_SHIFT",
     "DenseKeySpace",
     "DensePlaneTracker",
     "PerfectSignature",
@@ -48,5 +57,8 @@ __all__ = [
     "expected_occupancy",
     "hash_address",
     "hash_addresses",
+    "payload_size",
+    "records_payload",
     "slots_for_target_fpr",
+    "slots_payload",
 ]

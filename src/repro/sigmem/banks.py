@@ -1,0 +1,122 @@
+"""Bank geometry for sharded signature memory.
+
+The paper's §IV-A redistribution moves *ownership* of hot addresses between
+workers but says nothing about the signature state those addresses left
+behind — on real traces that state is the difference between a warm
+signature and a burst of spurious INIT dependences right after every
+rebalance.  Sharding each tracker into per-address-range *banks* gives the
+runtime a migration unit that is coarse enough to move cheaply (one slice
+per plane) and fine enough to follow the load balancer's decisions.
+
+A :class:`BankGeometry` is the single shared definition of "which bank does
+this address belong to": bank ``(addr >> shift) % n_banks``.  The default
+shift of 12 makes a bank stripe the address space in 4 KiB ranges — small
+enough that one hot array spreads over many banks, large enough that one
+cache-line-ish cluster of hot addresses stays together.  Every consumer
+(trackers, :class:`~repro.parallel.address_map.AddressMap` bank rules, the
+:class:`~repro.parallel.balance.Rebalancer`, heatmap bank occupancy) derives
+bank membership from the same object, so routing and state migration can
+never disagree about where an address lives.
+
+Bank state travels between trackers as plain payload dicts of numpy arrays
+(:func:`records_payload` / slots payloads built by the trackers themselves),
+so they cross process boundaries with ordinary pickling and carry no tracker
+identity — any tracker of the same family and geometry can import them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+#: Default bank stripe width: 4 KiB address ranges per bank index step.
+DEFAULT_BANK_SHIFT = 12
+
+
+@dataclass(frozen=True, slots=True)
+class BankGeometry:
+    """Address-range -> bank mapping shared by every banked component."""
+
+    n_banks: int
+    shift: int = DEFAULT_BANK_SHIFT
+
+    def __post_init__(self) -> None:
+        if self.n_banks < 1:
+            raise ValueError("n_banks must be >= 1")
+        if not (0 <= self.shift < 63):
+            raise ValueError("bank shift must be in [0, 63)")
+
+    def bank_of(self, addr: int) -> int:
+        """Bank index of one address."""
+        return (int(addr) >> self.shift) % self.n_banks
+
+    def banks_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bank_of`."""
+        a = np.asarray(addrs, dtype=np.int64)
+        return (a >> self.shift) % self.n_banks
+
+    def bank_slots(self, n_slots: int) -> int:
+        """Slots per bank when an ``n_slots`` signature is banked."""
+        return max(1, int(n_slots) // self.n_banks)
+
+    def round_slots(self, n_slots: int) -> int:
+        """Total slot count after banking (whole banks only)."""
+        return self.bank_slots(n_slots) * self.n_banks
+
+
+def records_payload(
+    bank: int,
+    addrs: np.ndarray,
+    loc: np.ndarray,
+    var: np.ndarray,
+    tid: np.ndarray,
+    ts: np.ndarray,
+) -> dict[str, Any]:
+    """Exact-tracker bank payload: one row per live address."""
+    return {
+        "format": "records",
+        "bank": int(bank),
+        "addrs": np.asarray(addrs, dtype=np.int64),
+        "loc": np.asarray(loc, dtype=np.int64),
+        "var": np.asarray(var, dtype=np.int64),
+        "tid": np.asarray(tid, dtype=np.int64),
+        "ts": np.asarray(ts, dtype=np.int64),
+    }
+
+
+def slots_payload(
+    bank: int,
+    bank_slots: int,
+    slot: np.ndarray,
+    loc: np.ndarray,
+    var: np.ndarray,
+    tid: np.ndarray,
+    ts: np.ndarray,
+    addr: np.ndarray | None,
+) -> dict[str, Any]:
+    """Lossy-tracker bank payload: one row per occupied slot of the bank.
+
+    ``slot`` holds *bank-local* slot indices; the importer rebases them onto
+    its own bank origin, so payloads are valid between any two trackers with
+    the same ``bank_slots`` and hash salt (which a run's config guarantees).
+    ``addr`` carries the owner-address plane when the exporter keeps one.
+    """
+    return {
+        "format": "slots",
+        "bank": int(bank),
+        "bank_slots": int(bank_slots),
+        "slot": np.asarray(slot, dtype=np.int64),
+        "loc": np.asarray(loc, dtype=np.int64),
+        "var": np.asarray(var, dtype=np.int64),
+        "tid": np.asarray(tid, dtype=np.int64),
+        "ts": np.asarray(ts, dtype=np.int64),
+        "addr": None if addr is None else np.asarray(addr, dtype=np.int64),
+    }
+
+
+def payload_size(payload: dict[str, Any]) -> int:
+    """Number of live entries carried by a bank payload (either format)."""
+    key = "addrs" if payload["format"] == "records" else "slot"
+    return int(len(payload[key]))

@@ -11,16 +11,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sigmem.banks import BankGeometry
 from repro.sigmem.hashing import hash_address
 from repro.sigmem.signature import AccessRecord, AccessTracker
 
 
 class ChainedHashTable(AccessTracker):
-    """Fixed bucket array; each bucket is an association list addr->record."""
+    """Fixed bucket array; each bucket is an association list addr->record.
 
-    def __init__(self, n_buckets: int, salt: int = 0) -> None:
+    Chains never conflate, so with a ``geometry`` the generic record-format
+    bank protocol of :class:`~repro.sigmem.AccessTracker` applies unchanged.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int,
+        salt: int = 0,
+        geometry: BankGeometry | None = None,
+    ) -> None:
         if n_buckets <= 0:
             raise ValueError("n_buckets must be positive")
+        self.bank_geometry = geometry
         self.n_buckets = int(n_buckets)
         self.salt = int(salt)
         self._buckets: list[list[tuple[int, AccessRecord]] | None] = (

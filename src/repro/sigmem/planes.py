@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.sigmem.banks import BankGeometry, slots_payload
 from repro.sigmem.hashing import hash_address, hash_addresses
 from repro.sigmem.signature import SLOT_BYTES, AccessRecord, AccessTracker
 
@@ -137,14 +138,36 @@ class SlotPlaneTracker(AccessTracker):
     With ``track_addrs`` an extra owner-address plane records which address
     last wrote each slot, enabling end-of-run occupancy attribution
     (:meth:`occupied_addrs`) at the cost of one extra scatter per carry-out.
+
+    With a ``geometry`` the slot planes are sharded into per-address-range
+    banks exactly as :class:`~repro.sigmem.ArraySignature` banks its slot
+    list (``key = bank * bank_slots + h(addr) % bank_slots``), so a bank is
+    one contiguous plane slice and :meth:`export_bank`/:meth:`import_bank`
+    move it with a handful of array ops.  Banking implies the owner-address
+    plane — the payload must carry owners so the importer's attribution
+    stays exact.
     """
 
-    def __init__(self, n_slots: int, salt: int = 0, track_addrs: bool = False) -> None:
+    def __init__(
+        self,
+        n_slots: int,
+        salt: int = 0,
+        track_addrs: bool = False,
+        geometry: BankGeometry | None = None,
+    ) -> None:
         if n_slots <= 0:
             raise ValueError("n_slots must be positive")
-        self.n_slots = int(n_slots)
+        self.bank_geometry = geometry
+        self.bank_slots = (
+            geometry.bank_slots(n_slots) if geometry is not None else 0
+        )
+        self.n_slots = (
+            geometry.round_slots(n_slots) if geometry is not None else int(n_slots)
+        )
         self.salt = int(salt)
         self._store = _PlaneStore(self.n_slots)
+        if geometry is not None:
+            track_addrs = True
         self._addrs: np.ndarray | None = (
             np.zeros(self.n_slots, dtype=np.int64) if track_addrs else None
         )
@@ -157,10 +180,20 @@ class SlotPlaneTracker(AccessTracker):
 
     # -- key derivation ----------------------------------------------------
     def key_of(self, addr: int) -> int:
-        return hash_address(addr, self.n_slots, self.salt)
+        if self.bank_geometry is None:
+            return hash_address(addr, self.n_slots, self.salt)
+        bank = self.bank_geometry.bank_of(addr)
+        return bank * self.bank_slots + hash_address(
+            addr, self.bank_slots, self.salt
+        )
 
     def keys_of(self, addrs: np.ndarray) -> np.ndarray:
-        return hash_addresses(addrs, self.n_slots, self.salt)
+        if self.bank_geometry is None:
+            return hash_addresses(addrs, self.n_slots, self.salt)
+        banks = self.bank_geometry.banks_of(addrs)
+        return banks * self.bank_slots + hash_addresses(
+            addrs, self.bank_slots, self.salt
+        )
 
     # -- batch ops ---------------------------------------------------------
     def gather(self, keys: np.ndarray):
@@ -215,6 +248,69 @@ class SlotPlaneTracker(AccessTracker):
         # Same accounting as ArraySignature: the configured slot count is the
         # committed footprint whether or not the planes are resident.
         return self.n_slots * SLOT_BYTES
+
+    # -- bank protocol ------------------------------------------------------
+    def bank_occupancy(self) -> np.ndarray | None:
+        geo = self.bank_geometry
+        if geo is None:
+            return None
+        present = self._store._present[: self.n_slots]
+        return present.reshape(geo.n_banks, self.bank_slots).sum(axis=1)
+
+    def export_bank(self, bank: int) -> dict:
+        """Extract-and-clear one bank: a contiguous plane slice, vectorized."""
+        geo = self._require_geometry()
+        if not (0 <= bank < geo.n_banks):
+            raise ValueError(f"bank {bank} out of range [0, {geo.n_banks})")
+        base = bank * self.bank_slots
+        present = self._store._present[base : base + self.bank_slots]
+        local = np.flatnonzero(present).astype(np.int64)
+        keys = base + local
+        owners = self._addrs
+        payload = slots_payload(
+            bank,
+            self.bank_slots,
+            local,
+            self._store._loc[keys],
+            self._store._var[keys],
+            self._store._tid[keys],
+            self._store._ts[keys],
+            None if owners is None else owners[keys],
+        )
+        self._store.clear_keys(keys)
+        return payload
+
+    def import_bank(self, payload: dict) -> None:
+        """Merge a bank payload, newest access winning per slot."""
+        geo = self._require_geometry()
+        if payload["format"] != "slots":
+            raise ValueError(
+                f"{type(self).__name__} imports slots-format bank payloads, "
+                f"got {payload['format']!r}"
+            )
+        if int(payload["bank_slots"]) != self.bank_slots:
+            raise ValueError(
+                f"bank payload has {payload['bank_slots']} slots/bank, "
+                f"this tracker has {self.bank_slots}"
+            )
+        bank = int(payload["bank"])
+        if not (0 <= bank < geo.n_banks):
+            raise ValueError(f"bank {bank} out of range [0, {geo.n_banks})")
+        keys = bank * self.bank_slots + payload["slot"]
+        present, _, _, _, ts = self._store.gather(keys)
+        win = ~present | (ts < payload["ts"])
+        if not win.any():
+            return
+        keep = keys[win]
+        self._store.set_rows(
+            keep,
+            payload["loc"][win],
+            payload["var"][win],
+            payload["tid"][win],
+            payload["ts"][win],
+        )
+        if self._addrs is not None and payload["addr"] is not None:
+            self._addrs[keep] = payload["addr"][win]
 
 
 class DenseKeySpace:
@@ -287,10 +383,18 @@ class DensePlaneTracker(AccessTracker):
     Equivalent to :class:`~repro.sigmem.PerfectSignature`; memory accounting
     follows the same ~88-bytes-per-live-entry model so cost/memory reports
     stay comparable across worker engines.
+
+    Dense keys have no bank structure, so a ``geometry`` enables the
+    *generic* record-format bank protocol from the base class: exports are
+    exact per-address payloads recovered through the key space's inverse
+    map, imports re-insert newest-wins.
     """
 
-    def __init__(self, space: DenseKeySpace) -> None:
+    def __init__(
+        self, space: DenseKeySpace, geometry: BankGeometry | None = None
+    ) -> None:
         self.space = space
+        self.bank_geometry = geometry
         self._store = _PlaneStore(16)
 
     # -- batch ops ---------------------------------------------------------

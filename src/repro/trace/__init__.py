@@ -43,6 +43,13 @@ from repro.trace.shm import (
     attach_batch,
     share_batch,
 )
+from repro.trace.spill import (
+    SpilledTraceBatch,
+    TraceSpillWriter,
+    is_spill,
+    open_spill,
+    spill_batch,
+)
 
 __all__ = [
     "ALLOC",
@@ -62,11 +69,16 @@ __all__ = [
     "Event",
     "SharedBatch",
     "SharedBatchMeta",
+    "SpilledTraceBatch",
     "TraceBatch",
     "TraceBuilder",
     "TraceRecorder",
+    "TraceSpillWriter",
     "attach_batch",
+    "is_spill",
     "load_trace",
+    "open_spill",
     "save_trace",
     "share_batch",
+    "spill_batch",
 ]

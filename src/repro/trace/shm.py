@@ -37,7 +37,13 @@ def _align8(n: int) -> int:
 
 @dataclass(frozen=True)
 class SharedBatchMeta:
-    """Picklable layout descriptor for one shared batch block."""
+    """Picklable layout descriptor for one shared batch block.
+
+    A spilled (mmap-backed) batch needs no block at all — the columns are
+    already file-backed and every process can map them independently.  For
+    those, ``path`` names the spill directory and ``name``/``columns`` are
+    empty sentinels.
+    """
 
     name: str
     n_events: int
@@ -46,21 +52,29 @@ class SharedBatchMeta:
     var_names: tuple[str, ...]
     file_names: tuple[str, ...]
     ctx_stacks: tuple[tuple[int, ...], ...]
+    #: Spill directory to re-map worker-side (``None`` = shm transport).
+    path: str | None = None
 
 
 class SharedBatch:
     """Creator-side handle: the block plus its layout meta."""
 
-    def __init__(self, shm: shared_memory.SharedMemory, meta: SharedBatchMeta) -> None:
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory | None,
+        meta: SharedBatchMeta,
+    ) -> None:
         self.shm = shm
         self.meta = meta
 
     @property
     def nbytes(self) -> int:
-        return self.shm.size
+        return self.shm.size if self.shm is not None else 0
 
     def close(self) -> None:
         """Release and unlink the block (creator-side, call once)."""
+        if self.shm is None:  # spilled batch: nothing was allocated
+            return
         try:
             self.shm.close()
         finally:
@@ -71,7 +85,24 @@ class SharedBatch:
 
 
 def share_batch(batch: TraceBatch) -> SharedBatch:
-    """Copy ``batch``'s columns into one shared-memory block."""
+    """Describe ``batch`` for worker processes.
+
+    In-memory batches are copied once into a shared-memory block.  Spilled
+    batches skip the copy entirely — a 10⁸-event trace must never be
+    materialized — and ship only the spill path; workers re-map the files.
+    """
+    spill_path = getattr(batch, "spill_path", "")
+    if spill_path:
+        meta = SharedBatchMeta(
+            name="",
+            n_events=len(batch),
+            columns=(),
+            var_names=batch.var_names,
+            file_names=batch.file_names,
+            ctx_stacks=batch.ctx_stacks,
+            path=str(spill_path),
+        )
+        return SharedBatch(None, meta)
     layout: list[tuple[str, str, int]] = []
     offset = 0
     for name, _ in _COLUMNS:
@@ -96,13 +127,19 @@ def share_batch(batch: TraceBatch) -> SharedBatch:
 
 def attach_batch(
     meta: SharedBatchMeta,
-) -> tuple[TraceBatch, shared_memory.SharedMemory]:
+) -> tuple[TraceBatch, shared_memory.SharedMemory | None]:
     """Map a shared block and rebuild the batch as zero-copy views.
 
     Returns the batch plus the attachment handle; the caller keeps the
     handle alive for as long as the batch is used (the views alias its
-    buffer) and ``close()``s it when done — never ``unlink()``.
+    buffer) and ``close()``s it when done — never ``unlink()``.  For a
+    spilled batch the handle is ``None``: the columns are private file
+    mappings with no creator-owned resource to release.
     """
+    if meta.path is not None:
+        from repro.trace.spill import open_spill
+
+        return open_spill(meta.path), None
     # SharedMemory.__init__ registers *attachments* with the resource
     # tracker too (fixed only in 3.13's ``track=False``); the tracker would
     # then unlink the block when this process exits, yanking it out from

@@ -22,9 +22,11 @@ from repro.workloads.base import (
     Workload,
     WorkloadMeta,
     clear_trace_cache,
+    enforce_cache_limit,
     get_trace,
     get_workload,
     register,
+    set_trace_cache_limit,
     workload_names,
     workloads_in_suite,
 )
@@ -34,13 +36,26 @@ from repro.workloads import nas as _nas  # noqa: F401
 from repro.workloads import starbench as _starbench  # noqa: F401
 from repro.workloads import splash2x as _splash2x  # noqa: F401
 
+# Trace-level amplified replays (registered last: they re-tile the suites).
+from repro.workloads import amplify as _amplify  # noqa: F401
+from repro.workloads.amplify import (
+    amplify_batch,
+    amplify_to_spill,
+    strip_loops,
+)
+
 __all__ = [
     "Workload",
     "WorkloadMeta",
+    "amplify_batch",
+    "amplify_to_spill",
     "clear_trace_cache",
+    "enforce_cache_limit",
     "get_trace",
     "get_workload",
     "register",
+    "set_trace_cache_limit",
+    "strip_loops",
     "workload_names",
     "workloads_in_suite",
 ]

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable
@@ -45,6 +47,11 @@ class WorkloadMeta:
 Builder = Callable[[int], tuple[Program, WorkloadMeta]]
 #: Parallel builders additionally take the target thread count.
 ParBuilder = Callable[[int, int], tuple[Program, WorkloadMeta]]
+#: Trace-level builders produce the batch directly (no MiniVM program);
+#: they receive ``(scale, cache_dir)`` and manage their own disk reuse.
+TraceBuilder = Callable[
+    ["int", "str | Path | None"], tuple[TraceBatch, WorkloadMeta]
+]
 
 
 @dataclass(frozen=True)
@@ -52,11 +59,19 @@ class Workload:
     """One registered benchmark analog."""
 
     name: str
-    suite: str  # "nas" | "starbench" | "splash2x"
-    build_seq: Builder
+    suite: str  # "nas" | "starbench" | "splash2x" | "amplified"
+    build_seq: Builder | None = None
     build_par: ParBuilder | None = None
+    #: Trace-level workload (amplified replay): yields the batch directly.
+    build_trace: TraceBuilder | None = None
     default_scale: int = 1
     description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.build_seq is None and self.build_trace is None:
+            raise WorkloadError(
+                f"workload {self.name!r} needs build_seq or build_trace"
+            )
 
     @property
     def has_parallel_variant(self) -> bool:
@@ -133,9 +148,20 @@ def get_trace(
             registry.counter("producer.trace_cache_hits", layer="memory").inc()
         batch, meta = hit
         return (batch, meta) if with_meta else batch
+    if wl.build_trace is not None:
+        # Trace-level workload: the builder yields the batch directly
+        # (possibly an mmap-backed spill it caches under ``cache_dir``).
+        if variant != "seq":
+            raise WorkloadError(f"{name!r} is trace-level; only variant='seq'")
+        batch, meta = wl.build_trace(scale, cache_dir)
+        if cache_dir is not None:
+            enforce_cache_limit(cache_dir, registry=registry)
+        _TRACE_CACHE[key] = (batch, meta)
+        return (batch, meta) if with_meta else batch
     # Metadata is cheap and never serialized with the trace, so the program
     # is always (re)built; only execution is skipped on a disk hit.
     if variant == "seq":
+        assert wl.build_seq is not None
         program, meta = wl.build_seq(scale)
         schedule = None
     elif variant == "par":
@@ -148,6 +174,7 @@ def get_trace(
     path = _trace_cache_path(cache_dir, key) if cache_dir is not None else None
     if path is not None and path.exists():
         batch = load_trace(path)
+        os.utime(path)  # LRU freshness: a hit makes the entry recent again
         if registry is not None:
             registry.counter("producer.trace_cache_hits", layer="disk").inc()
     else:
@@ -159,13 +186,75 @@ def get_trace(
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             save_trace(batch, path)
+            enforce_cache_limit(cache_dir, registry=registry)
     _TRACE_CACHE[key] = (batch, meta)
     return (batch, meta) if with_meta else batch
 
 
+#: Disk-cache size cap (bytes); ``None`` disables eviction entirely.
+_CACHE_LIMIT_BYTES: int | None = None
+
+
+def set_trace_cache_limit(limit_bytes: int | None) -> None:
+    """Install the process-wide disk trace-cache cap (``None`` = unlimited)."""
+    global _CACHE_LIMIT_BYTES
+    if limit_bytes is not None and limit_bytes < 0:
+        raise WorkloadError("trace cache limit must be >= 0")
+    _CACHE_LIMIT_BYTES = limit_bytes
+
+
+def _cache_entries(d: Path) -> list[tuple[float, int, Path]]:
+    """(mtime, bytes, path) per cached trace — npz files and spill dirs."""
+    entries: list[tuple[float, int, Path]] = []
+    for p in d.glob("*.trace.npz"):
+        st = p.stat()
+        entries.append((st.st_mtime, st.st_size, p))
+    for p in d.glob("*.trace.spill"):
+        if not p.is_dir():
+            continue
+        size = sum(f.stat().st_size for f in p.iterdir() if f.is_file())
+        entries.append((p.stat().st_mtime, size, p))
+    return entries
+
+
+def enforce_cache_limit(
+    cache_dir: "str | Path",
+    limit_bytes: "int | None" = None,
+    registry: "MetricsRegistry | None" = None,
+) -> int:
+    """Evict least-recently-used cached traces until the cap is met.
+
+    ``limit_bytes`` overrides the process-wide limit installed by
+    :func:`set_trace_cache_limit`; with neither set this is a no-op.  Disk
+    hits refresh an entry's mtime (``os.utime``), so recency tracks use,
+    not creation.  Returns the number of entries evicted and counts them on
+    ``producer.cache_evictions``.
+    """
+    limit = _CACHE_LIMIT_BYTES if limit_bytes is None else limit_bytes
+    d = Path(cache_dir)
+    if limit is None or not d.is_dir():
+        return 0
+    entries = sorted(_cache_entries(d))  # oldest mtime first
+    total = sum(size for _, size, _ in entries)
+    evicted = 0
+    for _, size, path in entries:
+        if total <= limit:
+            break
+        if path.is_dir():
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            path.unlink(missing_ok=True)
+        total -= size
+        evicted += 1
+    if evicted and registry is not None:
+        registry.counter("producer.cache_evictions").inc(evicted)
+    return evicted
+
+
 def clear_trace_cache(cache_dir: "str | Path | None" = None) -> int:
     """Drop the in-memory layer; with ``cache_dir``, also delete every
-    ``*.trace.npz`` file there.  Returns the number of files removed."""
+    ``*.trace.npz`` file and ``*.trace.spill`` directory there.  Returns
+    the number of entries removed."""
     _TRACE_CACHE.clear()
     removed = 0
     if cache_dir is not None:
@@ -174,4 +263,8 @@ def clear_trace_cache(cache_dir: "str | Path | None" = None) -> int:
             for p in sorted(d.glob("*.trace.npz")):
                 p.unlink()
                 removed += 1
+            for p in sorted(d.glob("*.trace.spill")):
+                if p.is_dir():
+                    shutil.rmtree(p, ignore_errors=True)
+                    removed += 1
     return removed

@@ -1,0 +1,97 @@
+"""Differential suites: rebalancing and execution modes must not change deps.
+
+Bank-granularity migration moves live signature state between workers
+mid-run; the whole point of shipping the banks *with* the routing rules is
+that the reported dependence set stays exactly what the run without any
+rebalancing reports.  Same for the execution modes: threads and processes
+partition work differently but must agree dependence-for-dependence.
+"""
+
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.parallel.engine import ParallelProfiler
+from repro.workloads import get_trace
+
+WORKLOADS = ["ep", "lu", "water-spatial"]
+
+
+def profile_set(batch, cfg, mode="deterministic", threshold=float("inf")):
+    prof = ParallelProfiler(cfg, mode=mode, rebalance_threshold=threshold)
+    result, info = prof.profile(batch)
+    return result.store.as_set(), info
+
+
+class TestRebalancingDifferential:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_bank_rebalancing_preserves_deps(self, name):
+        batch = get_trace(name)
+        cfg = ProfilerConfig(
+            workers=4,
+            perfect_signature=True,
+            signature_banks=8,
+            chunk_size=256,
+            rebalance_interval_chunks=4,
+        )
+        off, _ = profile_set(batch, cfg, threshold=float("inf"))
+        on, info = profile_set(batch, cfg, threshold=1.0)
+        assert on == off
+        # the aggressive threshold must actually have exercised migration
+        # on at least one of the workloads; asserted per-run where it fires
+        if info.rebalance_rounds:
+            assert info.banks_migrated >= 0
+
+    def test_bank_migration_fires_on_skewed_trace(self):
+        # ep hammers a tiny address set, so a threshold of 1.0 must trigger
+        # bank moves (everything homes to few banks under modulo routing).
+        batch = get_trace("ep")
+        cfg = ProfilerConfig(
+            workers=4,
+            perfect_signature=True,
+            signature_banks=8,
+            chunk_size=256,
+            rebalance_interval_chunks=4,
+        )
+        on, info = profile_set(batch, cfg, threshold=1.0)
+        assert info.rebalance_rounds >= 1
+        assert info.banks_migrated >= 1
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_lossy_signature_rebalancing_matches_unrebalanced(self, name):
+        # Same comparison under the lossy array-signature path: both runs
+        # share one geometry/salt, so conflation is identical and the dep
+        # sets must still agree exactly.
+        batch = get_trace(name)
+        cfg = ProfilerConfig(
+            workers=4,
+            signature_slots=4096,
+            signature_banks=8,
+            worker_engine="reference",
+            chunk_size=256,
+            rebalance_interval_chunks=4,
+        )
+        off, _ = profile_set(batch, cfg, threshold=float("inf"))
+        on, _ = profile_set(batch, cfg, threshold=1.0)
+        assert on == off
+
+
+class TestModeDifferential:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_threads_equals_processes_with_banks(self, name):
+        batch = get_trace(name)
+        cfg = ProfilerConfig(
+            workers=2, perfect_signature=True, signature_banks=8
+        )
+        t, _ = profile_set(batch, cfg, mode="threads")
+        p, _ = profile_set(batch, cfg, mode="processes")
+        assert t == p
+
+    @pytest.mark.parametrize("name", WORKLOADS)
+    def test_deterministic_equals_threads_with_banks(self, name):
+        batch = get_trace(name)
+        cfg = ProfilerConfig(
+            workers=2, perfect_signature=True, signature_banks=8
+        )
+        d, _ = profile_set(batch, cfg, mode="deterministic")
+        t, _ = profile_set(batch, cfg, mode="threads")
+        assert d == t

@@ -1,0 +1,121 @@
+"""Trace amplifier: tiling invariants and dependence-set ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import ProfilerConfig
+from repro.common.errors import WorkloadError
+from repro.parallel.engine import ParallelProfiler
+from repro.trace import LOOP_ENTER, LOOP_EXIT, LOOP_ITER, READ, WRITE
+from repro.trace.spill import SpilledTraceBatch
+from repro.workloads import (
+    amplify_batch,
+    amplify_to_spill,
+    clear_trace_cache,
+    get_trace,
+    get_workload,
+    strip_loops,
+)
+
+BASE = "ft"  # smallest NAS analog with loops and real dependences
+
+
+def base_trace():
+    return get_trace(BASE)
+
+
+class TestTiling:
+    def test_length_and_unique_scale_linearly(self):
+        base = base_trace()
+        amp = amplify_batch(base, 4)
+        assert len(amp) == 4 * len(base)
+        assert amp.n_unique_addresses == 4 * base.n_unique_addresses
+
+    def test_tiles_are_address_disjoint(self):
+        base = base_trace()
+        amp = amplify_batch(base, 3)
+        n = len(base)
+        kind = np.asarray(amp.kind)
+        addr = np.asarray(amp.addr)
+        acc = (kind == READ) | (kind == WRITE)
+        tiles = [set(addr[i * n : (i + 1) * n][acc[i * n : (i + 1) * n]]) for i in range(3)]
+        assert not (tiles[0] & tiles[1])
+        assert not (tiles[1] & tiles[2])
+
+    def test_loop_sites_not_shifted(self):
+        base = base_trace()
+        amp = amplify_batch(base, 2)
+        n = len(base)
+        kind = np.asarray(amp.kind)
+        addr = np.asarray(amp.addr)
+        loops = (kind == LOOP_ENTER) | (kind == LOOP_ITER) | (kind == LOOP_EXIT)
+        assert loops.any()  # the base really has loop markers
+        assert np.array_equal(addr[:n][loops[:n]], addr[n:][loops[n:]])
+
+    def test_timestamps_globally_monotone(self):
+        amp = amplify_batch(base_trace(), 3)
+        ts = np.asarray(amp.ts)
+        assert (np.diff(ts) >= 0).all()
+
+    def test_factor_one_keeps_batch(self):
+        base = base_trace()
+        assert amplify_batch(base, 1) is base
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            amplify_batch(base_trace(), 0)
+
+    def test_strip_loops_removes_only_markers(self):
+        base = base_trace()
+        stripped = strip_loops(base)
+        kind = np.asarray(stripped.kind)
+        assert not ((kind == LOOP_ENTER) | (kind == LOOP_ITER) | (kind == LOOP_EXIT)).any()
+        assert (kind == READ).sum() == (np.asarray(base.kind) == READ).sum()
+
+
+class TestGroundTruth:
+    def test_amplified_deps_equal_base_deps(self):
+        base = base_trace()
+        amp = amplify_batch(base, 4)
+        cfg = ProfilerConfig(workers=2, perfect_signature=True)
+        r_base, _ = ParallelProfiler(cfg).profile(base)
+        r_amp, _ = ParallelProfiler(cfg).profile(amp)
+        assert r_base.store.as_set() == r_amp.store.as_set()
+
+    def test_spilled_amplified_deps_equal_stripped_base(self, tmp_path):
+        base = base_trace()
+        stripped = strip_loops(base)
+        sp = amplify_to_spill(base, 4, tmp_path / "amp.trace.spill")
+        assert isinstance(sp, SpilledTraceBatch)
+        assert sp.n_unique_addresses == 4 * stripped.n_unique_addresses
+        cfg = ProfilerConfig(workers=2, perfect_signature=True)
+        r_base, _ = ParallelProfiler(cfg).profile(stripped)
+        r_amp, _ = ParallelProfiler(cfg).profile(sp)
+        assert r_base.store.as_set() == r_amp.store.as_set()
+
+
+class TestRegisteredWorkloads:
+    def test_amp_workload_listed_and_trace_level(self):
+        wl = get_workload("amp-cg")
+        assert wl.suite == "amplified"
+        assert wl.build_trace is not None and wl.build_seq is None
+
+    def test_get_trace_spills_under_cache_dir(self, tmp_path):
+        clear_trace_cache()
+        try:
+            batch = get_trace("amp-cg", scale=2, cache_dir=tmp_path)
+            assert isinstance(batch, SpilledTraceBatch)
+            assert len(batch) >= 2_000_000
+            spills = list(tmp_path.glob("*.trace.spill"))
+            assert len(spills) == 1
+            # second build re-opens the cached spill
+            clear_trace_cache()  # memory layer only: pass no cache_dir
+            again = get_trace("amp-cg", scale=2, cache_dir=tmp_path)
+            assert again.spill_path == batch.spill_path
+        finally:
+            clear_trace_cache(tmp_path)
+
+    def test_par_variant_rejected(self):
+        clear_trace_cache()
+        with pytest.raises(WorkloadError, match="trace-level"):
+            get_trace("amp-cg", variant="par")

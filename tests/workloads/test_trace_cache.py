@@ -76,3 +76,91 @@ class TestDiskCache:
         get_trace("ep")
         assert list(tmp_path.glob("*.trace.npz")) == []
         clear_trace_cache()
+
+
+class TestLruEviction:
+    def _sized(self, tmp_path, *names):
+        clear_trace_cache()
+        for n in names:
+            get_trace(n, cache_dir=tmp_path)
+        return sorted(tmp_path.glob("*.trace.npz"))
+
+    def test_limit_evicts_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        from repro.workloads import enforce_cache_limit, set_trace_cache_limit
+
+        files = self._sized(tmp_path, "ep", "mg", "ft")
+        # Make mtimes unambiguous: ep oldest, ft newest.
+        now = time.time()
+        for i, p in enumerate(sorted(files, key=lambda p: p.name)):
+            os.utime(p, (now + i, now + i))
+        sizes = {p.name: p.stat().st_size for p in files}
+        keep_two = sum(sorted(sizes.values(), reverse=True)[:2])
+        reg = MetricsRegistry()
+        evicted = enforce_cache_limit(
+            tmp_path, limit_bytes=keep_two + 1, registry=reg
+        )
+        assert evicted >= 1
+        survivors = {p.name for p in tmp_path.glob("*.trace.npz")}
+        assert "ep-seq-s1-t4-r0.trace.npz" not in survivors  # oldest went
+        snap = reg.snapshot()["counters"]
+        assert snap.get("producer.cache_evictions") == evicted
+        set_trace_cache_limit(None)
+        clear_trace_cache(tmp_path)
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        from repro.workloads import enforce_cache_limit
+
+        files = self._sized(tmp_path, "ep", "mg")
+        old = time.time() - 1000
+        for p in files:
+            os.utime(p, (old, old))
+        clear_trace_cache()
+        get_trace("ep", cache_dir=tmp_path)  # disk hit bumps ep's mtime
+        ep = next(p for p in files if p.name.startswith("ep-"))
+        mg = next(p for p in files if p.name.startswith("mg-"))
+        assert ep.stat().st_mtime > mg.stat().st_mtime
+        evicted = enforce_cache_limit(
+            tmp_path, limit_bytes=ep.stat().st_size
+        )
+        assert evicted == 1
+        assert ep.exists() and not mg.exists()
+        clear_trace_cache(tmp_path)
+
+    def test_save_path_enforces_installed_limit(self, tmp_path):
+        from repro.workloads import set_trace_cache_limit
+
+        clear_trace_cache()
+        set_trace_cache_limit(0)  # nothing may stay on disk
+        try:
+            get_trace("ep", cache_dir=tmp_path)
+            assert list(tmp_path.glob("*.trace.npz")) == []
+        finally:
+            set_trace_cache_limit(None)
+            clear_trace_cache(tmp_path)
+
+    def test_spill_directories_count_and_evict(self, tmp_path):
+        from repro.workloads import enforce_cache_limit
+        from repro.workloads.amplify import amplify_cached
+
+        clear_trace_cache()
+        base = get_trace("ep")
+        amplify_cached(base, 2, tmp_path, "amp-ep")
+        spill = tmp_path / "amp-ep-x2.trace.spill"
+        assert spill.is_dir()
+        assert enforce_cache_limit(tmp_path, limit_bytes=0) == 1
+        assert not spill.exists()
+        clear_trace_cache(tmp_path)
+
+    def test_no_limit_is_noop(self, tmp_path):
+        from repro.workloads import enforce_cache_limit
+
+        files = self._sized(tmp_path, "ep")
+        assert enforce_cache_limit(tmp_path) == 0
+        assert all(p.exists() for p in files)
+        clear_trace_cache(tmp_path)
