@@ -59,6 +59,7 @@ class LoopTableRow:
     total_iterations: int
     mean_iterations: float
     parallelizable: bool | None  # None when no classification was requested
+    verdict: str | None  # doall | reduction | pipeline | sequential | None
     note: str
 
 
@@ -82,6 +83,7 @@ def loop_table(
                 total_iterations=info.total_iterations,
                 mean_iterations=info.mean_iterations,
                 parallelizable=None if cls is None else cls.parallelizable,
+                verdict=None if cls is None else cls.verdict,
                 note="" if cls is None else cls.reason(result),
             )
         )

@@ -12,6 +12,15 @@ iterations.  From the profiler's records:
 * carried WAR/WAW dependences mean iterations reuse storage; **privatizing**
   the variable removes them, so they do not block.
 
+Beyond the boolean, each loop gets a *verdict* — ``doall`` / ``reduction`` /
+``pipeline`` / ``sequential`` — derived from a line-level graph of the
+profiled RAW dependences inside the loop body, through the same
+:func:`~repro.minivm.depgraph.carried_graph_verdict` rule the producer's
+static scheduler uses, so the static and dynamic classifications cannot
+diverge in logic.  ``pipeline`` means carried data only flows forward
+between statement groups (DSWP-style stage parallelism applies even though
+DOALL does not).
+
 The classification is intentionally conservative where the evidence is:
 dynamic dependences prove only what the profiled input exercised, the same
 caveat the paper makes for all dependence profiling.
@@ -21,8 +30,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.sourceloc import decode_location
 from repro.core.deps import DepType, Dependence
 from repro.core.result import ProfileResult
+from repro.minivm.depgraph import carried_graph_verdict
 
 
 @dataclass
@@ -31,6 +42,7 @@ class LoopClassification:
 
     site: int
     parallelizable: bool
+    verdict: str = "doall"  # doall | reduction | pipeline | sequential
     blocking: list[Dependence] = field(default_factory=list)
     reductions: set[int] = field(default_factory=set)  # var ids
     privatizable: set[int] = field(default_factory=set)  # var ids
@@ -54,7 +66,8 @@ class LoopClassification:
                 )
             return "parallelizable" + (" with " + ", ".join(notes) if notes else "")
         vars_ = sorted({vname(d.var) for d in self.blocking})
-        return f"blocked by loop-carried RAW on {', '.join(vars_)}"
+        head = "pipeline-parallel, " if self.verdict == "pipeline" else ""
+        return f"{head}blocked by loop-carried RAW on {', '.join(vars_)}"
 
 
 def analyze_loops(
@@ -125,15 +138,65 @@ def analyze_loops(
         # Reduction accumulators also appear in carried WAR/WAW; that is the
         # reduction's own storage, not an extra privatization obligation.
         privatizable = privatizable - reductions
+        verdict = _site_verdict(result, site, info.end_loc, reductions)
         out[site] = LoopClassification(
             site=site,
             parallelizable=not blocking,
+            verdict=verdict,
             blocking=blocking,
             reductions=reductions,
             privatizable=privatizable,
             total_iterations=info.total_iterations,
         )
     return out
+
+
+def _site_verdict(
+    result: ProfileResult, site: int, end_loc: int, reductions: set[int]
+) -> str:
+    """Line-level DOALL/reduction/pipeline/sequential verdict for one loop.
+
+    Nodes are source locations; edges are the profiled RAW dependences with
+    recognized reductions removed (they parallelize with a clause) and
+    WAR/WAW ignored (privatizable storage reuse).  Every dependence carried
+    by this loop contributes a carried edge; RAW dependences between two
+    body lines that are *not* carried wire the intra-iteration value flow
+    that separates ``pipeline`` (carried data only crosses stage boundaries
+    forward) from ``sequential`` (a stage feeds itself across iterations).
+    """
+    head = decode_location(site)
+    tail = decode_location(end_loc)
+    lo, hi = head.line, max(head.line, tail.line)
+
+    def in_body(loc: int) -> bool:
+        if loc < 0:
+            return False
+        d = decode_location(loc)
+        return d.file_id == head.file_id and lo <= d.line <= hi
+
+    node_of: dict[int, int] = {}
+
+    def node(loc: int) -> int:
+        n = node_of.get(loc)
+        if n is None:
+            n = node_of[loc] = len(node_of)
+        return n
+
+    edges: list[tuple[int, int, bool]] = []
+    has_reduction = bool(reductions)
+    for dep in result.store:
+        if dep.dep_type is not DepType.RAW or dep.source_loc < 0:
+            continue
+        if dep.var in reductions:
+            continue
+        carried = site in dep.carried
+        if not carried and not (in_body(dep.sink_loc) and in_body(dep.source_loc)):
+            continue
+        edges.append((node(dep.source_loc), node(dep.sink_loc), carried))
+    verdict = carried_graph_verdict(len(node_of), edges)
+    if verdict == "doall" and has_reduction:
+        return "reduction"
+    return verdict
 
 
 def count_parallelizable(classifications: dict[int, LoopClassification]) -> int:

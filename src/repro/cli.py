@@ -440,18 +440,54 @@ def cmd_loops(args: argparse.Namespace) -> int:
     reg = _registry_from(args)
     batch = _trace_from(args, reg)
     res, info = _profile_for(args, reg, batch)
-    rows = [
-        (r.site, r.end, r.executions, r.total_iterations, r.parallelizable, r.note)
-        for r in loop_table(res)
-    ]
-    sys.stdout.write(
-        ascii_table(
-            ["loop", "end", "execs", "iters", "parallel", "verdict"],
-            rows,
-            title=f"Loops of {args.workload} ({args.variant})",
+    table = loop_table(res)
+    if args.json:
+        import json as _json
+
+        doc = {
+            "schema": "ddprof.loops/1",
+            "workload": args.workload,
+            "variant": args.variant,
+            "loops": [
+                {
+                    "site": r.site,
+                    "end": r.end,
+                    "executions": r.executions,
+                    "total_iterations": r.total_iterations,
+                    "mean_iterations": r.mean_iterations,
+                    "parallelizable": r.parallelizable,
+                    "verdict": r.verdict,
+                    "note": r.note,
+                }
+                for r in table
+            ],
+        }
+        print(_json.dumps(doc, indent=2))
+    else:
+        rows = [
+            (
+                r.site,
+                r.end,
+                r.executions,
+                r.total_iterations,
+                r.verdict or "-",
+                r.note,
+            )
+            for r in table
+        ]
+        sys.stdout.write(
+            ascii_table(
+                ["loop", "end", "execs", "iters", "verdict", "detail"],
+                rows,
+                title=f"Loops of {args.workload} ({args.variant})",
+            )
         )
+    # The loops document *is* this command's machine-readable output, so the
+    # run report stays off stdout in --json mode (unlike the other commands).
+    _report_from(
+        args, reg, res, info, engine="pipeline" if info is not None else None
     )
-    _finish_telemetry(args, reg, res, info)
+    _write_trace(args, reg)
     return 0
 
 
@@ -652,14 +688,18 @@ BENCH_SUITES: dict[str, tuple[str, ...]] = {
         "test_engine_throughput.py",
         "test_producer_throughput.py",
     ),
+    "producer": (
+        "test_producer_coverage.py",
+    ),
     "obs": (
         "test_telemetry_overhead.py",
     ),
 }
 
 #: ``ddprof bench run --fast`` / the CI gate: the suites cheap enough to
-#: run on every push (throughput kernels + telemetry overhead).
-FAST_SUITES = ("engine", "obs")
+#: run on every push (throughput kernels + coverage floors + telemetry
+#: overhead).
+FAST_SUITES = ("engine", "producer", "obs")
 
 
 def _gather_bench_files(path) -> dict[str, str]:

@@ -20,7 +20,14 @@ from repro.minivm.affine import (
     AffineTemplate,
     FastPathStats,
     classify_loop,
+    classify_loop_cached,
     program_has_spawn,
+)
+from repro.minivm.depgraph import (
+    DependencyGraph,
+    GroupScheduler,
+    carried_graph_verdict,
+    loop_verdict,
 )
 from repro.minivm.astnodes import (
     BinOp,
@@ -42,8 +49,13 @@ __all__ = [
     "AffineTemplate",
     "BinOp",
     "Const",
+    "DependencyGraph",
     "FastPathStats",
+    "GroupScheduler",
+    "carried_graph_verdict",
     "classify_loop",
+    "classify_loop_cached",
+    "loop_verdict",
     "program_has_spawn",
     "Expr",
     "Function",

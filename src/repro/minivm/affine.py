@@ -3,36 +3,37 @@
 The tree-walking interpreter costs ~10 Python-level calls per loop iteration
 (register update, loop_iter marker, per-access address eval + emit + memory
 touch), which makes trace *production* the serial bottleneck of the whole
-pipeline.  This module removes that bottleneck for the loops that dominate
-real traces: innermost counted loops whose bodies are **affine** —
+pipeline.  This module removes that bottleneck for innermost counted loops
+whose bodies are ``SetReg``/``Store`` statements over numpy-expressible
+expressions.
 
-* body statements are only ``SetReg`` and ``Store`` (no nested control flow,
-  calls, spawns, locks, allocation),
-* every load/store address is ``base + stride * i`` in the induction
-  register (index expressions are degree-<=1 polynomials in ``i`` whose other
-  subtrees are loop-invariant),
-* value expressions use only numpy-expressible operators over loads,
-  registers, and constants (``sin``/``cos`` are rejected: libm results are
-  not guaranteed bit-identical to numpy's), and
-* no loop-carried dependence: registers are never read before they are
-  assigned in the same iteration, stored progressions are pairwise disjoint,
-  and a load may overlap a store only when both walk the *same* progression
-  with the load textually at-or-before the store (gather-before-scatter then
-  reads pre-loop values, exactly like the interpreter would).
+Classification builds a per-loop dependence graph
+(:mod:`repro.minivm.depgraph`): statements are nodes, every traced access is
+a symbolic :class:`~repro.minivm.depgraph.MemoryRef` (loop-invariant *slot*,
+affine ``base + stride*i``, or vector-evaluated *dynamic* index), and
+RAW/WAR/WAW edges carry dependence distances.  The scheduler condenses the
+value-flow subgraph into SCCs and executes each group whole-iteration-space
+in dependence order:
 
-Classification is static and cached per loop AST node.  Execution is
-two-phase so a bailout is always safe:
+* **vector** groups evaluate as numpy arrays with interval bounds riding
+  along (overflow / precision risks bail out),
+* **reduction** groups (``x = x ⊕ term``, ⊕ in ``+ - * min max``) lower to
+  ``ufunc.accumulate`` — a sequential left fold, bit-identical to the
+  interpreter's own evaluation order,
+* **sequential** groups (any other recurrence: LCG chains, stencils,
+  histogram updates) replay just the cyclic statements through an exact
+  Python-scalar lane using the interpreter's own operator tables, while
+  everything downstream still vectorizes.
+
+Execution is two-phase so a bailout is always safe:
 
 * **prepare** (pure): resolve bindings, strides and trip count, bounds-check
-  every index, check aliasing, gather memory operands, and evaluate every
-  body expression as whole-iteration-space numpy arrays.  Interval analysis
-  rides along: any intermediate whose int64 bounds could overflow, or whose
-  int->float conversion could lose bits (|v| >= 2**53), raises a
-  :class:`Bailout` before anything was mutated.
+  every index, evaluate all groups, then alias-check every pair of
+  progressions that the graph could not relate statically.  Nothing is
+  mutated; any :class:`Bailout` simply falls back to the interpreter.
 * **commit**: scatter final memory values, finalize registers, and
   bulk-append the event rows — LOOP_ITER markers plus every access of every
-  iteration, in exactly the interpreter's order — through
-  ``TraceBuilder.append_rows``.
+  iteration, in exactly the interpreter's order.
 
 The contract (enforced by the differential-oracle tests) is *bit-for-bit*
 trace equality with the interpreted path and value-identical memory, so any
@@ -48,6 +49,18 @@ from typing import TYPE_CHECKING, Any, Iterator
 import numpy as np
 
 from repro.minivm import astnodes as ast
+from repro.minivm.depgraph import (
+    AFFINE,
+    DYNAMIC,
+    SLOT,
+    DependencyGraph,
+    GroupScheduler,
+    MemoryRef,
+    REDUCTION_OPS,
+    StmtGroup,
+    StmtNode,
+    loop_verdict,
+)
 from repro.minivm.memory import ELEM_SIZE, Memory
 from repro.trace.events import LOOP_ITER, READ, WRITE
 
@@ -64,7 +77,8 @@ _INT62 = 1 << 62
 _EXACT_FLOAT = 1 << 53  # ints below this round-trip through float64
 
 #: Unary operators with numpy equivalents proven bit-identical to the
-#: interpreter's scalar semantics.  ``sin``/``cos`` are deliberately absent.
+#: interpreter's scalar semantics.  ``sin``/``cos`` are deliberately absent
+#: (vector groups reject them; the sequential lane replays libm itself).
 _ALLOWED_UNOPS = frozenset({"-", "not", "int", "abs", "sqrt"})
 
 
@@ -92,6 +106,17 @@ class _VecVal:
         self.lo = lo
         self.hi = hi
         self.kind = kind
+
+
+class _SeqVal:
+    """Per-iteration values from the sequential lane: exact Python scalars
+    (kept raw so per-element types — int vs float — survive the round trip
+    to memory and registers)."""
+
+    __slots__ = ("vals",)
+
+    def __init__(self, vals: list) -> None:
+        self.vals = vals
 
 
 def _is_scalar(v: Any) -> bool:
@@ -299,44 +324,6 @@ def _vec_unop(op: str, a: _VecVal) -> _VecVal:
 # ---------------------------------------------------------------------------
 
 
-class _Access:
-    """One trace-event-emitting memory access per iteration (a slot)."""
-
-    __slots__ = ("kind", "var", "index", "line", "stmt_idx")
-
-    def __init__(
-        self,
-        kind: int,
-        var: ast.Variable,
-        index: ast.Expr | None,
-        line: int,
-        stmt_idx: int,
-    ) -> None:
-        self.kind = kind
-        self.var = var
-        self.index = index
-        self.line = line
-        self.stmt_idx = stmt_idx
-
-
-class _StmtPlan:
-    """A classified body statement: SetReg (target_reg) or Store (store)."""
-
-    __slots__ = ("target_reg", "store", "expr", "loads")
-
-    def __init__(
-        self,
-        target_reg: str | None,
-        store: _Access | None,
-        expr: ast.Expr,
-        loads: list[_Access],
-    ) -> None:
-        self.target_reg = target_reg
-        self.store = store
-        self.expr = expr
-        self.loads = loads
-
-
 def _degree(e: ast.Expr, ind: str, body_regs: set[str]) -> int | None:
     """Polynomial degree of ``e`` in the induction register (0 or 1), or
     ``None`` where linearity cannot be proven statically."""
@@ -378,22 +365,27 @@ def _contains_load(e: ast.Expr) -> bool:
     return False
 
 
-def _scan_index(
+def _index_shape(
     idx: ast.Expr | None, ind: str, body_regs: set[str]
-) -> str | None:
+) -> tuple[str | None, str | None]:
+    """Classify an index expression's address progression shape."""
     if idx is None:
-        return None
-    if _degree(idx, ind, body_regs) is None:
-        return "indirect_index" if _contains_load(idx) else "nonaffine_index"
-    return None
+        return SLOT, None
+    d = _degree(idx, ind, body_regs)
+    if d == 0:
+        return SLOT, None
+    if d == 1:
+        return AFFINE, None
+    if _contains_load(idx):
+        return None, "indirect_index"
+    return DYNAMIC, None
 
 
 def _scan_value(
     e: ast.Expr,
     ind: str,
     body_regs: set[str],
-    defined: set[str],
-    loads: list[_Access],
+    loads: list[MemoryRef],
     stmt_idx: int,
     line: int,
 ) -> str | None:
@@ -402,23 +394,21 @@ def _scan_value(
     if isinstance(e, ast.Const):
         return None if isinstance(e.value, (int, float)) else "const_type"
     if isinstance(e, ast.Reg):
-        if e.name != ind and e.name in body_regs and e.name not in defined:
-            return "carried_register"
-        return None
+        return None  # bindings (incl. loop-carried reads) resolve in the graph
     if isinstance(e, ast.Load):
-        r = _scan_index(e.index, ind, body_regs)
-        if r:
-            return r
-        loads.append(_Access(READ, e.var, e.index, line, stmt_idx))
+        shape, reason = _index_shape(e.index, ind, body_regs)
+        if reason:
+            return reason
+        loads.append(MemoryRef(READ, e.var, e.index, line, stmt_idx, shape))
         return None
     if isinstance(e, ast.BinOp):
         return _scan_value(
-            e.lhs, ind, body_regs, defined, loads, stmt_idx, line
-        ) or _scan_value(e.rhs, ind, body_regs, defined, loads, stmt_idx, line)
+            e.lhs, ind, body_regs, loads, stmt_idx, line
+        ) or _scan_value(e.rhs, ind, body_regs, loads, stmt_idx, line)
     if isinstance(e, ast.UnOp):
-        if e.op not in _ALLOWED_UNOPS:
-            return "libm_op"
-        return _scan_value(e.operand, ind, body_regs, defined, loads, stmt_idx, line)
+        if e.op not in ast._UNOPS:
+            return "expr_type"
+        return _scan_value(e.operand, ind, body_regs, loads, stmt_idx, line)
     return "expr_type"
 
 
@@ -429,33 +419,60 @@ def classify_loop(loop: ast.For) -> "tuple[AffineTemplate | None, str | None]":
     body_regs = {s.reg.name for s in loop.body if isinstance(s, ast.SetReg)}
     if ind in body_regs:
         return None, "induction_reassigned"
-    defined: set[str] = set()
-    stmts: list[_StmtPlan] = []
-    accesses: list[_Access] = []
+    nodes: list[StmtNode] = []
+    accesses: list[MemoryRef] = []
     for si, s in enumerate(loop.body):
         if isinstance(s, ast.SetReg):
-            loads: list[_Access] = []
-            reason = _scan_value(s.expr, ind, body_regs, defined, loads, si, s.line)
+            loads: list[MemoryRef] = []
+            reason = _scan_value(s.expr, ind, body_regs, loads, si, s.line)
             if reason:
                 return None, reason
-            stmts.append(_StmtPlan(s.reg.name, None, s.expr, loads))
-            accesses.extend(loads)
-            defined.add(s.reg.name)
+            node = StmtNode(si, s.line, s.reg.name, None, s.expr, loads)
         elif isinstance(s, ast.Store):
             loads = []
-            reason = _scan_value(s.expr, ind, body_regs, defined, loads, si, s.line)
+            reason = _scan_value(s.expr, ind, body_regs, loads, si, s.line)
             if reason:
                 return None, reason
-            reason = _scan_index(s.index, ind, body_regs)
+            shape, reason = _index_shape(s.index, ind, body_regs)
             if reason:
                 return None, reason
-            w = _Access(WRITE, s.var, s.index, s.line, si)
-            stmts.append(_StmtPlan(None, w, s.expr, loads))
-            accesses.extend(loads)
-            accesses.append(w)
+            w = MemoryRef(WRITE, s.var, s.index, s.line, si, shape)
+            node = StmtNode(si, s.line, None, w, s.expr, loads)
         else:
             return None, f"stmt:{type(s).__name__.lower()}"
-    return AffineTemplate(loop, ind, stmts, accesses), None
+        nodes.append(node)
+        accesses.extend(node.loads)
+        if node.store is not None:
+            accesses.append(node.store)
+    graph = DependencyGraph(ind, nodes)
+    groups, reason = GroupScheduler(graph).schedule()
+    if groups is None:
+        return None, reason
+    verdict = loop_verdict(graph, groups)
+    return AffineTemplate(loop, ind, nodes, accesses, graph, groups, verdict), None
+
+
+#: Structural-classification memo shared across interpreter instances:
+#: (program structural hash, loop header line) -> (template, reject reason).
+#: Templates hold no per-execution state, so reuse across runs (and across
+#: structurally identical programs) is safe.
+_CLASSIFY_MEMO: dict[tuple, "tuple[AffineTemplate | None, str | None]"] = {}
+_CLASSIFY_MEMO_MAX = 1024
+
+
+def classify_loop_cached(
+    program: "Program", loop: ast.For
+) -> "tuple[AffineTemplate | None, str | None, bool]":
+    """Memoized :func:`classify_loop`; third element reports a memo hit."""
+    key = (program.structural_hash, loop.line)
+    hit = _CLASSIFY_MEMO.get(key)
+    if hit is not None:
+        return hit[0], hit[1], True
+    tmpl, reason = classify_loop(loop)
+    if len(_CLASSIFY_MEMO) >= _CLASSIFY_MEMO_MAX:
+        _CLASSIFY_MEMO.clear()
+    _CLASSIFY_MEMO[key] = (tmpl, reason)
+    return tmpl, reason, False
 
 
 def program_has_spawn(program: "Program") -> bool:
@@ -483,11 +500,15 @@ def program_has_spawn(program: "Program") -> bool:
 class _Resolved:
     """Per-execution resolution of one access: concrete progression."""
 
-    __slots__ = ("addr0", "astride", "gathered")
+    __slots__ = ("shape", "base", "size", "addr0", "astride", "addrs", "gathered")
 
-    def __init__(self, addr0: int, astride: int) -> None:
-        self.addr0 = addr0
-        self.astride = astride
+    def __init__(self, shape: str, base: int, size: int) -> None:
+        self.shape = shape
+        self.base = base
+        self.size = size
+        self.addr0 = base
+        self.astride = 0
+        self.addrs: np.ndarray | None = None  # dynamic shapes only
         self.gathered: _VecVal | None = None
 
     def span(self, n_iters: int) -> tuple[int, int]:
@@ -495,27 +516,57 @@ class _Resolved:
         return (min(self.addr0, last), max(self.addr0, last))
 
 
-class _Plan:
-    """Everything the pure prepare phase computed, ready to commit."""
+class _Ctx:
+    """Everything the pure prepare phase computes, ready to commit."""
 
-    __slots__ = ("n_iters", "k", "start", "step", "res", "env", "store_vals")
+    __slots__ = (
+        "interp",
+        "act",
+        "n",
+        "k",
+        "start",
+        "step",
+        "ind_val",
+        "res",
+        "reg_post",
+        "store_post",
+        "dyn_addrs",
+        "overlays",
+        "_lists",
+    )
 
-    def __init__(self, n_iters, k, start, step, res, env, store_vals) -> None:
-        self.n_iters = n_iters
+    def __init__(self, interp, act, n, k, start, step, ind_val) -> None:
+        self.interp = interp
+        self.act = act
+        self.n = n
         self.k = k
         self.start = start
         self.step = step
-        self.res = res
-        self.env = env
-        self.store_vals = store_vals
+        self.ind_val = ind_val
+        self.res: dict[int, _Resolved] = {}
+        self.reg_post: dict[int, Any] = {}  # def stmt idx -> value
+        self.store_post: dict[int, Any] = {}  # store stmt idx -> value
+        self.dyn_addrs: dict[tuple, np.ndarray] = {}  # access key -> addrs
+        self.overlays: list[dict[int, Any]] = []  # sequential-group writes
+        self._lists: dict[int, list] = {}
+
+    def as_list(self, v: Any) -> list:
+        """Exact Python-scalar view of a per-iteration value (memoized)."""
+        got = self._lists.get(id(v))
+        if got is None:
+            if isinstance(v, _SeqVal):
+                got = v.vals
+            elif _is_scalar(v.val):
+                got = [v.val] * self.n
+            else:
+                got = v.val.tolist()
+            self._lists[id(v)] = got
+        return got
 
 
-def _gather(mem: Memory, r: _Resolved, n_iters: int) -> _VecVal:
-    if r.astride == 0:
-        v = mem.read(r.addr0)
-        return _scalar_val(v)
-    addrs = range(r.addr0, r.addr0 + r.astride * n_iters, r.astride)
-    vals = mem.read_block(addrs)
+def _vals_to_vec(vals: list) -> _VecVal:
+    """Exact numpy conversion of Python scalars; mixed or bool-typed element
+    lists bail (numpy would silently unify the per-element types)."""
     kinds = set(map(type, vals))
     if kinds == {int}:
         try:
@@ -527,6 +578,122 @@ def _gather(mem: Memory, r: _Resolved, n_iters: int) -> _VecVal:
         arr = np.array(vals, dtype=np.float64)
         return _VecVal(arr, float(arr.min()), float(arr.max()), "f")
     raise Bailout("mixed_types")
+
+
+def _as_vec(v: Any, n: int) -> _VecVal:
+    return v if isinstance(v, _VecVal) else _vals_to_vec(v.vals)
+
+
+def _pre_vec(post: Any, init: Any, n: int) -> _VecVal:
+    """Previous-iteration view of a slot's per-iteration post-values:
+    ``[init, post[0], ..., post[n-2]]``."""
+    if type(init) is bool:
+        raise Bailout("value_type")
+    if isinstance(post, _SeqVal):
+        return _vals_to_vec([init] + post.vals[:-1])
+    v = post.val
+    if _is_scalar(v):
+        return _vals_to_vec([init] + [v] * (n - 1))
+    if post.kind == "i":
+        if type(init) is not int:
+            raise Bailout("mixed_types")
+        arr = np.empty(n, dtype=np.int64)
+        try:
+            arr[0] = init
+        except OverflowError:
+            raise Bailout("overflow_risk") from None
+        arr[1:] = v[:-1]
+        return _VecVal(arr, min(post.lo, init), max(post.hi, init), "i")
+    if type(init) is not float:
+        raise Bailout("mixed_types")
+    arr = np.empty(n, dtype=np.float64)
+    arr[0] = init
+    arr[1:] = v[:-1]
+    return _VecVal(arr, min(post.lo, init), max(post.hi, init), "f")
+
+
+def _gather(mem: Memory, r: _Resolved, n_iters: int) -> _VecVal:
+    if r.astride == 0:
+        return _scalar_val(mem.read(r.addr0))
+    addrs = range(r.addr0, r.addr0 + r.astride * n_iters, r.astride)
+    return _vals_to_vec(mem.read_block(addrs))
+
+
+def _raw_list(val: Any, n: int) -> list:
+    if isinstance(val, _SeqVal):
+        return val.vals
+    v = val.val
+    if _is_scalar(v):
+        return [v] * n
+    return v.tolist()
+
+
+def _last_raw(val: Any) -> Any:
+    if isinstance(val, _SeqVal):
+        return val.vals[-1]
+    v = val.val
+    return v if _is_scalar(v) else v[-1].item()
+
+
+def _accumulate(op: str, init: Any, term: _VecVal, n: int) -> _VecVal:
+    """Exact reduction lowering: ``ufunc.accumulate`` is a sequential left
+    fold, i.e. the interpreter's own evaluation order, so int and IEEE-float
+    prefix values are bit-identical.  Int paths carry conservative prefix
+    bounds (int64 wraps silently); float min/max refuses NaN (numpy and
+    Python disagree on NaN propagation)."""
+    if type(init) is bool:
+        raise Bailout("value_type")
+    init_f = isinstance(init, float)
+    if op in ("min", "max"):
+        if init_f != (term.kind == "f"):
+            raise Bailout("mixed_minmax")
+        if term.kind == "f":
+            if init != init:
+                raise Bailout("nan_minmax")
+            tv = term.val
+            if _is_scalar(tv):
+                if tv != tv:
+                    raise Bailout("nan_minmax")
+            elif np.isnan(tv).any():
+                raise Bailout("nan_minmax")
+            dtype, kind = np.float64, "f"
+        else:
+            _check_int_bounds(term.lo, term.hi)
+            _check_int_bounds(init, init)
+            dtype, kind = np.int64, "i"
+        lo, hi = min(init, term.lo), max(init, term.hi)
+    else:  # + - *
+        kind = "f" if (init_f or term.kind == "f") else "i"
+        if kind == "f":
+            _check_exact(term)
+            if not init_f and abs(init) >= _EXACT_FLOAT:
+                raise Bailout("precision_risk")
+            dtype = np.float64
+            lo, hi = -math.inf, math.inf
+        else:
+            dtype = np.int64
+            if op == "+":
+                lo = init + n * min(term.lo, 0)
+                hi = init + n * max(term.hi, 0)
+            elif op == "-":
+                lo = init - n * max(term.hi, 0)
+                hi = init - n * min(term.lo, 0)
+            else:  # *
+                maxt = max(abs(term.lo), abs(term.hi))
+                if maxt <= 1:
+                    m = max(abs(init), 1)
+                else:
+                    bits = abs(init).bit_length() + n * maxt.bit_length()
+                    if bits > 62:
+                        raise Bailout("overflow_risk")
+                    m = 1 << bits
+                lo, hi = -m, m
+            _check_int_bounds(lo, hi)
+    seq = np.empty(n + 1, dtype=dtype)
+    seq[0] = init
+    seq[1:] = term.val
+    full = getattr(np, REDUCTION_OPS[op]).accumulate(seq)
+    return _VecVal(full[1:], lo, hi, kind)
 
 
 def _pure_eval(expr: ast.Expr, regs: dict) -> Any:
@@ -543,28 +710,52 @@ def _pure_eval(expr: ast.Expr, regs: dict) -> Any:
 
 
 class AffineTemplate:
-    """A compiled affine loop: executes the whole iteration space at once."""
+    """A compiled loop: a dependence-scheduled sequence of statement groups
+    executing the whole iteration space at once."""
 
-    __slots__ = ("loop", "ind", "stmts", "accesses")
+    __slots__ = (
+        "loop",
+        "ind",
+        "nodes",
+        "accesses",
+        "graph",
+        "groups",
+        "verdict",
+        "_seq_stmts",
+        "_seq_group_of",
+    )
 
     def __init__(
         self,
         loop: ast.For,
         ind: str,
-        stmts: list[_StmtPlan],
-        accesses: list[_Access],
+        nodes: list[StmtNode],
+        accesses: list[MemoryRef],
+        graph: DependencyGraph,
+        groups: list[StmtGroup],
+        verdict: str,
     ) -> None:
         self.loop = loop
         self.ind = ind
-        self.stmts = stmts
+        self.nodes = nodes
         self.accesses = accesses
+        self.graph = graph
+        self.groups = groups
+        self.verdict = verdict
+        self._seq_stmts: set[int] = set()
+        self._seq_group_of: dict[int, int] = {}
+        for gi, grp in enumerate(groups):
+            if grp.mode == "sequential":
+                for si in grp.stmts:
+                    self._seq_stmts.add(si)
+                    self._seq_group_of[si] = gi
 
     @property
     def events_per_iteration(self) -> int:
         return 1 + len(self.accesses)  # LOOP_ITER + every access
 
     # -- phase A: pure -----------------------------------------------------
-    def _prepare(self, interp, act, start: int, end: int, step: int) -> _Plan:
+    def _prepare(self, interp, act, start: int, end: int, step: int) -> _Ctx:
         for v in (start, end, step):
             if not isinstance(v, int):
                 raise Bailout("nonint_bounds")
@@ -579,134 +770,383 @@ class AffineTemplate:
             raise Bailout("overflow_risk")
         k = np.arange(n_iters, dtype=np.int64)
         ind_val = _VecVal(start + step * k, min(start, last), max(start, last), "i")
+        ctx = _Ctx(interp, act, n_iters, k, start, step, ind_val)
 
-        # Resolve every access to a concrete (addr0, stride) progression and
-        # bounds-check the whole iteration space.
+        # Resolve every slot/affine access to a concrete (addr0, stride)
+        # progression and bounds-check the whole iteration space; dynamic
+        # shapes resolve later, during group evaluation.
         regs0 = dict(act.regs)
         regs0[self.ind] = start
         regs1 = dict(act.regs)
         regs1[self.ind] = start + step
-        res: dict[int, _Resolved] = {}
         for acc in self.accesses:
             base, size = interp._binding(act, acc.var)
-            if acc.index is None:
-                e0 = stride = 0
-            else:
+            r = _Resolved(acc.shape, base, size)
+            if acc.shape == SLOT and acc.index is not None:
+                e0 = _pure_eval(acc.index, regs0)
+                if not isinstance(e0, int):
+                    raise Bailout("nonint_index")
+                if not 0 <= e0 < size:
+                    raise Bailout("oob_index")
+                r.addr0 = base + ELEM_SIZE * e0
+            elif acc.shape == AFFINE:
                 e0 = _pure_eval(acc.index, regs0)
                 e1 = _pure_eval(acc.index, regs1)
                 if not isinstance(e0, int) or not isinstance(e1, int):
                     raise Bailout("nonint_index")
                 stride = e1 - e0
+                if stride == 0:
+                    # A statically-moving progression that degenerates at
+                    # runtime would invalidate the slot/forwarding model.
+                    raise Bailout("degenerate_stride")
                 e_last = e0 + stride * (n_iters - 1)
                 if not (0 <= e0 < size and 0 <= e_last < size):
                     raise Bailout("oob_index")
-            res[id(acc)] = _Resolved(base + ELEM_SIZE * e0, ELEM_SIZE * stride)
+                r.addr0 = base + ELEM_SIZE * e0
+                r.astride = ELEM_SIZE * stride
+            ctx.res[id(acc)] = r
 
-        # Dependence checks: stores pairwise disjoint; a load may overlap a
-        # store only on the identical moving progression, gather-first.
-        writes = [a for a in self.accesses if a.kind == WRITE]
-        reads = [a for a in self.accesses if a.kind == READ]
-        spans = {i: r.span(n_iters) for i, r in res.items()}
-
-        def overlaps(a: _Access, b: _Access) -> bool:
-            (alo, ahi), (blo, bhi) = spans[id(a)], spans[id(b)]
-            return alo <= bhi and blo <= ahi
-
-        for i, w1 in enumerate(writes):
-            for w2 in writes[i + 1 :]:
-                if overlaps(w1, w2):
-                    raise Bailout("store_overlap")
-        for rd in reads:
-            rr = res[id(rd)]
-            for w in writes:
-                if not overlaps(rd, w):
-                    continue
-                rw = res[id(w)]
-                same = (
-                    rr.addr0 == rw.addr0
-                    and rr.astride == rw.astride
-                    and rr.astride != 0
-                )
-                if not (same and rd.stmt_idx <= w.stmt_idx):
-                    raise Bailout("loop_carried_alias")
-
-        # Vector-evaluate the body in statement order (gathers read pre-loop
-        # memory, which the alias checks above proved is what the
-        # interpreter's per-iteration reads would observe).
-        env: dict[str, _VecVal] = {}
-        store_vals: list[_VecVal | None] = [None] * len(self.stmts)
-        for si, sp in enumerate(self.stmts):
-            load_iter = iter(sp.loads)
-            val = self._veval(sp.expr, interp, act, env, ind_val, res, load_iter)
-            if sp.target_reg is not None:
-                env[sp.target_reg] = val
+        # Evaluate statement groups in dependence order.
+        for grp in self.groups:
+            if grp.mode == "vector":
+                self._eval_vector_stmt(self.nodes[grp.stmts[0]], ctx)
+            elif grp.mode == "reduction":
+                self._eval_reduction(grp, ctx)
             else:
-                store_vals[si] = val
-        return _Plan(n_iters, k, start, step, res, env, store_vals)
+                self._eval_sequential(grp, ctx)
+
+        # Forward-bound dynamic loads share their store's progression.
+        for acc in self.accesses:
+            r = ctx.res[id(acc)]
+            if r.shape == DYNAMIC and r.addrs is None:
+                r.addrs = ctx.dyn_addrs[acc.key]
+
+        self._alias_checks(ctx)
+        return ctx
+
+    # -- vector groups -----------------------------------------------------
+    def _eval_vector_stmt(self, node: StmtNode, ctx: _Ctx) -> None:
+        load_vals: dict[tuple, _VecVal] = {}
+        for ld in node.loads:
+            pair = (ld.var.name, ld.index)
+            if pair not in load_vals:
+                load_vals[pair] = self._load_value(ld, ctx, node, load_vals)
+        val = self._veval(node.expr, ctx, node, load_vals)
+        if node.target_reg is not None:
+            ctx.reg_post[node.idx] = val
+        else:
+            if node.store.shape == DYNAMIC:
+                self._resolve_dynamic(node.store, ctx, node, load_vals)
+            ctx.store_post[node.idx] = val
+
+    def _resolve_dynamic(
+        self, ref: MemoryRef, ctx: _Ctx, node: StmtNode, load_vals: dict
+    ) -> np.ndarray:
+        r = ctx.res[id(ref)]
+        if r.addrs is not None:
+            return r.addrs
+        cached = ctx.dyn_addrs.get(ref.key)
+        if cached is not None:
+            r.addrs = cached
+            return cached
+        iv = self._veval(ref.index, ctx, node, load_vals)
+        if iv.kind != "i":
+            raise Bailout("nonint_index")
+        v = iv.val
+        if _is_scalar(v):
+            idx = int(v)
+            if not 0 <= idx < r.size:
+                raise Bailout("oob_index")
+            addrs = np.full(ctx.n, r.base + ELEM_SIZE * idx, dtype=np.int64)
+        else:
+            if iv.lo < 0 or iv.hi >= r.size:
+                if (v < 0).any() or (v >= r.size).any():
+                    raise Bailout("oob_index")
+            addrs = r.base + ELEM_SIZE * v.astype(np.int64)
+        r.addrs = addrs
+        ctx.dyn_addrs[ref.key] = addrs
+        return addrs
+
+    def _load_value(
+        self, ld: MemoryRef, ctx: _Ctx, node: StmtNode, load_vals: dict
+    ) -> _VecVal:
+        b = ld.binding
+        if b[0] == "fwd":
+            return _as_vec(ctx.store_post[b[1]], ctx.n)
+        if b[0] == "pre":
+            r = ctx.res[id(ld)]
+            init = ctx.interp.mem.read(r.addr0)
+            return _pre_vec(ctx.store_post[b[1]], init, ctx.n)
+        r = ctx.res[id(ld)]
+        if r.shape == DYNAMIC:
+            addrs = self._resolve_dynamic(ld, ctx, node, load_vals)
+            if self.graph.mem_stores.get(ld.key):
+                # Read-before-write through a revisited address would observe
+                # a prior iteration's store; the gather reads pre-loop memory.
+                if np.unique(addrs).size != ctx.n:
+                    raise Bailout("dup_index")
+            return _vals_to_vec(ctx.interp.mem.read_block(addrs.tolist()))
+        if r.gathered is None:
+            r.gathered = _gather(ctx.interp.mem, r, ctx.n)
+        return r.gathered
 
     def _veval(
-        self,
-        e: ast.Expr,
-        interp,
-        act,
-        env: dict[str, _VecVal],
-        ind_val: _VecVal,
-        res: dict[int, _Resolved],
-        load_iter: Iterator[_Access],
+        self, e: ast.Expr, ctx: _Ctx, node: StmtNode, load_vals: dict
     ) -> _VecVal:
         if isinstance(e, ast.Const):
             return _scalar_val(e.value)
         if isinstance(e, ast.Reg):
             if e.name == self.ind:
-                return ind_val
-            v = env.get(e.name)
-            if v is not None:
-                return v
-            # Loop-invariant register: an unset one bails so the interpreter
-            # can raise its own error at the right event position.
-            return _scalar_val(act.regs[e.name])
+                return ctx.ind_val
+            b = node.reg_binds.get(e.name)
+            if b is None or b[0] == "inv":
+                # Loop-invariant register: an unset one bails so the
+                # interpreter can raise its error at the right position.
+                return _scalar_val(ctx.act.regs[e.name])
+            if b[0] == "post":
+                return _as_vec(ctx.reg_post[b[1]], ctx.n)
+            return _pre_vec(ctx.reg_post[b[1]], ctx.act.regs[e.name], ctx.n)
         if isinstance(e, ast.Load):
-            acc = next(load_iter)
-            r = res[id(acc)]
-            if r.gathered is None:
-                r.gathered = _gather(interp.mem, r, len(ind_val.val))
-            return r.gathered
+            return load_vals[(e.var.name, e.index)]
         if isinstance(e, ast.BinOp):
-            lhs = self._veval(e.lhs, interp, act, env, ind_val, res, load_iter)
-            rhs = self._veval(e.rhs, interp, act, env, ind_val, res, load_iter)
+            lhs = self._veval(e.lhs, ctx, node, load_vals)
+            rhs = self._veval(e.rhs, ctx, node, load_vals)
             return _vec_binop(e.op, lhs, rhs)
         if isinstance(e, ast.UnOp):
-            return _vec_unop(
-                e.op, self._veval(e.operand, interp, act, env, ind_val, res, load_iter)
+            return _vec_unop(e.op, self._veval(e.operand, ctx, node, load_vals))
+        raise Bailout("expr_type")
+
+    # -- reduction groups --------------------------------------------------
+    def _eval_reduction(self, grp: StmtGroup, ctx: _Ctx) -> None:
+        idx = grp.stmts[0]
+        node = self.nodes[idx]
+        red = grp.reduction
+        if red.slot_kind == "reg":
+            init = ctx.act.regs[red.slot_name]
+            skip = None
+        else:
+            r = ctx.res[id(red.self_load)]
+            init = ctx.interp.mem.read(r.addr0)
+            skip = (red.self_load.var.name, red.self_load.index)
+        load_vals: dict[tuple, _VecVal] = {}
+        for ld in node.loads:
+            pair = (ld.var.name, ld.index)
+            if pair == skip or pair in load_vals:
+                continue
+            load_vals[pair] = self._load_value(ld, ctx, node, load_vals)
+        term = self._veval(red.term, ctx, node, load_vals)
+        post = _accumulate(red.op, init, term, ctx.n)
+        if red.slot_kind == "reg":
+            ctx.reg_post[idx] = post
+        else:
+            ctx.store_post[idx] = post
+
+    # -- sequential groups -------------------------------------------------
+    def _eval_sequential(self, grp: StmtGroup, ctx: _Ctx) -> None:
+        """Exact scalar lane: replay the group's statements per iteration
+        with the interpreter's own operator tables.  In-group memory traffic
+        goes through an address-keyed overlay, which reproduces chronological
+        read/write interleavings (stencils, histograms) by construction."""
+        nodes = [self.nodes[i] for i in grp.stmts]
+        group = set(grp.stmts)
+        overlay: dict[int, Any] = {}
+        reg_state: dict[str, Any] = {}
+        outputs: dict[int, list] = {i: [] for i in grp.stmts}
+        dyn_logs: dict[int, tuple[MemoryRef, list]] = {}
+        mem = ctx.interp.mem
+        for k in range(ctx.n):
+            i_val = ctx.start + ctx.step * k
+            for node in nodes:
+                it = iter(node.loads)
+                v = self._seval(
+                    node.expr, node, ctx, k, i_val, group, reg_state, overlay,
+                    dyn_logs, it,
+                )
+                if node.target_reg is not None:
+                    reg_state[node.target_reg] = v
+                else:
+                    addr = self._seq_addr(
+                        node.store, node, ctx, k, i_val, group, reg_state,
+                        overlay, dyn_logs,
+                    )
+                    overlay[addr] = v
+                outputs[node.idx].append(v)
+        for i in grp.stmts:
+            node = self.nodes[i]
+            if node.target_reg is not None:
+                ctx.reg_post[i] = _SeqVal(outputs[i])
+            else:
+                ctx.store_post[i] = _SeqVal(outputs[i])
+        for ref, log in dyn_logs.values():
+            addrs = np.array(log, dtype=np.int64)
+            ctx.res[id(ref)].addrs = addrs
+            ctx.dyn_addrs.setdefault(ref.key, addrs)
+        ctx.overlays.append(overlay)
+        _ = mem  # overlay misses read through ctx.interp.mem in _seval
+
+    def _seq_addr(
+        self, ref, node, ctx, k, i_val, group, reg_state, overlay, dyn_logs
+    ) -> int:
+        r = ctx.res[id(ref)]
+        if r.shape != DYNAMIC:
+            return r.addr0 + r.astride * k
+        iv = self._seval(
+            ref.index, node, ctx, k, i_val, group, reg_state, overlay,
+            dyn_logs, iter(()),
+        )
+        idx = int(iv)  # the interpreter's _addr coercion
+        if not 0 <= idx < r.size:
+            raise Bailout("oob_index")
+        addr = r.base + ELEM_SIZE * idx
+        entry = dyn_logs.get(id(ref))
+        if entry is None:
+            entry = dyn_logs[id(ref)] = (ref, [])
+        entry[1].append(addr)
+        return addr
+
+    def _seval(
+        self, e, node, ctx, k, i_val, group, reg_state, overlay, dyn_logs,
+        load_iter: Iterator[MemoryRef],
+    ) -> Any:
+        if isinstance(e, ast.Const):
+            return e.value
+        if isinstance(e, ast.Reg):
+            if e.name == self.ind:
+                return i_val
+            b = node.reg_binds.get(e.name)
+            if b is None or b[0] == "inv":
+                return ctx.act.regs[e.name]
+            if b[1] in group:
+                # "post" reads see this iteration's def (textually earlier);
+                # "pre" reads happen before the def, so the state still holds
+                # last iteration's value (or the pre-loop register).
+                if b[0] == "post" or e.name in reg_state:
+                    return reg_state[e.name]
+                return ctx.act.regs[e.name]
+            lst = ctx.as_list(ctx.reg_post[b[1]])
+            if b[0] == "post":
+                return lst[k]
+            return lst[k - 1] if k else ctx.act.regs[e.name]
+        if isinstance(e, ast.Load):
+            ld = next(load_iter)
+            b = ld.binding
+            if b[0] == "fwd" and b[1] not in group:
+                return ctx.as_list(ctx.store_post[b[1]])[k]
+            if b[0] == "pre" and b[1] not in group:
+                if k == 0:
+                    return ctx.interp.mem.read(ctx.res[id(ld)].addr0)
+                return ctx.as_list(ctx.store_post[b[1]])[k - 1]
+            addr = self._seq_addr(
+                ld, node, ctx, k, i_val, group, reg_state, overlay, dyn_logs
+            )
+            if addr in overlay:
+                return overlay[addr]
+            return ctx.interp.mem.read(addr)
+        if isinstance(e, ast.BinOp):
+            lhs = self._seval(
+                e.lhs, node, ctx, k, i_val, group, reg_state, overlay,
+                dyn_logs, load_iter,
+            )
+            rhs = self._seval(
+                e.rhs, node, ctx, k, i_val, group, reg_state, overlay,
+                dyn_logs, load_iter,
+            )
+            return e.apply(lhs, rhs)
+        if isinstance(e, ast.UnOp):
+            return e.apply(
+                self._seval(
+                    e.operand, node, ctx, k, i_val, group, reg_state, overlay,
+                    dyn_logs, load_iter,
+                )
             )
         raise Bailout("expr_type")
 
-    # -- phase B: commit ---------------------------------------------------
-    def _commit(self, interp, act, tid: int, site: int, plan: _Plan) -> None:
-        mem = interp.mem
-        n_iters, k = plan.n_iters, plan.k
-
-        # Scatter stores (progressions are pairwise disjoint; a stride-0
-        # store keeps only its last value, like the interpreter would).
-        for sp, val in zip(self.stmts, plan.store_vals):
-            if sp.store is None:
+    # -- alias checks (end of prepare, still pure) -------------------------
+    def _alias_checks(self, ctx: _Ctx) -> None:
+        """Pairwise checks between *different* progressions of one array.
+        Gathers read pre-loop memory regardless of evaluation order, so
+        running these after group evaluation is safe — nothing was mutated.
+        Pairs inside one sequential group are exempt: the overlay reproduces
+        their chronological interleaving exactly."""
+        by_var: dict[str, list[MemoryRef]] = {}
+        for ref in self.accesses:
+            by_var.setdefault(ref.var.name, []).append(ref)
+        for refs in by_var.values():
+            if not any(r.is_store for r in refs):
                 continue
-            r = plan.res[id(sp.store)]
-            v = val.val
-            if r.astride == 0:
-                mem.write(r.addr0, v if _is_scalar(v) else v[-1].item())
+            for i, a in enumerate(refs):
+                for b in refs[i + 1 :]:
+                    if not (a.is_store or b.is_store) or a.key == b.key:
+                        continue
+                    ga = self._seq_group_of.get(a.stmt_idx)
+                    if ga is not None and ga == self._seq_group_of.get(b.stmt_idx):
+                        continue
+                    self._check_pair(ctx, a, b)
+
+    def _check_pair(self, ctx: _Ctx, a: MemoryRef, b: MemoryRef) -> None:
+        ra, rb = ctx.res[id(a)], ctx.res[id(b)]
+        both_store = a.is_store and b.is_store
+        reason = "store_overlap" if both_store else "loop_carried_alias"
+        if ra.shape == DYNAMIC or rb.shape == DYNAMIC:
+            if np.intersect1d(_addr_set(ctx, ra), _addr_set(ctx, rb)).size:
+                raise Bailout(reason)
+            return
+        (alo, ahi), (blo, bhi) = ra.span(ctx.n), rb.span(ctx.n)
+        if ahi < blo or bhi < alo:
+            return
+        if ra.astride == rb.astride:
+            if ra.astride == 0:
+                if ra.addr0 == rb.addr0:
+                    raise Bailout(reason)
+                return
+            if ra.addr0 == rb.addr0:
+                # Identical progression under different structural keys.
+                if both_store:
+                    return  # per-statement scatter order matches stmt order
+                ld, st = (a, b) if b.is_store else (b, a)
+                if ld.binding == ("init",) and ld.stmt_idx <= st.stmt_idx:
+                    return  # element k is read before iteration k writes it
+                raise Bailout(reason)
+            if (ra.addr0 - rb.addr0) % abs(ra.astride) == 0:
+                raise Bailout(reason)  # nonzero loop-carried distance
+            return  # interleaved progressions never meet
+        if np.intersect1d(_addr_set(ctx, ra), _addr_set(ctx, rb)).size:
+            raise Bailout(reason)
+
+    # -- phase B: commit ---------------------------------------------------
+    def _commit(self, interp, act, tid: int, site: int, ctx: _Ctx) -> None:
+        mem = interp.mem
+        n_iters, k = ctx.n, ctx.k
+
+        # Scatter stores (cross-progression overlap was alias-checked; a
+        # slot store keeps only its last value, like the interpreter would).
+        for node in self.nodes:
+            if node.store is None or node.idx in self._seq_stmts:
+                continue
+            r = ctx.res[id(node.store)]
+            val = ctx.store_post[node.idx]
+            if r.shape == DYNAMIC:
+                # dict.update keeps the *last* pair per address, which is
+                # exactly iteration order within one statement.
+                mem.write_block(r.addrs.tolist(), _raw_list(val, n_iters))
+            elif r.astride == 0:
+                mem.write(r.addr0, _last_raw(val))
             else:
                 addrs = range(r.addr0, r.addr0 + r.astride * n_iters, r.astride)
-                if _is_scalar(v):
-                    mem.write_block(addrs, itertools.repeat(v, n_iters))
+                if isinstance(val, _VecVal) and _is_scalar(val.val):
+                    mem.write_block(addrs, itertools.repeat(val.val, n_iters))
                 else:
-                    mem.write_block(addrs, v.tolist())
+                    mem.write_block(addrs, _raw_list(val, n_iters))
+        # Sequential groups committed their chronology into the overlay,
+        # whose insertion order is the interpreter's own write order.
+        for overlay in ctx.overlays:
+            if overlay:
+                mem.write_block(overlay.keys(), overlay.values())
 
         # Registers end exactly as after the last interpreted iteration.
-        act.regs[self.ind] = plan.start + plan.step * (n_iters - 1)
-        for name, val in plan.env.items():
-            v = val.val
-            act.regs[name] = v if _is_scalar(v) else v[-1].item()
+        act.regs[self.ind] = ctx.start + ctx.step * (n_iters - 1)
+        for name, defs in self.graph.reg_defs.items():
+            act.regs[name] = _last_raw(ctx.reg_post[defs[-1]])
 
         # Synthesize the event block: iteration-major tiling of the per-
         # iteration slot pattern [LOOP_ITER, access, access, ...].  Variable
@@ -724,11 +1164,14 @@ class AffineTemplate:
         addr[:, 0] = site
         aux[:, 0] = k
         for j, acc in enumerate(self.accesses, start=1):
-            r = plan.res[id(acc)]
+            r = ctx.res[id(acc)]
             kind_pat[j] = acc.kind
             loc_pat[j] = interp.loc(acc.line)
             var_pat[j] = interp._var_id(acc.var.name)
-            addr[:, j] = r.addr0 + r.astride * k
+            if r.shape == DYNAMIC:
+                addr[:, j] = r.addrs
+            else:
+                addr[:, j] = r.addr0 + r.astride * k
         interp.gate.emit_block(
             tid,
             site,
@@ -754,16 +1197,24 @@ class AffineTemplate:
         """Try to run the whole loop vectorized; ``False`` means nothing was
         mutated and the caller must interpret the loop normally."""
         try:
-            plan = self._prepare(interp, act, start, end, step)
+            ctx = self._prepare(interp, act, start, end, step)
         except Bailout as b:
             stats.bailout(b.reason)
             return False
         except Exception as exc:  # interpreter reproduces the error in place
             stats.bailout(f"error:{type(exc).__name__}")
             return False
-        self._commit(interp, act, tid, site, plan)
-        stats.hit(plan.n_iters, plan.n_iters * self.events_per_iteration)
+        self._commit(interp, act, tid, site, ctx)
+        stats.hit(ctx.n, ctx.n * self.events_per_iteration)
         return True
+
+
+def _addr_set(ctx: _Ctx, r: _Resolved) -> np.ndarray:
+    if r.shape == DYNAMIC:
+        return r.addrs
+    if r.astride == 0:
+        return np.array([r.addr0], dtype=np.int64)
+    return r.addr0 + r.astride * ctx.k
 
 
 # ---------------------------------------------------------------------------
@@ -779,25 +1230,34 @@ class FastPathStats:
         "iterations",
         "events",
         "templates",
+        "memo_hits",
         "rejects",
         "bailouts",
+        "verdicts",
     )
 
     def __init__(self) -> None:
         self.loops = 0  # loop executions taken by the fast path
         self.iterations = 0
         self.events = 0  # trace rows synthesized in bulk
-        self.templates = 0  # loops that classified as affine
+        self.templates = 0  # loops that classified as schedulable
+        self.memo_hits = 0  # classifications served from the structural memo
         self.rejects: dict[str, int] = {}  # static, once per loop site
         self.bailouts: dict[str, int] = {}  # dynamic, once per execution
+        self.verdicts: dict[str, int] = {}  # static verdicts of compiled loops
 
     def hit(self, n_iters: int, n_rows: int) -> None:
         self.loops += 1
         self.iterations += n_iters
         self.events += n_rows
 
-    def compiled(self) -> None:
+    def compiled(self, verdict: str | None = None) -> None:
         self.templates += 1
+        if verdict is not None:
+            self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+
+    def memo_hit(self) -> None:
+        self.memo_hits += 1
 
     def reject(self, reason: str) -> None:
         self.rejects[reason] = self.rejects.get(reason, 0) + 1
@@ -813,7 +1273,19 @@ class FastPathStats:
         c("producer.fastpath_loops").inc(self.loops)
         c("producer.fastpath_iterations").inc(self.iterations)
         c("producer.templates_compiled").inc(self.templates)
+        c("producer.classify_cache_hits").inc(self.memo_hits)
+        for verdict, n in sorted(self.verdicts.items()):
+            c("producer.loop_verdicts", verdict=verdict).inc(n)
         for reason, n in sorted(self.rejects.items()):
             c("producer.template_rejects", reason=reason).inc(n)
         for reason, n in sorted(self.bailouts.items()):
             c("producer.fastpath_bailouts", reason=reason).inc(n)
+        # Coverage over everything this registry has accumulated so far —
+        # the headline fastpath-events / total-events ratio as a first-class
+        # metric instead of a hand-derived number.
+        fast = c("producer.events_fastpath").value
+        slow = c("producer.events_interpreted").value
+        total = fast + slow
+        registry.gauge("producer.fastpath_coverage").set(
+            fast / total if total else 0.0
+        )

@@ -144,12 +144,14 @@ class Interp:
         are unique and live as long as the program)."""
         cached = self._affine_cache.get(id(s))
         if cached is None:
-            tmpl, reason = affine.classify_loop(s)
+            tmpl, reason, memo_hit = affine.classify_loop_cached(self.prog, s)
+            if memo_hit:
+                self.fastpath_stats.memo_hit()
             if tmpl is None:
                 self.fastpath_stats.reject(reason)
                 cached = False
             else:
-                self.fastpath_stats.compiled()
+                self.fastpath_stats.compiled(tmpl.verdict)
                 cached = tmpl
             self._affine_cache[id(s)] = cached
         return cached or None

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 from repro.common.errors import MiniVmError
@@ -33,6 +34,26 @@ class Program:
     globals_: list[Variable] = field(default_factory=list)
     functions: dict[str, Function] = field(default_factory=dict)
     n_lines: int = 0
+
+    @property
+    def structural_hash(self) -> str:
+        """Stable digest of the program's structure (AST reprs are
+        deterministic dataclass reprs, no object addresses), memoized on the
+        instance.  Keys the cross-run loop-classification memo: two programs
+        with equal hashes have structurally identical loops."""
+        h = self.__dict__.get("_structural_hash")
+        if h is None:
+            parts = [self.name, str(self.file_id), str(self.n_lines)]
+            parts.extend(repr(v) for v in self.globals_)
+            for fname in sorted(self.functions):
+                fn = self.functions[fname]
+                parts.append(fname)
+                parts.append(repr(fn.params))
+                parts.append(repr(fn.locals_))
+                parts.extend(repr(s) for s in fn.body)
+            digest = hashlib.sha1("\x1f".join(parts).encode()).hexdigest()
+            h = self.__dict__["_structural_hash"] = digest
+        return h
 
     def function(self, name: str) -> Function:
         fn = self.functions.get(name)

@@ -242,15 +242,26 @@ class RunReport:
         fast = family("producer.events_fastpath")
         interp = family("producer.events_interpreted")
         total = fast + interp
+        coverage = self.gauges.get(
+            "producer.fastpath_coverage", fast / total if total else 0.0
+        )
+        verdicts = {
+            k.split('verdict="', 1)[1].rstrip('"}'): v
+            for k, v in self.counters.items()
+            if k.startswith("producer.loop_verdicts{")
+        }
         return {
             "events_total": total,
             "events_fastpath": fast,
             "events_interpreted": interp,
             "fastpath_fraction": fast / total if total else 0.0,
+            "fastpath_coverage": coverage,
             "fastpath_loops": family("producer.fastpath_loops"),
             "fastpath_iterations": family("producer.fastpath_iterations"),
             "templates_compiled": family("producer.templates_compiled"),
             "template_rejects": family("producer.template_rejects"),
+            "classify_cache_hits": family("producer.classify_cache_hits"),
+            "loop_verdicts": verdicts,
             "bailouts": family("producer.fastpath_bailouts"),
             "trace_cache_hits": family("producer.trace_cache_hits"),
             "trace_cache_misses": family("producer.trace_cache_misses"),
@@ -390,11 +401,17 @@ class RunReport:
         producer = self.producer_summary()
         if producer is not None:
             lines.append(
-                f"  producer: {producer['events_total']} events emitted "
-                f"({producer['fastpath_fraction'] * 100:.1f}% fast path), "
-                f"{producer['fastpath_loops']} affine loop executions vectorized, "
+                f"  producer: {producer['events_total']} events emitted, "
+                f"fastpath coverage {producer['fastpath_coverage'] * 100:.1f}%, "
+                f"{producer['fastpath_loops']} loop executions vectorized, "
                 f"{producer['bailouts']} bailouts"
             )
+            if producer["loop_verdicts"]:
+                pairs = ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(producer["loop_verdicts"].items())
+                )
+                lines.append(f"  loop verdicts: {pairs}")
         if self.provenance is not None:
             n_suspect = sum(1 for r in self.provenance if r["provenance"]["suspect_fp"])
             lines.append(

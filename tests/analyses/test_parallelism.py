@@ -170,3 +170,70 @@ class TestMixedRealisticKernel:
         cls = analyze_loops(res)
         site = encode_location(0, loop.line)
         assert not cls[site].parallelizable
+
+
+def build_pipeline():
+    """for i: a[i] = src[i]+1; c[i] = a[i-1]*2 — carried flow runs forward
+    between two stages and no stage feeds itself: DSWP-style pipeline."""
+    b = ProgramBuilder("pipeline")
+    src = b.global_array("src", 33)
+    a = b.global_array("a", 33)
+    c = b.global_array("c", 33)
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, 33):
+            f.store(src, i, i)
+        f.store(a, 0, 0)
+        with f.for_loop(i, 1, 33) as loop:
+            f.store(a, i, f.load(src, i) + 1)
+            f.store(c, i, f.load(a, i - 1) * 2)
+    return b.build(), {"loop": loop.line}
+
+
+class TestVerdicts:
+    """The four-way DOALL / reduction / pipeline / sequential classification
+    derived from the profiled dependences via the shared graph rule."""
+
+    def test_independent_is_doall(self):
+        cls, _, enc = classify(build_independent)
+        assert cls[enc["loop"]].verdict == "doall"
+
+    def test_reduction_verdict(self):
+        cls, _, enc = classify(build_reduction)
+        c = cls[enc["loop"]]
+        assert c.verdict == "reduction" and c.parallelizable
+
+    def test_recurrence_is_sequential(self):
+        cls, _, enc = classify(build_true_recurrence)
+        c = cls[enc["loop"]]
+        assert c.verdict == "sequential" and not c.parallelizable
+
+    def test_pipeline_detected(self):
+        cls, res, enc = classify(build_pipeline)
+        c = cls[enc["loop"]]
+        assert c.verdict == "pipeline"
+        assert not c.parallelizable  # not DOALL — but stage-parallel
+        assert "pipeline-parallel" in c.reason(res)
+
+    def test_privatizable_storage_reuse_stays_doall(self):
+        cls, _, enc = classify(build_privatizable)
+        assert cls[enc["loop"]].verdict == "doall"
+
+
+class TestBundledWorkloadVerdicts:
+    """Every verdict class is exercised by at least one bundled workload."""
+
+    def _verdicts(self, name):
+        from repro.workloads import get_trace
+
+        res = profile_trace(get_trace(name), PERFECT)
+        return {c.verdict for c in analyze_loops(res).values()}
+
+    def test_cg_has_doall_reduction_and_sequential_loops(self):
+        assert {"doall", "reduction", "sequential"} <= self._verdicts("cg")
+
+    def test_is_histogram_rank_is_a_pipeline(self):
+        assert "pipeline" in self._verdicts("is")
+
+    def test_rgbyuv_is_pure_doall(self):
+        assert self._verdicts("rgbyuv") == {"doall"}

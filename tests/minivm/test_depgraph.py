@@ -1,0 +1,299 @@
+"""Unit tests for the per-loop dependence-graph IR and group scheduler.
+
+These pin down the *static* layer in isolation: edge construction (RAW /
+WAR / WAW with distances and carried flags), load/register bindings, the
+Tarjan condensation, group-mode assignment, the reduction matcher, and the
+shared DOALL / reduction / pipeline / sequential verdict rule.  Runtime
+trace equality is covered by ``test_affine_fastpath.py``.
+"""
+
+from repro.minivm import ProgramBuilder
+from repro.minivm import affine
+from repro.minivm.astnodes import BinOp, For, UnOp
+from repro.minivm.depgraph import (
+    AFFINE,
+    DYNAMIC,
+    SLOT,
+    GroupScheduler,
+    _tarjan_sccs,
+    carried_graph_verdict,
+    loop_verdict,
+)
+
+
+def graph_of(body_fn, n=32, trip=16):
+    """Build a one-loop program, classify it, return its AffineTemplate."""
+    b = ProgramBuilder("depgraph-case")
+    arrs = {name: b.global_array(name, n) for name in ("a", "b", "c")}
+    arrs["s"] = b.global_scalar("s")
+    with b.function("main") as f:
+        i = f.reg("i")
+        with f.for_loop(i, 0, trip):
+            body_fn(f, i, arrs)
+    prog = b.build()
+    loop = next(s for s in prog.function("main").body if isinstance(s, For))
+    tmpl, reason = affine.classify_loop(loop)
+    assert tmpl is not None, f"unexpected rejection: {reason}"
+    return tmpl
+
+
+def edge_set(graph, dep=None):
+    return {
+        (e.src, e.dst, e.dep, e.carried, e.distance)
+        for e in graph.edges
+        if dep is None or e.dep == dep
+    }
+
+
+class TestTarjan:
+    def test_chain_is_singletons_in_reverse_topo(self):
+        sccs = _tarjan_sccs(3, {0: {1}, 1: {2}})
+        assert sccs == [[2], [1], [0]]
+
+    def test_cycle_condenses(self):
+        sccs = _tarjan_sccs(3, {0: {1}, 1: {0}, 2: {0}})
+        assert [2] in sccs and [0, 1] in sccs
+        # 2 feeds the cycle, so in reverse topo order the cycle comes first.
+        assert sccs.index([0, 1]) < sccs.index([2])
+
+    def test_self_loop_is_its_own_component(self):
+        assert _tarjan_sccs(1, {0: {0}}) == [[0]]
+
+    def test_disconnected_nodes_all_appear(self):
+        assert sorted(map(tuple, _tarjan_sccs(3, {}))) == [(0,), (1,), (2,)]
+
+
+class TestCarriedGraphVerdict:
+    def test_no_carried_edges_is_doall(self):
+        assert carried_graph_verdict(2, [(0, 1, False)]) == "doall"
+        assert carried_graph_verdict(3, []) == "doall"
+
+    def test_carried_forward_flow_is_pipeline(self):
+        # Stage 0 writes, stage 1 reads it next iteration: DSWP-able.
+        assert carried_graph_verdict(2, [(0, 1, True)]) == "pipeline"
+
+    def test_carried_self_cycle_is_sequential(self):
+        assert carried_graph_verdict(1, [(0, 0, True)]) == "sequential"
+
+    def test_carried_edge_inside_larger_cycle_is_sequential(self):
+        edges = [(0, 1, False), (1, 0, True)]
+        assert carried_graph_verdict(2, edges) == "sequential"
+
+
+class TestGraphConstruction:
+    def test_forwarded_intra_iteration_raw(self):
+        """a[i] = b[i]+1; c[i] = a[i]*2 — stmt1 loads stmt0's store."""
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["a"], i, f.load(v["b"], i) + 1),
+                f.store(v["c"], i, f.load(v["a"], i) * 2),
+            )
+        )
+        assert (0, 1, "RAW", False, 0) in edge_set(tmpl.graph, "RAW")
+        (ld,) = [ld for ld in tmpl.graph.nodes[1].loads if ld.var.name == "a"]
+        assert ld.binding == ("fwd", 0)
+        assert not [e for e in tmpl.graph.raw_edges() if e.carried]
+        assert tmpl.verdict == "doall"
+
+    def test_slot_recurrence_binds_to_previous_iteration(self):
+        """s = s + a[i] — the self-load sees last iteration's store."""
+        tmpl = graph_of(
+            lambda f, i, v: f.store(v["s"], None, f.load(v["s"]) + f.load(v["a"], i))
+        )
+        (node,) = tmpl.graph.nodes
+        (self_ld,) = [ld for ld in node.loads if ld.var.name == "s"]
+        assert self_ld.binding == ("pre", 0)
+        assert (0, 0, "RAW", True, 1) in edge_set(tmpl.graph, "RAW")
+        assert node.store.key in tmpl.graph.slot_keys
+
+    def test_access_shapes(self):
+        """Slot, affine, and dynamic index shapes are told apart statically."""
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["s"], None, f.load(v["a"], i)),
+                f.store(v["b"], i * 2 + 1, 7),
+                f.store(v["c"], i * i % 8, 1),
+            ),
+            trip=8,
+        )
+        shapes = {n.store.var.name: n.store.shape for n in tmpl.graph.nodes if n.store}
+        assert shapes == {"s": SLOT, "b": AFFINE, "c": DYNAMIC}
+
+    def test_cross_key_shift_gets_carried_distance(self):
+        """a[i] written, a[i-1] read elsewhere — carried RAW, distance 1."""
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["a"], i, f.load(v["b"], i)),
+                f.store(v["c"], i, f.load(v["a"], i - 1) * 2),
+            ),
+            trip=10,
+        )
+        assert (0, 1, "RAW", True, 1) in edge_set(tmpl.graph, "RAW")
+        assert tmpl.verdict == "pipeline"
+
+    def test_interleaved_progressions_do_not_alias(self):
+        """a[2i] written, a[2i+1] read: disjoint progressions, no edge."""
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["a"], i * 2, 1),
+                f.store(v["c"], i, f.load(v["a"], i * 2 + 1)),
+            ),
+            trip=10,
+        )
+        assert not [e for e in tmpl.graph.raw_edges() if e.carried]
+        assert tmpl.verdict == "doall"
+
+    def test_war_edge_on_load_before_store(self):
+        """c[i] read then written: anti-dependence only, still doall."""
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["a"], i, f.load(v["c"], i) + 1),
+                f.store(v["c"], i, 0),
+            )
+        )
+        assert (0, 1, "WAR", False, 0) in edge_set(tmpl.graph, "WAR")
+        assert tmpl.verdict == "doall"
+
+    def test_dynamic_load_before_store_gets_may_raw(self):
+        """Histogram shape: dynamic reads may revisit written cells, so the
+        graph adds a carried may-RAW (distance unknown) to stay safe."""
+        def body(f, i, v):
+            k = f.reg("k")
+            f.set(k, f.load(v["b"], i) % 8)
+            f.store(v["a"], k, f.load(v["a"], k) + 1)
+
+        tmpl = graph_of(body, trip=8)
+        assert any(
+            e.carried and e.distance is None for e in tmpl.graph.raw_edges()
+        )
+
+    def test_register_recurrence_carried_raw(self):
+        """x = x*3+1 before first def: distance-1 register recurrence."""
+        def body(f, i, v):
+            x = f.reg("x")
+            f.set(x, x * 3 + 1)
+            f.store(v["a"], i, x)
+
+        tmpl = graph_of(body)
+        assert (0, 0, "RAW", True, 1) in edge_set(tmpl.graph, "RAW")
+        assert (0, 1, "RAW", False, 0) in edge_set(tmpl.graph, "RAW")
+
+
+class TestGroupScheduler:
+    def test_independent_body_is_single_vector_wave(self):
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["a"], i, i * 2),
+                f.store(v["b"], i, i + 1),
+            )
+        )
+        assert [g.mode for g in tmpl.groups] == ["vector", "vector"]
+        assert tmpl.verdict == "doall"
+
+    def test_scalar_sum_is_reduction_group(self):
+        tmpl = graph_of(
+            lambda f, i, v: f.store(v["s"], None, f.load(v["s"]) + f.load(v["a"], i))
+        )
+        (grp,) = tmpl.groups
+        assert grp.mode == "reduction"
+        assert grp.reduction.op == "+"
+        assert grp.reduction.slot_kind == "mem"
+        assert tmpl.verdict == "reduction"
+
+    def test_register_product_is_reduction_group(self):
+        def body(f, i, v):
+            x = f.reg("x")
+            f.set(x, x * (i + 1))
+            f.store(v["a"], i, x)
+
+        tmpl = graph_of(body)
+        modes = [g.mode for g in tmpl.groups]
+        assert modes == ["reduction", "vector"]
+        assert tmpl.groups[0].reduction.slot_kind == "reg"
+        assert tmpl.verdict == "reduction"
+
+    def test_min_reduction_recognized(self):
+        tmpl = graph_of(
+            lambda f, i, v: f.store(
+                v["s"], None, BinOp("min", f.load(v["s"]), f.load(v["a"], i))
+            )
+        )
+        assert tmpl.groups[0].mode == "reduction"
+        assert tmpl.groups[0].reduction.op == "min"
+
+    def test_subtract_needs_self_on_lhs(self):
+        """s = a[i] - s is not a left-fold subtraction: sequential lane."""
+        tmpl = graph_of(
+            lambda f, i, v: f.store(v["s"], None, f.load(v["a"], i) - f.load(v["s"]))
+        )
+        assert tmpl.groups[0].mode == "sequential"
+        assert tmpl.verdict == "sequential"
+
+    def test_self_reference_inside_term_rejects_reduction(self):
+        """s = s + s*0 reads the slot twice — not a clean x = x ⊕ term."""
+        tmpl = graph_of(
+            lambda f, i, v: f.store(
+                v["s"], None, f.load(v["s"]) + f.load(v["s"]) * 0
+            )
+        )
+        assert tmpl.groups[0].mode == "sequential"
+
+    def test_multi_statement_cycle_is_one_sequential_group(self):
+        """Two statements feeding each other condense into one group."""
+        def body(f, i, v):
+            x = f.reg("x")
+            y = f.reg("y")
+            f.set(x, y + 1)  # reads y from previous iteration
+            f.set(y, x * 2)
+            f.store(v["a"], i, y)
+
+        tmpl = graph_of(body)
+        seq = [g for g in tmpl.groups if g.mode == "sequential"]
+        assert len(seq) == 1 and seq[0].stmts == [0, 1]
+        assert tmpl.verdict == "sequential"
+
+    def test_downstream_of_recurrence_still_vectorizes(self):
+        """An LCG chain feeds a store: the store is its own vector group."""
+        def body(f, i, v):
+            x = f.reg("x")
+            f.set(x, (x * 1103515245 + 12345) % 2147483648)
+            f.store(v["a"], i, x % 100)
+
+        tmpl = graph_of(body)
+        modes = {tuple(g.stmts): g.mode for g in tmpl.groups}
+        assert modes[(0,)] == "sequential"
+        assert modes[(1,)] == "vector"
+
+    def test_schedule_orders_producers_first(self):
+        tmpl = graph_of(
+            lambda f, i, v: (
+                f.store(v["a"], i, f.load(v["b"], i) + 1),
+                f.store(v["c"], i, f.load(v["a"], i) * 2),
+            )
+        )
+        order = [g.stmts[0] for g in tmpl.groups]
+        assert order.index(0) < order.index(1)
+
+    def test_libm_blocks_vector_groups_only(self):
+        """sin() cannot vectorize bit-identically; classification rejects
+        the vector group but the scheduler itself flags the reason."""
+        b = ProgramBuilder("libm")
+        a = b.global_array("a", 16)
+        with b.function("main") as f:
+            i = f.reg("i")
+            with f.for_loop(i, 0, 16):
+                f.store(a, i, UnOp("sin", i))
+        prog = b.build()
+        loop = next(s for s in prog.function("main").body if isinstance(s, For))
+        tmpl, reason = affine.classify_loop(loop)
+        assert tmpl is None and reason == "libm_op"
+
+    def test_scheduler_exposed_via_graph(self):
+        """GroupScheduler can be re-driven from a template's graph."""
+        tmpl = graph_of(
+            lambda f, i, v: f.store(v["s"], None, f.load(v["s"]) + 1)
+        )
+        groups, reason = GroupScheduler(tmpl.graph).schedule()
+        assert reason is None
+        assert [g.mode for g in groups] == ["reduction"]
+        assert loop_verdict(tmpl.graph, groups) == "reduction"

@@ -216,6 +216,59 @@ class TestStatsCli:
         assert any(e["type"] == "snapshot" for e in events)
 
     def test_loops_json_flag(self, capsys):
+        """loops --json emits a single ddprof.loops/1 document (the run
+        report stays off stdout: the loop table *is* the output here)."""
         assert main(["loops", "mg", "--json"]) == 0
-        out = capsys.readouterr().out
-        assert '"schema": "ddprof.run-report/1"' in out
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "ddprof.loops/1"
+        assert doc["workload"] == "mg"
+        assert doc["loops"]
+        row = doc["loops"][0]
+        assert {"site", "end", "executions", "total_iterations",
+                "parallelizable", "verdict", "note"} <= set(row)
+        assert {r["verdict"] for r in doc["loops"]} <= {
+            "doall", "reduction", "pipeline", "sequential", None
+        }
+
+
+class TestProducerCoverageSurface:
+    """producer.fastpath_coverage is a first-class metric: a gauge in the
+    registry, a field in the run report's producer section, and a line in
+    the rendered ``ddprof stats`` output."""
+
+    @pytest.fixture(scope="class")
+    def cg_registry(self):
+        from repro.minivm import run_program
+        from repro.workloads import get_workload
+
+        wl = get_workload("cg")
+        program, _meta = wl.build_seq(wl.default_scale)
+        reg = MetricsRegistry()
+        run_program(program, fastpath=True, registry=reg)
+        return reg
+
+    def test_coverage_gauge_matches_counters(self, cg_registry):
+        snap = cg_registry.snapshot()
+        fast = snap["counters"]["producer.events_fastpath"]
+        interp = snap["counters"]["producer.events_interpreted"]
+        cov = snap["gauges"]["producer.fastpath_coverage"]
+        assert cov == pytest.approx(fast / (fast + interp))
+        assert cov > 0.3  # cg's reductions vectorize now
+
+    def test_verdict_counters_published(self, cg_registry):
+        counters = cg_registry.snapshot()["counters"]
+        assert counters['producer.loop_verdicts{verdict="reduction"}'] > 0
+        assert counters['producer.loop_verdicts{verdict="doall"}'] > 0
+
+    def test_report_producer_section(self, cg_registry):
+        prod = RunReport.build(cg_registry).producer_summary()
+        assert prod["fastpath_coverage"] == pytest.approx(
+            prod["events_fastpath"] / prod["events_total"]
+        )
+        assert prod["loop_verdicts"].get("reduction", 0) > 0
+        assert "classify_cache_hits" in prod
+
+    def test_render_has_coverage_and_verdict_lines(self, cg_registry):
+        text = RunReport.build(cg_registry).render()
+        assert "fastpath coverage" in text
+        assert "loop verdicts:" in text and "reduction=" in text

@@ -95,3 +95,29 @@ class TestModeDifferential:
         d, _ = profile_set(batch, cfg, mode="deterministic")
         t, _ = profile_set(batch, cfg, mode="threads")
         assert d == t
+
+
+class TestFastPathModeDifferential:
+    """Traces produced off the vectorized fast path must profile to the
+    exact dependence set of interpreter traces — in every execution mode,
+    so group-scheduled emission can never skew the parallel pipeline."""
+
+    def _traces(self, name):
+        from repro.minivm import run_program
+        from repro.workloads import get_workload
+
+        wl = get_workload(name)
+        program, _meta = wl.build_seq(wl.default_scale)
+        return (
+            run_program(program, fastpath=True),
+            run_program(program, fastpath=False),
+        )
+
+    @pytest.mark.parametrize("name", ["cg", "is"])
+    @pytest.mark.parametrize("mode", ["deterministic", "threads", "processes"])
+    def test_dependence_sets_equal(self, name, mode):
+        fast, slow = self._traces(name)
+        cfg = ProfilerConfig(workers=2, perfect_signature=True, chunk_size=512)
+        from_fast, _ = profile_set(fast, cfg, mode=mode)
+        from_slow, _ = profile_set(slow, cfg, mode=mode)
+        assert from_fast == from_slow
