@@ -260,3 +260,67 @@ def test_metrics_jsonl_event_stream(metrics_registry, results_dir, benchmark):
     events = read_jsonl(path)
     assert any(e["type"] == "span" for e in events)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ledger_overhead(benchmark, bench_record, tmp_path):
+    """The run-ledger budget, gated: profiling with a ledger attached (the
+    engine checkpoint plus the full finalize — report build, canonical edge
+    list, digest, loop table, atomic write) must stay within 1.05x of the
+    bare profile.  On/off samples are interleaved in pairs so machine drift
+    cancels; the gated value is the median pairwise ratio.  Measured on the
+    amplified cg trace: bundle cost is a per-run constant (report + edge
+    list + digest + one atomic write) while profiling scales with the
+    trace, so the gate uses a trace of representative length rather than a
+    toy one that would inflate the ratio."""
+    from repro.obs import RunLedger, diff_bundles, load_bundle
+
+    batch = get_trace("amp-cg")
+    n_runs = [0]
+
+    def once(with_ledger):
+        reg = MetricsRegistry(run_id=f"bench-{n_runs[0]}")
+        ledger = None
+        if with_ledger:
+            ledger = RunLedger(
+                tmp_path, f"bench-{n_runs[0]}", meta={"workload": "amp-cg"}
+            )
+        n_runs[0] += 1
+        cfg = PERFECT.with_(workers=4)
+        result, info = ParallelProfiler(
+            cfg, registry=reg, ledger=ledger
+        ).profile(batch)
+        if ledger is not None:
+            report = RunReport.build(reg, result=result, info=info)
+            ledger.finalize(reg, report=report, result=result, info=info)
+        return result, ledger
+
+    (r_on, led), _ = once(True), once(False)  # warmup both paths
+    samples = []
+    for _ in range(5):
+        on = repeat_timed(lambda: once(True), repeats=1, warmup=0)
+        off = repeat_timed(lambda: once(False), repeats=1, warmup=0)
+        samples.append(on.seconds[0] / off.seconds[0])
+
+    # The ledger must never change the profile, and its bundle must satisfy
+    # the self-diff contract on the spot.
+    r_off, _ = off.last
+    assert r_on.store == r_off.store
+    doc = load_bundle(led.path)
+    assert diff_bundles(doc, doc).identical
+
+    rec = bench_record.record(
+        "obs.ledger_overhead", samples=samples, unit="ratio",
+        direction="lower", ceiling=1.05,
+        bundle_bytes=led.path.stat().st_size,
+    )
+    bench_record.table(
+        "ledger_overhead",
+        ["configuration", "vs no ledger"],
+        [
+            ["profile, no ledger", 1.0],
+            ["profile + bundle finalize", rec.value],
+        ],
+        title="Run-ledger overhead (amplified cg trace, 4 workers)",
+    )
+    assert rec.value < 1.05, f"ledger overhead {rec.value:.3f}x exceeds budget"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -38,6 +38,16 @@ from repro.minivm import ScheduleConfig, run_program
 from repro.obs import JsonlSink, MetricsRegistry, RunReport, Tracer, write_chrome_trace
 
 
+def _run_id_arg(value: str) -> str:
+    """argparse type for ``--run-id``: reject path separators up front."""
+    from repro.obs import validate_run_id
+
+    try:
+        return validate_run_id(value)
+    except Exception as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
 def _profiler_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("workload", help="workload name (see `ddprof workloads`)")
     p.add_argument("--variant", choices=["seq", "par"], default="seq")
@@ -135,6 +145,21 @@ def _profiler_args(p: argparse.ArgumentParser) -> None:
         help="worker heartbeat watchdog cadence for --mode processes "
         "(0 disables the heartbeat plane)",
     )
+    p.add_argument(
+        "--ledger", metavar="DIR", default=None,
+        help="run-ledger directory where this run's bundle "
+        "(ddprof.run-bundle/1) is persisted; default "
+        "$DDPROF_LEDGER or ~/.ddprof/runs (see `ddprof runs`)",
+    )
+    p.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not persist a run bundle for this run",
+    )
+    p.add_argument(
+        "--run-id", type=_run_id_arg, default=None, metavar="ID",
+        help="override the generated run id (deterministic ledger paths "
+        "for tests/CI); must be a single path component",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ProfilerConfig:
@@ -171,8 +196,11 @@ class _TelemetryPlane:
             else None
         )
         port = getattr(args, "http_port", None)
+        ledger_dir = getattr(args, "ledger", None)
         self.httpd = (
-            TelemetryHTTPServer(registry, port=port) if port is not None else None
+            TelemetryHTTPServer(registry, port=port, ledger_dir=ledger_dir)
+            if port is not None
+            else None
         )
 
     def start(self) -> None:
@@ -214,7 +242,7 @@ def _registry_from(args: argparse.Namespace) -> MetricsRegistry:
     """
     from repro.obs import StructLogger, new_run_id
 
-    run_id = new_run_id()
+    run_id = getattr(args, "run_id", None) or new_run_id()
     sink = JsonlSink(args.metrics_out) if args.metrics_out else None
     tracer = (
         Tracer(run_id=run_id) if getattr(args, "trace_out", None) else None
@@ -233,12 +261,42 @@ def _registry_from(args: argparse.Namespace) -> MetricsRegistry:
     plane.log_stream = owned_stream
     plane.start()
     args._plane = plane
+    args._registry = reg
+    args._ledger = _ledger_from(args, run_id)
     reg.log.info(
         "run.start",
         command=getattr(args, "command", None),
         workload=getattr(args, "workload", None),
     )
     return reg
+
+
+def _ledger_from(args: argparse.Namespace, run_id: str):
+    """The run's bundle writer, unless ``--no-ledger`` opted out."""
+    if getattr(args, "no_ledger", False):
+        return None
+    from pathlib import Path
+
+    from repro.obs import RunLedger, default_ledger_dir
+
+    root = (
+        Path(args.ledger)
+        if getattr(args, "ledger", None)
+        else default_ledger_dir()
+    )
+    meta = {
+        "command": getattr(args, "command", None),
+        "workload": getattr(args, "workload", None),
+        "variant": getattr(args, "variant", None),
+        "engine": getattr(args, "engine", None),
+        "mode": getattr(args, "mode", None),
+        "workers": getattr(args, "workers", None),
+        "slots": getattr(args, "slots", None),
+        "banks": getattr(args, "banks", None),
+        "scale": getattr(args, "scale", None),
+        "seed": getattr(args, "seed", None),
+    }
+    return RunLedger(root, run_id, meta=meta)
 
 
 def _report_from(
@@ -259,6 +317,10 @@ def _report_from(
         variant=args.variant,
         engine=engine or args.engine,
     )
+    ledger = getattr(args, "_ledger", None)
+    if ledger is not None:
+        path = ledger.finalize(reg, report, result=result, info=info)
+        reg.log.info("ledger.write", path=str(path))
     reg.log.info("run.finish", phases=len(report.phases))
     plane = getattr(args, "_plane", None)
     if plane is not None:
@@ -301,6 +363,7 @@ def _pipeline_run(args: argparse.Namespace, reg: MetricsRegistry, batch):
         registry=reg,
         provenance=wants_prov,
         heartbeat_interval=getattr(args, "heartbeat_interval", 0.05),
+        ledger=getattr(args, "_ledger", None),
     ).profile(batch)
     if wants_prov and res.provenance is not None and args.slots is not None:
         from repro.obs import oracle_cross_check
@@ -847,6 +910,118 @@ def cmd_bench_report(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- ddprof runs -------------------------------------------------------------
+
+
+def _ledger_root(args: argparse.Namespace):
+    from pathlib import Path
+
+    from repro.obs import default_ledger_dir
+
+    return Path(args.ledger) if args.ledger else default_ledger_dir()
+
+
+def cmd_runs_list(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import list_runs
+    from repro.report import ascii_table
+
+    root = _ledger_root(args)
+    rows = list_runs(root)
+    if args.json:
+        doc = {"schema": "ddprof.run-list/1", "ledger": str(root), "runs": rows}
+        print(_json.dumps(doc, indent=2))
+        return 0
+    if not rows:
+        print(f"no runs in ledger {root}")
+        return 0
+    table_rows = [
+        [
+            r["run_id"],
+            r["status"],
+            r.get("workload") or "-",
+            r.get("mode") or "-",
+            "-" if r.get("n_edges") is None else r["n_edges"],
+            f"{r['bytes'] / 1024:.0f}KiB",
+        ]
+        for r in rows
+    ]
+    sys.stdout.write(
+        ascii_table(
+            ["run", "status", "workload", "mode", "edges", "size"],
+            table_rows,
+            title=f"run ledger {root}",
+        )
+    )
+    return 0
+
+
+def cmd_runs_show(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.common.errors import ObsError
+    from repro.obs import bundle_summary, load_bundle, resolve_bundle
+
+    root = _ledger_root(args)
+    try:
+        doc = load_bundle(resolve_bundle(root, args.run))
+    except ObsError as exc:
+        print(f"ddprof runs show: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(_json.dumps(doc, indent=2))
+    else:
+        sys.stdout.write(bundle_summary(doc))
+    return 0
+
+
+def cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Diff two run bundles.  Exit codes: 0 = no regressions (any metric
+    movement is reported but does not gate), 1 = regression (a loop verdict
+    flipped toward less parallelism — plus added edges / coverage drops /
+    new suspect FPs under --strict), 2 = operand error."""
+    from repro.common.errors import ObsError
+    from repro.obs import diff_bundles, load_bundle, resolve_bundle
+
+    root = _ledger_root(args)
+    try:
+        a = load_bundle(resolve_bundle(root, args.run_a))
+        b = load_bundle(resolve_bundle(root, args.run_b))
+    except ObsError as exc:
+        print(f"ddprof runs diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_bundles(
+        a,
+        b,
+        tolerance=args.threshold,
+        mad_factor=args.mad_factor,
+        strict=args.strict,
+    )
+    if args.json:
+        print(diff.to_json())
+    else:
+        sys.stdout.write(diff.render())
+    return 1 if diff.regressions else 0
+
+
+def cmd_runs_gc(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs import gc_ledger, list_runs
+
+    root = _ledger_root(args)
+    removed = gc_ledger(root, limit_bytes=args.limit_bytes, keep=args.keep)
+    kept = len(list_runs(root))
+    if args.json:
+        print(_json.dumps({"removed": removed, "kept": kept}, indent=2))
+        return 0
+    print(f"evicted {len(removed)} run(s), kept {kept} in {root}")
+    for rid in removed:
+        print(f"  - {rid}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="ddprof",
@@ -982,8 +1157,84 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("file_b")
     p.set_defaults(fn=cmd_diff)
 
+    p = sub.add_parser(
+        "runs",
+        help="the run ledger: list/show/diff/gc persisted run bundles",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    def _runs_common(pr: argparse.ArgumentParser) -> None:
+        pr.add_argument(
+            "--ledger", metavar="DIR", default=None,
+            help="ledger directory (default: $DDPROF_LEDGER or ~/.ddprof/runs)",
+        )
+        pr.add_argument("--json", action="store_true")
+
+    pr = runs_sub.add_parser("list", help="list persisted runs, newest first")
+    _runs_common(pr)
+    pr.set_defaults(fn=cmd_runs_list)
+    pr = runs_sub.add_parser("show", help="render one run bundle")
+    _runs_common(pr)
+    pr.add_argument("run", help="run id or bundle path")
+    pr.set_defaults(fn=cmd_runs_show)
+    pr = runs_sub.add_parser(
+        "diff",
+        help="cross-run dependence-regression diff; exit 1 when a loop "
+        "verdict flips toward less parallelism",
+    )
+    _runs_common(pr)
+    pr.add_argument("run_a", help="baseline run id or bundle path")
+    pr.add_argument("run_b", help="current run id or bundle path")
+    pr.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative noise tolerance for metric deltas (default: 0.25)",
+    )
+    pr.add_argument(
+        "--mad-factor", type=float, default=4.0,
+        help="MAD band multiplier for metric deltas",
+    )
+    pr.add_argument(
+        "--strict", action="store_true",
+        help="also gate on added edges, coverage drops, and new suspect FPs",
+    )
+    pr.set_defaults(fn=cmd_runs_diff)
+    pr = runs_sub.add_parser(
+        "gc", help="LRU-prune the ledger to a size/count budget"
+    )
+    _runs_common(pr)
+    pr.add_argument(
+        "--limit-bytes", type=int, default=None,
+        help="evict oldest runs until the ledger fits this many bytes",
+    )
+    pr.add_argument(
+        "--keep", type=int, default=None,
+        help="keep at most this many newest runs",
+    )
+    pr.set_defaults(fn=cmd_runs_gc)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BaseException as exc:
+        # Crash-finally ledger contract: whatever killed the run, an
+        # unfinalized ledger still commits a valid (never torn) bundle
+        # recording the crash, then the original error propagates.
+        import contextlib
+
+        ledger = getattr(args, "_ledger", None)
+        reg = getattr(args, "_registry", None)
+        if ledger is not None and not ledger.finalized and reg is not None:
+            with contextlib.suppress(Exception):
+                ledger.finalize(
+                    reg,
+                    status="crashed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+        plane = getattr(args, "_plane", None)
+        if plane is not None:
+            with contextlib.suppress(Exception):
+                plane.stop()
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

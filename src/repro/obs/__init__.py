@@ -35,6 +35,7 @@ from repro.obs.bench import (
     MetricComparison,
     MetricRecord,
     TimedSamples,
+    classify_delta,
     compare,
     load_bench,
     repeat_timed,
@@ -60,6 +61,18 @@ from repro.obs.heatmap import (
     heatmap_summary,
 )
 from repro.obs.httpd import TelemetryHTTPServer, healthz_dict
+from repro.obs.ledger import (
+    RunLedger,
+    bundle_summary,
+    default_ledger_dir,
+    dependence_digest,
+    dependence_edges,
+    gc_ledger,
+    list_runs,
+    load_bundle,
+    resolve_bundle,
+    validate_run_id,
+)
 from repro.obs.log import NULL_LOG, NullLogger, StructLogger, new_run_id
 from repro.obs.metrics import (
     Counter,
@@ -79,6 +92,12 @@ from repro.obs.report import (
     RunReport,
     liveness_summary,
     memory_section,
+)
+from repro.obs.rundiff import (
+    MetricDelta,
+    RunDiff,
+    VerdictFlip,
+    diff_bundles,
 )
 from repro.obs.sampler import Sampler, deadline_loop
 from repro.obs.sinks import (
@@ -114,6 +133,7 @@ __all__ = [
     "MAIN_TRACK",
     "MemorySink",
     "MetricComparison",
+    "MetricDelta",
     "MetricRecord",
     "MetricsRegistry",
     "NULL_LOG",
@@ -123,6 +143,8 @@ __all__ = [
     "NullTracer",
     "ProvenanceCollector",
     "ProvenanceRecord",
+    "RunDiff",
+    "RunLedger",
     "RunReport",
     "Sampler",
     "Sink",
@@ -134,19 +156,29 @@ __all__ = [
     "TimedSamples",
     "TraceEvent",
     "Tracer",
+    "VerdictFlip",
     "bucket_of",
     "bucket_range",
+    "bundle_summary",
     "chrome_trace_dict",
+    "classify_delta",
     "compare",
     "deadline_loop",
+    "default_ledger_dir",
+    "dependence_digest",
+    "dependence_edges",
+    "diff_bundles",
     "environment_fingerprint",
     "format_name",
+    "gc_ledger",
     "git_sha",
     "healthz_dict",
     "heatmap_dict",
     "heatmap_summary",
+    "list_runs",
     "liveness_summary",
     "load_bench",
+    "load_bundle",
     "memory_section",
     "new_run_id",
     "oracle_cross_check",
@@ -157,11 +189,13 @@ __all__ = [
     "render_top",
     "repeat_timed",
     "replay_stream",
+    "resolve_bundle",
     "run_top",
     "sanitize_label_name",
     "state_delta",
     "validate_chrome_trace",
     "validate_chrome_trace_file",
+    "validate_run_id",
     "worker_track",
     "write_chrome_trace",
 ]

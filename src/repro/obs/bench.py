@@ -70,6 +70,40 @@ DEFAULT_MAD_FACTOR = 4.0
 DIRECTIONS = ("higher", "lower")
 
 
+def classify_delta(
+    base_value: float,
+    cur_value: float,
+    *,
+    direction: str | None = "lower",
+    tolerance: float | None = None,
+    mad_factor: float = DEFAULT_MAD_FACTOR,
+    base_mad: float = 0.0,
+    cur_mad: float = 0.0,
+) -> tuple[str, str]:
+    """The noise-band classification shared by :func:`compare` and the
+    run-ledger diff (:mod:`repro.obs.rundiff`).
+
+    A delta is *neutral* when it fits inside
+    ``max(tolerance * |base|, mad_factor * (base_mad + cur_mad))`` — the
+    wider of the relative threshold and the measured noise band.  Outside
+    the band, ``direction`` decides the verdict: ``"higher"``/``"lower"``
+    yield ``improved``/``regressed``; ``None`` (no preferred direction,
+    e.g. a raw run-report counter) yields ``changed``.  Returns
+    ``(status, reason)``.
+    """
+    tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
+    band = max(tol * abs(base_value), mad_factor * (base_mad + cur_mad))
+    delta = cur_value - base_value
+    if abs(delta) <= band:
+        return "neutral", f"within band ±{band:.4g}"
+    rel = delta / base_value if base_value else math.inf
+    why = f"{rel:+.1%} vs band ±{band:.4g}"
+    if direction not in DIRECTIONS:
+        return "changed", why
+    better = delta > 0 if direction == "higher" else delta < 0
+    return ("improved" if better else "regressed"), why
+
+
 def _median(xs: Sequence[float]) -> float:
     s = sorted(xs)
     n = len(s)
@@ -603,17 +637,15 @@ def compare(
         tol = tolerance
         if tol is None:
             tol = cur.tolerance if cur.tolerance is not None else base.tolerance
-        if tol is None:
-            tol = DEFAULT_TOLERANCE
-        band = max(tol * abs(base.value), mad_factor * (base.mad + cur.mad))
-        delta = cur.value - base.value
-        if abs(delta) <= band:
-            status, why = "neutral", f"within band ±{band:.4g}"
-        else:
-            better = delta > 0 if cur.direction == "higher" else delta < 0
-            status = "improved" if better else "regressed"
-            rel = delta / base.value if base.value else math.inf
-            why = f"{rel:+.1%} vs band ±{band:.4g}"
+        status, why = classify_delta(
+            base.value,
+            cur.value,
+            direction=cur.direction,
+            tolerance=tol,
+            mad_factor=mad_factor,
+            base_mad=base.mad,
+            cur_mad=cur.mad,
+        )
         results.append(
             MetricComparison(
                 bench_id, status, why, base=base.value, current=cur.value,

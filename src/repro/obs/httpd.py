@@ -20,6 +20,10 @@ extra file.  Four endpoints:
   (:func:`~repro.obs.heatmap.heatmap_dict`, schema ``ddprof.heatmap/1``):
   per-worker log2-bucketed read/write/conflict/occupancy histograms
   decoded from the ``heat.*`` registry series, plus the hottest buckets.
+* ``GET /runs`` and ``GET /runs/<id>`` — the run ledger
+  (:mod:`repro.obs.ledger`): the list of persisted run bundles under the
+  server's ledger directory, and any one full ``ddprof.run-bundle/1``
+  document by run id.
 
 Reads of the registry are lock-free: instruments are only ever mutated by
 atomic attribute ops under the GIL, and a scrape that races a tick sees a
@@ -60,6 +64,7 @@ class _Handler(BaseHTTPRequestHandler):
     # Set per-server via the factory in TelemetryHTTPServer.start().
     registry: MetricsRegistry
     run_id: str | None
+    ledger_dir: Any  # Path | None: None = the process default ledger
 
     #: Quiet by default: request logging to stderr would interleave with
     #: profiler output.
@@ -91,6 +96,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(
                     200, "application/json", json.dumps(doc).encode("utf-8")
                 )
+            elif path == "/runs" or path.startswith("/runs/"):
+                self._send_runs(path)
             elif path in ("/", "/snapshot"):
                 doc = {"run_id": self.run_id, **self.registry.snapshot()}
                 self._send(
@@ -100,6 +107,38 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(404, "text/plain", b"not found\n")
         except (BrokenPipeError, ConnectionResetError):  # client went away
             pass
+
+    def _send_runs(self, path: str) -> None:
+        """The run-ledger endpoints: ``/runs`` and ``/runs/<id>``."""
+        from pathlib import Path
+
+        from repro.obs.ledger import (
+            default_ledger_dir,
+            list_runs,
+            load_bundle,
+            validate_run_id,
+        )
+
+        root = (
+            Path(self.ledger_dir)
+            if self.ledger_dir is not None
+            else default_ledger_dir()
+        )
+        if path == "/runs":
+            doc = {
+                "schema": "ddprof.run-list/1",
+                "ledger": str(root),
+                "runs": list_runs(root),
+            }
+            self._send(200, "application/json", json.dumps(doc).encode("utf-8"))
+            return
+        rid = path[len("/runs/"):]
+        try:
+            bundle = load_bundle(root / validate_run_id(rid))
+        except Exception:  # unknown id, traversal attempt, corrupt bundle
+            self._send(404, "text/plain", b"no such run\n")
+            return
+        self._send(200, "application/json", json.dumps(bundle).encode("utf-8"))
 
 
 class TelemetryHTTPServer:
@@ -117,11 +156,15 @@ class TelemetryHTTPServer:
         port: int = 0,
         host: str = "127.0.0.1",
         run_id: str | None = None,
+        ledger_dir: Any = None,
     ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
         self.run_id = run_id if run_id is not None else registry.run_id
+        #: Ledger directory served by ``/runs``; ``None`` falls back to
+        #: :func:`repro.obs.ledger.default_ledger_dir` at request time.
+        self.ledger_dir = ledger_dir
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
 
@@ -132,7 +175,11 @@ class TelemetryHTTPServer:
         handler = type(
             "BoundHandler",
             (_Handler,),
-            {"registry": self.registry, "run_id": self.run_id},
+            {
+                "registry": self.registry,
+                "run_id": self.run_id,
+                "ledger_dir": self.ledger_dir,
+            },
         )
         self._httpd = ThreadingHTTPServer((self.host, self.port), handler)
         self._httpd.daemon_threads = True

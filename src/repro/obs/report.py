@@ -237,7 +237,13 @@ class RunReport:
                 if k == prefix or k.startswith(prefix + "{")
             )
 
-        if not any(k.startswith("producer.events_") for k in self.counters):
+        # Any producer instrument qualifies — a run served entirely from the
+        # trace cache has only ``producer.trace_cache_hits`` (no events_*
+        # counters) and must still render its producer section.
+        has_producer = any(
+            k.startswith("producer.") for k in self.counters
+        ) or "producer.fastpath_coverage" in self.gauges
+        if not has_producer:
             return None
         fast = family("producer.events_fastpath")
         interp = family("producer.events_interpreted")

@@ -170,6 +170,20 @@ def render_top(
         )
         lines.append(f"  peak rss: {parts}")
 
+    cov_gauge = _family(gauges, "producer.fastpath_coverage")
+    fast = sum(_family(counters, "producer.events_fastpath").values())
+    interp = sum(_family(counters, "producer.events_interpreted").values())
+    if cov_gauge or fast or interp:
+        coverage = (
+            next(iter(cov_gauge.values()))
+            if cov_gauge
+            else (fast / (fast + interp) if fast + interp else 0.0)
+        )
+        lines.append(
+            f"  producer: fastpath coverage {coverage * 100:.1f}% "
+            f"({_fmt_count(fast)} fast / {_fmt_count(interp)} interpreted)"
+        )
+
     banks = (heatmap or {}).get("banks")
     if banks and banks.get("total"):
         total = banks["total"]

@@ -177,6 +177,7 @@ class ParallelProfiler:
         registry: MetricsRegistry | None = None,
         provenance: bool = False,
         heartbeat_interval: float | None = 0.05,
+        ledger=None,
     ) -> None:
         if mode not in MODES:
             raise ProfilerError(f"unknown mode {mode!r}; pick from {MODES}")
@@ -194,6 +195,21 @@ class ParallelProfiler:
         #: (attributing each dependence to worker/chunk/timestamps) and the
         #: merge phase folds them into ``result.provenance``.
         self.provenance = provenance
+        #: Optional :class:`~repro.obs.ledger.RunLedger`: the pipeline
+        #: checkpoints a partial bundle (atomic tmp+rename) on every exit
+        #: from the producer frame, so even a worker crash leaves a valid,
+        #: never-torn run bundle behind.  The CLI's success path later
+        #: finalizes the full document over it.
+        self.ledger = ledger
+
+    def _ledger_checkpoint(self, reg: MetricsRegistry) -> None:
+        """Crash-safe partial-bundle write; never raises into the pipeline."""
+        if self.ledger is None:
+            return
+        try:
+            self.ledger.checkpoint(reg)
+        except OSError:  # a full/readonly ledger must not mask the run error
+            pass
 
     # ------------------------------------------------------------------
     def profile(self, batch: TraceBatch) -> tuple[ProfileResult, ParallelRunInfo]:
@@ -492,6 +508,7 @@ class ParallelProfiler:
             # A worker failure propagating out of this frame must not lose
             # the telemetry already emitted: flush (not close) the sink.
             reg.sink.flush()
+            self._ledger_checkpoint(reg)
         if worker_errors:
             # Consumers drained the remaining stream without processing;
             # surface the first failure on the caller's thread.
@@ -674,6 +691,7 @@ class ParallelProfiler:
             # failure propagates out of this frame: flush (never close —
             # the caller may still emit a final snapshot) on every path.
             reg.sink.flush()
+            self._ledger_checkpoint(reg)
 
         with reg.span("merge"):
             payloads.sort(key=lambda d: d["wid"])

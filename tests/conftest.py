@@ -1,0 +1,16 @@
+"""Shared fixtures for the whole test tree."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_ledger(monkeypatch, tmp_path_factory):
+    """Point the run ledger at a per-test tmp dir.
+
+    The ledger is on by default for every profiling command, so without
+    this any test that drives the CLI would persist bundles into the real
+    ``~/.ddprof/runs``.
+    """
+    monkeypatch.setenv(
+        "DDPROF_LEDGER", str(tmp_path_factory.mktemp("ledger"))
+    )

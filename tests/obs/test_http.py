@@ -135,3 +135,50 @@ class TestLifecycle:
     def test_healthz_dict_without_socket(self, registry):
         doc = healthz_dict(registry)
         assert doc["status"] == "ok" and doc["run_id"] == "httprun"
+
+
+class TestRunsEndpoints:
+    @pytest.fixture()
+    def ledger_server(self, registry, tmp_path):
+        from repro.obs import RunLedger
+
+        RunLedger(tmp_path, "r1", meta={"workload": "cg"}).finalize(
+            MetricsRegistry(run_id="r1")
+        )
+        srv = TelemetryHTTPServer(registry, port=0, ledger_dir=tmp_path)
+        srv.start()
+        yield srv
+        srv.stop()
+
+    def test_runs_lists_the_ledger(self, ledger_server):
+        status, body = get(ledger_server.url + "/runs")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["schema"] == "ddprof.run-list/1"
+        assert [r["run_id"] for r in doc["runs"]] == ["r1"]
+
+    def test_runs_by_id_returns_the_bundle(self, ledger_server):
+        status, body = get(ledger_server.url + "/runs/r1")
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["schema"] == "ddprof.run-bundle/1"
+        assert doc["run_id"] == "r1" and doc["meta"]["workload"] == "cg"
+
+    @pytest.mark.parametrize("rid", ["nope", "..%2F..%2Fetc"])
+    def test_unknown_or_traversal_id_404s(self, ledger_server, rid):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(ledger_server.url + "/runs/" + rid)
+        assert err.value.code == 404
+
+    def test_default_ledger_dir_honours_env(self, registry, tmp_path, monkeypatch):
+        from repro.obs import RunLedger
+
+        monkeypatch.setenv("DDPROF_LEDGER", str(tmp_path))
+        RunLedger(tmp_path, "envrun").finalize(MetricsRegistry(run_id="envrun"))
+        srv = TelemetryHTTPServer(registry, port=0)  # no ledger_dir given
+        srv.start()
+        try:
+            _, body = get(srv.url + "/runs")
+            assert [r["run_id"] for r in json.loads(body)["runs"]] == ["envrun"]
+        finally:
+            srv.stop()

@@ -272,3 +272,33 @@ class TestProducerCoverageSurface:
         text = RunReport.build(cg_registry).render()
         assert "fastpath coverage" in text
         assert "loop verdicts:" in text and "reduction=" in text
+
+
+class TestProducerSectionCacheHitOnly:
+    """Regression: a run served entirely from the trace cache has only
+    ``producer.trace_cache_hits`` — no events_* counters, no coverage gauge
+    — and must still render its producer section."""
+
+    @pytest.fixture()
+    def cache_hit_registry(self):
+        reg = MetricsRegistry(run_id="cached")
+        reg.counter("producer.trace_cache_hits").inc()
+        return reg
+
+    def test_summary_not_none(self, cache_hit_registry):
+        prod = RunReport.build(cache_hit_registry).producer_summary()
+        assert prod is not None
+        assert prod["trace_cache_hits"] == 1
+        assert prod["events_total"] == 0
+        assert prod["fastpath_coverage"] == 0.0
+
+    def test_render_includes_producer_line(self, cache_hit_registry):
+        text = RunReport.build(cache_hit_registry).render()
+        assert "producer:" in text
+
+    def test_no_producer_instruments_still_omits_section(self):
+        reg = MetricsRegistry(run_id="bare")
+        reg.counter("worker.accesses", worker=0).inc()
+        report = RunReport.build(reg)
+        assert report.producer_summary() is None
+        assert "producer:" not in report.render()

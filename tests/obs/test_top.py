@@ -82,3 +82,25 @@ class TestLoop:
     def test_once_unreachable_exits_nonzero(self):
         rc = run_top("http://127.0.0.1:9", once=True, out=io.StringIO())
         assert rc == 1
+
+
+class TestProducerLine:
+    def test_coverage_from_gauge(self):
+        reg = make_registry()
+        reg.gauge("producer.fastpath_coverage").set(0.378)
+        reg.counter("producer.events_fastpath").inc(26592)
+        reg.counter("producer.events_interpreted").inc(43799)
+        frame = render_top(reg.snapshot())
+        assert "producer: fastpath coverage 37.8%" in frame
+        assert "27k fast / 44k interpreted" in frame
+
+    def test_coverage_derived_from_counters_when_gauge_absent(self):
+        reg = make_registry()
+        reg.counter("producer.events_fastpath").inc(75)
+        reg.counter("producer.events_interpreted").inc(25)
+        frame = render_top(reg.snapshot())
+        assert "producer: fastpath coverage 75.0%" in frame
+
+    def test_no_producer_metrics_no_line(self):
+        frame = render_top(make_registry().snapshot())
+        assert "producer:" not in frame
